@@ -1,0 +1,34 @@
+//! Figure 11 (native): the three coupling strategies end-to-end, including
+//! transport (in-process channels for tight/intercore, real sockets with
+//! the layout-file bootstrap for internode).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eth_core::config::{Application, Coupling, ExperimentSpec};
+use eth_core::harness::run_native;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_coupling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for coupling in Coupling::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(coupling.name()),
+            &coupling,
+            |b, &coupling| {
+                let spec = ExperimentSpec::builder("bench-coupling")
+                    .application(Application::Hacc { particles: 20_000 })
+                    .coupling(coupling)
+                    .ranks(2)
+                    .image_size(96, 96)
+                    .build()
+                    .unwrap();
+                b.iter(|| run_native(&spec).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

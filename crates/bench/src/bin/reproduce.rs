@@ -1,0 +1,63 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! reproduce                # print all artifacts as markdown
+//! reproduce table1 fig15   # print a subset
+//! reproduce --csv out/     # also write one CSV per artifact
+//! ```
+
+use eth_bench::runs;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => {
+                let dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--csv needs a directory argument");
+                    std::process::exit(2);
+                });
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: reproduce [--csv DIR] [table1 table2 fig8 .. fig15]");
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+
+    let all = match runs::all() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("reproduction failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let known: Vec<&str> = all.iter().map(|(id, _)| *id).collect();
+    for w in &wanted {
+        if !known.contains(&w.as_str()) {
+            eprintln!("unknown artifact '{w}' (known: {})", known.join(", "));
+            std::process::exit(2);
+        }
+    }
+
+    for (id, table) in &all {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w == id) {
+            continue;
+        }
+        println!("{}", table.to_markdown());
+        if let Some(dir) = &csv_dir {
+            let path = dir.join(format!("{id}.csv"));
+            if let Err(e) = table.write_csv(&path) {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("wrote {}\n", path.display());
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! Experiment specifications — one point in the design space.
+
+use crate::error::{CoreError, Result};
+use eth_cluster::costmodel::AlgorithmClass;
+use eth_cluster::coupling::CouplingStrategy;
+use eth_data::sampling::{SamplingMethod, SamplingSpec};
+use eth_data::{DataObject, Vec3};
+use eth_render::geometry::slice::Plane;
+use eth_render::pipeline::RenderAlgorithm;
+use eth_sim::{HaccConfig, XrageConfig};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Which science workload feeds the experiment (Section IV-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Application {
+    /// HACC-like cosmology particles.
+    Hacc { particles: usize },
+    /// xRAGE-like asteroid-impact structured grid.
+    Xrage { dims: [usize; 3] },
+}
+
+impl Application {
+    /// Element count (particles or grid vertices).
+    pub fn num_elements(&self) -> usize {
+        match self {
+            Application::Hacc { particles } => *particles,
+            Application::Xrage { dims } => dims[0] * dims[1] * dims[2],
+        }
+    }
+
+    /// The scalar attribute the pipelines color by.
+    pub fn default_scalar(&self) -> &'static str {
+        match self {
+            Application::Hacc { .. } => "density",
+            Application::Xrage { .. } => "temperature",
+        }
+    }
+
+    /// Bytes per element crossing the in-situ interface.
+    pub fn bytes_per_element(&self) -> u32 {
+        match self {
+            // id (8) + position (12) + velocity (12)
+            Application::Hacc { .. } => 32,
+            // one f32 field
+            Application::Xrage { .. } => 4,
+        }
+    }
+
+    /// Generate the global dataset for one timestep (deterministic in
+    /// `(seed, step)`).
+    pub fn generate(&self, step: usize, seed: u64) -> Result<DataObject> {
+        match self {
+            Application::Hacc { particles } => {
+                let cfg = HaccConfig {
+                    particles: *particles,
+                    seed,
+                    ..Default::default()
+                };
+                Ok(DataObject::Points(cfg.generate(step)?))
+            }
+            Application::Xrage { dims } => {
+                let cfg = XrageConfig {
+                    dims: *dims,
+                    seed,
+                    ..Default::default()
+                };
+                Ok(DataObject::Grid(cfg.generate(step)?))
+            }
+        }
+    }
+
+    /// The isovalue the grid pipelines extract at `step`.
+    pub fn isovalue(&self, step: usize, seed: u64) -> f32 {
+        match self {
+            Application::Hacc { .. } => 0.0,
+            Application::Xrage { .. } => XrageConfig {
+                seed,
+                ..Default::default()
+            }
+            .front_isovalue(step),
+        }
+    }
+
+    /// The paper's "two sliding planes" for grid slicing at `step`.
+    pub fn slice_planes(&self, step: usize) -> Vec<Plane> {
+        match self {
+            Application::Hacc { .. } => Vec::new(),
+            Application::Xrage { .. } => {
+                let cfg = XrageConfig::default();
+                let e = cfg.domain_size;
+                // planes slide with the timestep
+                let f = 0.3 + 0.04 * step as f32;
+                vec![
+                    Plane::axis_aligned(0, e * f.min(0.8)),
+                    Plane::axis_aligned(2, e * (1.0 - f).max(0.2)),
+                ]
+            }
+        }
+    }
+
+    /// World-space particle radius for sphere-style rendering: a small
+    /// multiple of the mean inter-particle spacing.
+    pub fn particle_radius(&self) -> f32 {
+        match self {
+            Application::Hacc { particles } => {
+                let cfg = HaccConfig::default();
+                let spacing = cfg.box_size / (*particles as f32).cbrt().max(1.0);
+                spacing * 0.75
+            }
+            Application::Xrage { .. } => 0.01,
+        }
+    }
+
+    pub fn is_particle(&self) -> bool {
+        matches!(self, Application::Hacc { .. })
+    }
+}
+
+/// The rendering-algorithm axis, serde-friendly; parameterized at run time
+/// from the application (isovalues, planes, radii).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    VtkPoints,
+    GaussianSplat,
+    RaycastSpheres,
+    VtkIsosurface,
+    RaycastIsosurface,
+    VtkSlice,
+    RaycastSlice,
+}
+
+impl Algorithm {
+    pub fn name(self) -> &'static str {
+        self.class().name()
+    }
+
+    /// The cluster-model classification.
+    pub fn class(self) -> AlgorithmClass {
+        match self {
+            Algorithm::VtkPoints => AlgorithmClass::VtkPoints,
+            Algorithm::GaussianSplat => AlgorithmClass::GaussianSplat,
+            Algorithm::RaycastSpheres => AlgorithmClass::RaycastSpheres,
+            Algorithm::VtkIsosurface => AlgorithmClass::VtkIsosurface,
+            Algorithm::RaycastIsosurface => AlgorithmClass::RaycastIsosurface,
+            Algorithm::VtkSlice => AlgorithmClass::VtkSlice,
+            Algorithm::RaycastSlice => AlgorithmClass::RaycastSlice,
+        }
+    }
+
+    /// Does this algorithm apply to the application's data class?
+    pub fn accepts(self, app: &Application) -> bool {
+        self.class().is_particle() == app.is_particle()
+    }
+
+    /// Resolve to a concrete render-pipeline configuration for one step.
+    pub fn resolve(self, app: &Application, step: usize, seed: u64) -> RenderAlgorithm {
+        match self {
+            Algorithm::VtkPoints => RenderAlgorithm::VtkPoints { point_size: 2 },
+            Algorithm::GaussianSplat => RenderAlgorithm::GaussianSplat {
+                radius: app.particle_radius(),
+            },
+            Algorithm::RaycastSpheres => RenderAlgorithm::RaycastSpheres {
+                radius: app.particle_radius(),
+            },
+            Algorithm::VtkIsosurface => RenderAlgorithm::VtkIsosurface {
+                isovalue: app.isovalue(step, seed),
+            },
+            Algorithm::RaycastIsosurface => RenderAlgorithm::RaycastIsosurface {
+                isovalue: app.isovalue(step, seed),
+            },
+            Algorithm::VtkSlice => RenderAlgorithm::VtkSlice {
+                planes: app.slice_planes(step),
+            },
+            Algorithm::RaycastSlice => RenderAlgorithm::RaycastSlice {
+                planes: app.slice_planes(step),
+            },
+        }
+    }
+
+    /// All particle algorithms (the HACC experiments).
+    pub fn particle_algorithms() -> [Algorithm; 3] {
+        [
+            Algorithm::GaussianSplat,
+            Algorithm::VtkPoints,
+            Algorithm::RaycastSpheres,
+        ]
+    }
+
+    /// The two isosurface backends (the xRAGE experiments).
+    pub fn isosurface_algorithms() -> [Algorithm; 2] {
+        [Algorithm::VtkIsosurface, Algorithm::RaycastIsosurface]
+    }
+}
+
+/// The coupling axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Coupling {
+    Tight,
+    Intercore,
+    Internode,
+}
+
+impl Coupling {
+    pub fn name(self) -> &'static str {
+        self.strategy().name()
+    }
+
+    pub fn strategy(self) -> CouplingStrategy {
+        match self {
+            Coupling::Tight => CouplingStrategy::Tight,
+            Coupling::Intercore => CouplingStrategy::Intercore,
+            Coupling::Internode => CouplingStrategy::Internode,
+        }
+    }
+
+    pub fn all() -> [Coupling; 3] {
+        [Coupling::Tight, Coupling::Intercore, Coupling::Internode]
+    }
+}
+
+/// A fully-specified experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    pub name: String,
+    pub application: Application,
+    pub algorithm: Algorithm,
+    pub coupling: Coupling,
+    /// Ranks for native mode (sim ranks; internode adds paired viz ranks).
+    pub ranks: usize,
+    pub steps: usize,
+    /// Images rendered per step (the camera orbits between images).
+    pub images_per_step: usize,
+    pub width: usize,
+    pub height: usize,
+    /// Spatial-sampling ratio in (0, 1].
+    pub sampling_ratio: f64,
+    /// RNG seed for data generation and sampling.
+    pub seed: u64,
+    /// Directory PPM artifacts are written into (none = keep in memory).
+    pub artifact_dir: Option<PathBuf>,
+    /// Quantization-compress blocks crossing a process boundary
+    /// (intercore IPC / internode sockets). Bounded-error lossy transport
+    /// (see `eth_data::compress`); tight coupling ignores it (data never
+    /// leaves the process).
+    #[serde(default)]
+    pub compress_transport: bool,
+    /// Internode only: number of visualization ranks when it differs from
+    /// the simulation rank count (Figure 2's "differing numbers of nodes
+    /// for each"). `None` pairs one viz rank per sim rank. Each viz rank
+    /// receives the blocks of the sim ranks assigned to it round-robin.
+    #[serde(default)]
+    pub viz_ranks: Option<usize>,
+}
+
+impl ExperimentSpec {
+    pub fn builder(name: &str) -> ExperimentSpecBuilder {
+        ExperimentSpecBuilder::new(name)
+    }
+
+    /// Resolved sampling configuration.
+    pub fn sampling(&self) -> Result<SamplingSpec> {
+        SamplingSpec::new(self.sampling_ratio, SamplingMethod::Random, self.seed)
+            .map_err(CoreError::from)
+    }
+
+    pub fn validate(&self) -> Result<()> {
+        if self.ranks == 0 {
+            return Err(CoreError::Config("ranks must be >= 1".into()));
+        }
+        if self.steps == 0 || self.images_per_step == 0 {
+            return Err(CoreError::Config(
+                "steps and images_per_step must be >= 1".into(),
+            ));
+        }
+        if self.width == 0 || self.height == 0 {
+            return Err(CoreError::Config("image must be non-empty".into()));
+        }
+        if !(self.sampling_ratio > 0.0 && self.sampling_ratio <= 1.0) {
+            return Err(CoreError::Config(format!(
+                "sampling ratio {} outside (0, 1]",
+                self.sampling_ratio
+            )));
+        }
+        if let Some(v) = self.viz_ranks {
+            if v == 0 {
+                return Err(CoreError::Config("viz_ranks must be >= 1".into()));
+            }
+            if self.coupling != Coupling::Internode {
+                return Err(CoreError::Config(
+                    "viz_ranks only applies to internode coupling".into(),
+                ));
+            }
+        }
+        if !self.algorithm.accepts(&self.application) {
+            return Err(CoreError::Config(format!(
+                "algorithm '{}' cannot render this application's data class",
+                self.algorithm.name()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Builder with sensible defaults for quick experiments.
+pub struct ExperimentSpecBuilder {
+    spec: ExperimentSpec,
+}
+
+impl ExperimentSpecBuilder {
+    pub fn new(name: &str) -> Self {
+        ExperimentSpecBuilder {
+            spec: ExperimentSpec {
+                name: name.to_string(),
+                application: Application::Hacc { particles: 50_000 },
+                algorithm: Algorithm::RaycastSpheres,
+                coupling: Coupling::Tight,
+                ranks: 2,
+                steps: 1,
+                images_per_step: 1,
+                width: 128,
+                height: 128,
+                sampling_ratio: 1.0,
+                seed: 42,
+                artifact_dir: None,
+                compress_transport: false,
+                viz_ranks: None,
+            },
+        }
+    }
+
+    pub fn application(mut self, app: Application) -> Self {
+        self.spec.application = app;
+        self
+    }
+
+    pub fn algorithm(mut self, alg: Algorithm) -> Self {
+        self.spec.algorithm = alg;
+        self
+    }
+
+    pub fn coupling(mut self, c: Coupling) -> Self {
+        self.spec.coupling = c;
+        self
+    }
+
+    pub fn ranks(mut self, ranks: usize) -> Self {
+        self.spec.ranks = ranks;
+        self
+    }
+
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.spec.steps = steps;
+        self
+    }
+
+    pub fn images_per_step(mut self, n: usize) -> Self {
+        self.spec.images_per_step = n;
+        self
+    }
+
+    pub fn image_size(mut self, width: usize, height: usize) -> Self {
+        self.spec.width = width;
+        self.spec.height = height;
+        self
+    }
+
+    pub fn sampling_ratio(mut self, ratio: f64) -> Self {
+        self.spec.sampling_ratio = ratio;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    pub fn artifact_dir(mut self, dir: PathBuf) -> Self {
+        self.spec.artifact_dir = Some(dir);
+        self
+    }
+
+    pub fn compress_transport(mut self, on: bool) -> Self {
+        self.spec.compress_transport = on;
+        self
+    }
+
+    /// Internode with an asymmetric rank split (viz side smaller/larger).
+    pub fn viz_ranks(mut self, viz_ranks: usize) -> Self {
+        self.spec.viz_ranks = Some(viz_ranks);
+        self
+    }
+
+    pub fn build(self) -> Result<ExperimentSpec> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
+/// Camera orbit used by multi-image steps: image `i` of `n` looks at the
+/// data from an azimuth rotated by `i/n` of a quarter turn, so successive
+/// images differ (the paper renders hundreds of images per step).
+pub fn orbit_camera(
+    bounds: &eth_data::Aabb,
+    width: usize,
+    height: usize,
+    image_index: usize,
+    images_per_step: usize,
+) -> eth_render::Camera {
+    let center = bounds.center();
+    let radius = (bounds.diagonal() * 0.5).max(1e-6);
+    let fov_y = 40.0f32;
+    let dist = radius / (fov_y.to_radians() * 0.5).tan() * 1.1;
+    let frac = image_index as f32 / images_per_step.max(1) as f32;
+    let azim = 0.8 + frac * std::f32::consts::FRAC_PI_2;
+    let dir = Vec3::new(azim.cos() * 0.85, azim.sin() * 0.85, 0.55).normalized();
+    eth_render::Camera::look_at(
+        center + dir * dist,
+        center,
+        Vec3::new(0.0, 0.0, 1.0),
+        fov_y,
+        width,
+        height,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_validate() {
+        let spec = ExperimentSpec::builder("t").build().unwrap();
+        assert_eq!(spec.ranks, 2);
+        assert_eq!(spec.sampling_ratio, 1.0);
+    }
+
+    #[test]
+    fn builder_rejects_nonsense() {
+        assert!(ExperimentSpec::builder("t").ranks(0).build().is_err());
+        assert!(ExperimentSpec::builder("t").sampling_ratio(0.0).build().is_err());
+        assert!(ExperimentSpec::builder("t").image_size(0, 10).build().is_err());
+        // grid algorithm on particle data
+        assert!(ExperimentSpec::builder("t")
+            .algorithm(Algorithm::VtkIsosurface)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn application_helpers() {
+        let hacc = Application::Hacc { particles: 1000 };
+        assert_eq!(hacc.num_elements(), 1000);
+        assert_eq!(hacc.default_scalar(), "density");
+        assert!(hacc.is_particle());
+        assert!(hacc.particle_radius() > 0.0);
+
+        let xrage = Application::Xrage { dims: [8, 8, 8] };
+        assert_eq!(xrage.num_elements(), 512);
+        assert_eq!(xrage.default_scalar(), "temperature");
+        assert!(!xrage.is_particle());
+        assert_eq!(xrage.slice_planes(0).len(), 2);
+        assert!(hacc.slice_planes(0).is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let app = Application::Hacc { particles: 500 };
+        assert_eq!(app.generate(1, 7).unwrap(), app.generate(1, 7).unwrap());
+        let grid = Application::Xrage { dims: [8, 8, 8] };
+        assert_eq!(grid.generate(0, 7).unwrap(), grid.generate(0, 7).unwrap());
+    }
+
+    #[test]
+    fn algorithm_resolution() {
+        let app = Application::Xrage { dims: [8, 8, 8] };
+        let alg = Algorithm::RaycastIsosurface.resolve(&app, 2, 42);
+        match alg {
+            RenderAlgorithm::RaycastIsosurface { isovalue } => {
+                assert!(isovalue > 300.0, "iso {isovalue}");
+            }
+            other => panic!("unexpected resolution {other:?}"),
+        }
+        assert!(Algorithm::VtkPoints.accepts(&Application::Hacc { particles: 1 }));
+        assert!(!Algorithm::VtkPoints.accepts(&app));
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = ExperimentSpec::builder("json")
+            .application(Application::Xrage { dims: [16, 8, 8] })
+            .algorithm(Algorithm::VtkSlice)
+            .coupling(Coupling::Internode)
+            .build()
+            .unwrap();
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: ExperimentSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn orbit_cameras_differ_per_image() {
+        let b = eth_data::Aabb::unit();
+        let c0 = orbit_camera(&b, 32, 32, 0, 10);
+        let c5 = orbit_camera(&b, 32, 32, 5, 10);
+        assert_ne!(c0.position, c5.position);
+        // both frame the box center
+        let (fx, fy, _) = c0.project(b.center()).unwrap();
+        assert!((fx - 16.0).abs() < 1.0 && (fy - 16.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Harness error type: unifies data-model and transport failures.
+
+use eth_data::error::DataError;
+use eth_transport::TransportError;
+use std::fmt;
+
+/// Any failure the harness can produce.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Data-model / IO / rendering failure.
+    Data(DataError),
+    /// Transport / bootstrap failure.
+    Transport(TransportError),
+    /// Invalid experiment configuration.
+    Config(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::Transport(e) => write!(f, "transport error: {e}"),
+            CoreError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Data(e) => Some(e),
+            CoreError::Transport(e) => Some(e),
+            CoreError::Config(_) => None,
+        }
+    }
+}
+
+impl From<DataError> for CoreError {
+    fn from(e: DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+impl From<TransportError> for CoreError {
+    fn from(e: TransportError) -> Self {
+        CoreError::Transport(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let d: CoreError = DataError::MissingAttribute("t".into()).into();
+        assert!(d.to_string().contains("data error"));
+        let t: CoreError = TransportError::Disconnected { peer: 1 }.into();
+        assert!(t.to_string().contains("transport error"));
+        let c = CoreError::Config("bad".into());
+        assert!(c.to_string().contains("bad"));
+        use std::error::Error;
+        assert!(d.source().is_some());
+        assert!(c.source().is_none());
+    }
+}

@@ -1,0 +1,693 @@
+//! Experiment execution: native mode and cluster-sim mode.
+//!
+//! **Native mode** ([`run_native`]) is the real thing at laptop scale: data
+//! is generated per step, partitioned across ranks, moved through the
+//! chosen coupling over the real transport, rendered with the real
+//! renderers, and depth-composited to rank 0, which keeps (and optionally
+//! writes) the final images. Every phase is wall-clock timed and all
+//! traffic is counted.
+//!
+//! **Cluster-sim mode** ([`run_cluster`]) executes the same design point on
+//! the calibrated Hikari model at paper scale, producing the execution
+//! time / power / energy numbers the tables and figures report.
+//!
+//! Coupling strategies in native mode:
+//! * [`Coupling::Tight`] — R ranks; sim and viz share each rank's call
+//!   stack; compositing gathers framebuffers to rank 0.
+//! * [`Coupling::Intercore`] — 2R ranks on one fabric: sim ranks `0..R`
+//!   pass each step's block to their paired viz rank `R + r` (the
+//!   same-node process boundary), viz ranks render and composite.
+//! * [`Coupling::Internode`] — R sim threads and R viz threads in separate
+//!   "applications": sim ranks publish to the layout file, open their
+//!   sockets and wait; viz ranks poll the file and connect (the paper's
+//!   Section III-C bootstrap), then receive blocks over TCP.
+
+use crate::config::{Coupling, ExperimentSpec};
+use crate::error::{CoreError, Result};
+use crate::pipeline::{accumulate, VizPipeline};
+use bytes::Bytes;
+use eth_cluster::costmodel::{AlgorithmClass, Calibration, CostModel, Workload};
+use eth_cluster::coupling::{build_schedule, CouplingStrategy};
+use eth_cluster::machine::ClusterMachine;
+use eth_cluster::metrics::RunMetrics;
+use eth_cluster::node::ClusterSpec;
+use eth_data::partition::{partition_grid_slabs, partition_points};
+use eth_data::{Aabb, DataObject};
+use eth_render::composite::composite_direct;
+use eth_render::framebuffer::Framebuffer;
+use eth_render::pipeline::RenderStats;
+use eth_render::Image;
+use eth_transport::collectives::gather;
+use eth_transport::comm::Communicator;
+use eth_transport::layout::LayoutFile;
+use eth_data::compress;
+use eth_transport::message::{decode_dataset, encode_dataset};
+use eth_transport::runner::run_ranks;
+use eth_transport::socket::{connect_to, listen_as};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wall time spent in each phase, summed over steps, max'd over ranks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    pub sim_s: f64,
+    pub transfer_s: f64,
+    pub viz_s: f64,
+    pub composite_s: f64,
+}
+
+impl PhaseTimes {
+    fn max_with(&mut self, other: &PhaseTimes) {
+        self.sim_s = self.sim_s.max(other.sim_s);
+        self.transfer_s = self.transfer_s.max(other.transfer_s);
+        self.viz_s = self.viz_s.max(other.viz_s);
+        self.composite_s = self.composite_s.max(other.composite_s);
+    }
+}
+
+/// Result of one native-mode run.
+pub struct NativeOutcome {
+    pub spec: ExperimentSpec,
+    /// End-to-end wall time.
+    pub wall_s: f64,
+    pub phases: PhaseTimes,
+    /// Final composited images, step-major (`steps × images_per_step`).
+    pub images: Vec<Image>,
+    /// Render statistics summed over ranks and steps.
+    pub stats: RenderStats,
+    /// Bytes moved through the transport layer (all ranks).
+    pub bytes_moved: u64,
+}
+
+impl NativeOutcome {
+    /// First image of the run (the usual artifact for quality comparison).
+    pub fn first_image(&self) -> Option<&Image> {
+        self.images.first()
+    }
+
+    /// One-paragraph human-readable summary.
+    pub fn report(&self) -> String {
+        format!(
+            "experiment '{}' [{} | {} | {} | {} ranks | ratio {:.2}]: \
+             {} images in {:.3}s (sim {:.3}s, transfer {:.3}s, viz {:.3}s, \
+             composite {:.3}s), {} fragments, {} bytes moved",
+            self.spec.name,
+            self.spec.application.default_scalar(),
+            self.spec.algorithm.name(),
+            self.spec.coupling.name(),
+            self.spec.ranks,
+            self.spec.sampling_ratio,
+            self.images.len(),
+            self.wall_s,
+            self.phases.sim_s,
+            self.phases.transfer_s,
+            self.phases.viz_s,
+            self.phases.composite_s,
+            self.stats.fragments,
+            self.bytes_moved,
+        )
+    }
+}
+
+/// Encode a block for a process boundary, honoring the spec's transport
+/// compression switch.
+fn encode_block(spec: &ExperimentSpec, block: &DataObject) -> Bytes {
+    if spec.compress_transport {
+        compress::compress(block)
+    } else {
+        encode_dataset(block)
+    }
+}
+
+/// Inverse of [`encode_block`].
+fn decode_block(spec: &ExperimentSpec, payload: Bytes) -> Result<DataObject> {
+    if spec.compress_transport {
+        Ok(compress::decompress(payload)?)
+    } else {
+        Ok(decode_dataset(payload)?)
+    }
+}
+
+/// Per-rank result inside the parallel sections.
+struct RankOutput {
+    images: Vec<Image>,
+    stats: RenderStats,
+    phases: PhaseTimes,
+    bytes_sent: u64,
+}
+
+/// Pre-generated per-step data: blocks[step][rank] plus global bounds and
+/// the global scalar range (so every rank colors through the same
+/// transfer function — rank-local ranges would shift colors per block).
+struct StagedData {
+    blocks: Vec<Vec<DataObject>>,
+    bounds: Vec<Aabb>,
+    scalar_ranges: Vec<Option<(f32, f32)>>,
+}
+
+fn global_scalar_range(obj: &DataObject, name: &str) -> Option<(f32, f32)> {
+    let values = match obj {
+        DataObject::Points(p) => p.scalar(name).ok()?,
+        DataObject::Grid(g) => g.scalar(name).ok()?,
+    };
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    (lo.is_finite() && hi > lo).then_some((lo, hi))
+}
+
+fn stage_data(spec: &ExperimentSpec) -> Result<StagedData> {
+    let mut blocks = Vec::with_capacity(spec.steps);
+    let mut bounds = Vec::with_capacity(spec.steps);
+    let mut scalar_ranges = Vec::with_capacity(spec.steps);
+    for step in 0..spec.steps {
+        let global = spec.application.generate(step, spec.seed)?;
+        bounds.push(global.bounds());
+        scalar_ranges.push(global_scalar_range(
+            &global,
+            spec.application.default_scalar(),
+        ));
+        let parts: Vec<DataObject> = match &global {
+            DataObject::Points(cloud) => partition_points(cloud, spec.ranks)?
+                .into_iter()
+                .map(DataObject::Points)
+                .collect(),
+            DataObject::Grid(grid) => partition_grid_slabs(grid, spec.ranks)?
+                .into_iter()
+                .map(DataObject::Grid)
+                .collect(),
+        };
+        blocks.push(parts);
+    }
+    Ok(StagedData {
+        blocks,
+        bounds,
+        scalar_ranges,
+    })
+}
+
+/// Render + composite for one rank across all steps, gathering to `root`
+/// over `comm`. Returns the rank's output (root holds the images).
+///
+/// `take_blocks` may hand the rank *several* blocks per step (asymmetric
+/// internode layouts assign multiple simulation ranks to one visualization
+/// rank); each block renders independently and the rank's frames are
+/// depth-merged locally before the cross-rank composite — standard
+/// sort-last behaviour.
+#[allow(clippy::too_many_arguments)]
+fn viz_side(
+    spec: &ExperimentSpec,
+    comm: &dyn Communicator,
+    root: usize,
+    staged: &StagedData,
+    mut take_blocks: impl FnMut(usize) -> Result<(Vec<DataObject>, Duration, Duration)>,
+) -> Result<RankOutput> {
+    let mut images = Vec::new();
+    let mut stats = RenderStats::default();
+    let mut phases = PhaseTimes::default();
+    for step in 0..spec.steps {
+        let (blocks, sim_time, transfer_time) = take_blocks(step)?;
+        phases.sim_s += sim_time.as_secs_f64();
+        phases.transfer_s += transfer_time.as_secs_f64();
+
+        // Every rank colors through the global transfer-function range.
+        let pipeline = pipeline_for_step(spec, staged, step);
+        let t_viz = Instant::now();
+        let mut frames: Vec<Framebuffer> = Vec::new();
+        for block in &blocks {
+            let out = pipeline.execute_step(step, block, &staged.bounds[step])?;
+            stats = accumulate(stats, out.stats);
+            if frames.is_empty() {
+                frames = out.frames;
+            } else {
+                for (acc, fb) in frames.iter_mut().zip(&out.frames) {
+                    acc.composite_in(fb);
+                }
+            }
+        }
+        // A rank with no blocks (over-provisioned asymmetric layout) must
+        // still join every composite gather with empty frames, or the
+        // collective deadlocks.
+        if frames.is_empty() {
+            frames = (0..spec.images_per_step)
+                .map(|_| Framebuffer::new(spec.width, spec.height, eth_data::Vec3::ZERO))
+                .collect();
+        }
+        phases.viz_s += t_viz.elapsed().as_secs_f64();
+
+        let t_comp = Instant::now();
+        for (image_index, fb) in frames.into_iter().enumerate() {
+            let payload = Bytes::from(fb.to_bytes());
+            let gathered = gather(comm, root, payload)?;
+            if let Some(parts) = gathered {
+                // Non-rendering ranks (the intercore sim side) contribute
+                // empty payloads to keep the collective uniform; skip them.
+                let buffers: Vec<Framebuffer> = parts
+                    .iter()
+                    .filter(|raw| !raw.is_empty())
+                    .map(|raw| {
+                        Framebuffer::from_bytes(raw).ok_or_else(|| {
+                            CoreError::Config("malformed framebuffer on the wire".into())
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let (merged, _cstats) = composite_direct(buffers);
+                let image = merged.into_image();
+                pipeline.write_artifact(step, image_index, &image)?;
+                images.push(image);
+            }
+        }
+        phases.composite_s += t_comp.elapsed().as_secs_f64();
+    }
+    Ok(RankOutput {
+        images,
+        stats,
+        phases,
+        bytes_sent: comm.traffic().bytes_sent,
+    })
+}
+
+/// Pipeline configured with the step's global color range.
+fn pipeline_for_step(spec: &ExperimentSpec, staged: &StagedData, step: usize) -> VizPipeline {
+    let mut options = eth_render::pipeline::RenderOptions {
+        scalar: Some(spec.application.default_scalar().to_string()),
+        ..Default::default()
+    };
+    options.range = staged.scalar_ranges[step];
+    VizPipeline::new(spec).with_options(options)
+}
+
+fn merge_outputs(spec: &ExperimentSpec, wall_s: f64, outputs: Vec<RankOutput>) -> NativeOutcome {
+    let mut images = Vec::new();
+    let mut stats = RenderStats::default();
+    let mut phases = PhaseTimes::default();
+    let mut bytes_moved = 0;
+    for out in outputs {
+        if !out.images.is_empty() {
+            images = out.images;
+        }
+        stats = accumulate(stats, out.stats);
+        phases.max_with(&out.phases);
+        bytes_moved += out.bytes_sent;
+    }
+    NativeOutcome {
+        spec: spec.clone(),
+        wall_s,
+        phases,
+        images,
+        stats,
+        bytes_moved,
+    }
+}
+
+/// Run an experiment natively (see module docs).
+pub fn run_native(spec: &ExperimentSpec) -> Result<NativeOutcome> {
+    spec.validate()?;
+    let staged = Arc::new(stage_data(spec)?);
+    let t0 = Instant::now();
+    let outputs = match spec.coupling {
+        Coupling::Tight => run_tight(spec, &staged)?,
+        Coupling::Intercore => run_intercore(spec, &staged)?,
+        Coupling::Internode => run_internode(spec, &staged)?,
+    };
+    Ok(merge_outputs(spec, t0.elapsed().as_secs_f64(), outputs))
+}
+
+fn run_tight(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<RankOutput>> {
+    let spec = spec.clone();
+    let staged = staged.clone();
+    let results = run_ranks(spec.ranks, move |comm| {
+        let rank = comm.rank();
+        viz_side(&spec, &comm, 0, &staged, |step| {
+            // "simulation": the proxy presents its block (a copy, as a real
+            // proxy's load would be)
+            let t = Instant::now();
+            let block = staged.blocks[step][rank].clone();
+            Ok((vec![block], t.elapsed(), Duration::ZERO))
+        })
+    });
+    results.into_iter().collect()
+}
+
+const DATA_TAG_BASE: u32 = 0x1000;
+
+fn run_intercore(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<RankOutput>> {
+    let r = spec.ranks;
+    let spec = spec.clone();
+    let staged = staged.clone();
+    // 2R ranks on one fabric: 0..R sim, R..2R viz. Viz ranks composite via
+    // a gather rooted at viz rank R (index 0 of the viz side); the sim
+    // ranks also participate in the gather with empty payloads so the
+    // collective spans the communicator.
+    let results = run_ranks(2 * r, move |comm| -> Result<RankOutput> {
+        let rank = comm.rank();
+        if rank < r {
+            // simulation proxy side
+            let mut phases = PhaseTimes::default();
+            for step in 0..spec.steps {
+                let t = Instant::now();
+                let block = staged.blocks[step][rank].clone();
+                let payload = encode_block(&spec, &block);
+                phases.sim_s += t.elapsed().as_secs_f64();
+                let t2 = Instant::now();
+                comm.send(r + rank, DATA_TAG_BASE + step as u32, payload)?;
+                phases.transfer_s += t2.elapsed().as_secs_f64();
+                // join the per-image composite gathers with empty payloads
+                for _ in 0..spec.images_per_step {
+                    gather(&comm, r, Bytes::new())?;
+                }
+            }
+            Ok(RankOutput {
+                images: Vec::new(),
+                stats: RenderStats::default(),
+                phases,
+                bytes_sent: comm.traffic().bytes_sent,
+            })
+        } else {
+            // visualization proxy side
+            let sim_rank = rank - r;
+            let out = viz_side(&spec, &comm, r, &staged, |step| {
+                let t = Instant::now();
+                let payload = comm.recv(sim_rank, DATA_TAG_BASE + step as u32)?;
+                let block = decode_block(&spec, payload)?;
+                Ok((vec![block], Duration::ZERO, t.elapsed()))
+            })?;
+            Ok(out)
+        }
+    });
+    results.into_iter().collect()
+}
+
+fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<RankOutput>> {
+    use eth_transport::local::LocalFabric;
+    use std::thread;
+
+    let r = spec.ranks;
+    // Layout file in a fresh temp dir per run.
+    let layout_dir = std::env::temp_dir().join(format!(
+        "eth-layout-{}-{:x}",
+        spec.name.replace('/', "_"),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&layout_dir);
+    let layout = LayoutFile::create(&layout_dir)?;
+
+    // Simulation application: each rank publishes, listens, then streams
+    // its blocks to the paired visualization rank.
+    let mut sim_handles = Vec::new();
+    for rank in 0..r {
+        let staged = staged.clone();
+        let layout = layout.clone();
+        let spec_sim = spec.clone();
+        sim_handles.push(thread::spawn(move || -> Result<RankOutput> {
+            let chan = listen_as(&layout, rank)?;
+            let mut phases = PhaseTimes::default();
+            for step in 0..spec_sim.steps {
+                let t = Instant::now();
+                let block = staged.blocks[step][rank].clone();
+                let payload = encode_block(&spec_sim, &block);
+                phases.sim_s += t.elapsed().as_secs_f64();
+                let t2 = Instant::now();
+                chan.send(DATA_TAG_BASE + step as u32, payload)?;
+                phases.transfer_s += t2.elapsed().as_secs_f64();
+            }
+            Ok(RankOutput {
+                images: Vec::new(),
+                stats: RenderStats::default(),
+                phases,
+                bytes_sent: chan.bytes_sent(),
+            })
+        }));
+    }
+
+    // Visualization application: viz ranks connect through the layout
+    // file, and composite among themselves over a local fabric.
+    // With an asymmetric layout (spec.viz_ranks != ranks), viz rank v
+    // serves the sim ranks {s : s % viz_count == v} and merges their
+    // blocks locally before compositing.
+    let viz_count = spec.viz_ranks.unwrap_or(r).max(1);
+    let viz_comms = LocalFabric::new(viz_count);
+    let mut viz_handles = Vec::new();
+    for (rank, comm) in viz_comms.into_iter().enumerate() {
+        let layout = layout.clone();
+        let spec = spec.clone();
+        let staged = staged.clone();
+        let my_sims: Vec<usize> = (0..r).filter(|s| s % viz_count == rank).collect();
+        viz_handles.push(thread::spawn(move || -> Result<RankOutput> {
+            let mut chans = Vec::with_capacity(my_sims.len());
+            for &sim_rank in &my_sims {
+                chans.push(connect_to(&layout, sim_rank, Duration::from_secs(30))?);
+            }
+            let mut out = viz_side(&spec, &comm, 0, &staged, |step| {
+                let t = Instant::now();
+                let mut blocks = Vec::with_capacity(chans.len());
+                for chan in &chans {
+                    let payload = chan.recv(DATA_TAG_BASE + step as u32)?;
+                    blocks.push(decode_block(&spec, payload)?);
+                }
+                Ok((blocks, Duration::ZERO, t.elapsed()))
+            })?;
+            for chan in &chans {
+                out.bytes_sent += chan.bytes_sent();
+            }
+            Ok(out)
+        }));
+    }
+
+    let mut outputs = Vec::new();
+    for h in sim_handles.into_iter().chain(viz_handles) {
+        match h.join() {
+            Ok(result) => outputs.push(result?),
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&layout_dir);
+    Ok(outputs)
+}
+
+/// A paper-scale design point for the cluster simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterExperiment {
+    pub algorithm: AlgorithmClass,
+    pub coupling: CouplingStrategy,
+    pub nodes: u32,
+    pub workload: Workload,
+    pub calibration: Calibration,
+    /// Asymmetric internode split: share of the allocation given to the
+    /// visualization proxy. `None` uses the coupling's canonical layout
+    /// (internode = 0.5). Ignored for tight/intercore.
+    pub viz_fraction: Option<f64>,
+}
+
+impl ClusterExperiment {
+    /// HACC at paper scale: `particles` across `nodes` Hikari nodes,
+    /// 500 images per step at 512².
+    pub fn hacc(algorithm: AlgorithmClass, nodes: u32, particles: u64) -> ClusterExperiment {
+        ClusterExperiment {
+            algorithm,
+            coupling: CouplingStrategy::Tight,
+            nodes,
+            workload: Workload {
+                global_elements: particles,
+                image_pixels: 512 * 512,
+                images_per_step: 500,
+                steps: 1,
+                bytes_per_element: 32,
+                sampling_ratio: 1.0,
+                planes: 0,
+                sim_ops_per_element: 0.0,
+            },
+            calibration: Calibration::default(),
+            viz_fraction: None,
+        }
+    }
+
+    /// xRAGE at paper scale: `dims` grid across `nodes`, 100 images/step.
+    pub fn xrage(algorithm: AlgorithmClass, nodes: u32, dims: [u64; 3]) -> ClusterExperiment {
+        ClusterExperiment {
+            algorithm,
+            coupling: CouplingStrategy::Tight,
+            nodes,
+            workload: Workload {
+                global_elements: dims[0] * dims[1] * dims[2],
+                image_pixels: 512 * 512,
+                images_per_step: 100,
+                steps: 1,
+                bytes_per_element: 4,
+                sampling_ratio: 1.0,
+                planes: 2,
+                sim_ops_per_element: 0.0,
+            },
+            calibration: Calibration::default(),
+            viz_fraction: None,
+        }
+    }
+
+    pub fn with_coupling(mut self, coupling: CouplingStrategy) -> Self {
+        self.coupling = coupling;
+        self
+    }
+
+    pub fn with_sampling(mut self, ratio: f64) -> Self {
+        self.workload.sampling_ratio = ratio;
+        self
+    }
+
+    pub fn with_steps(mut self, steps: u32) -> Self {
+        self.workload.steps = steps;
+        self
+    }
+
+    pub fn with_images_per_step(mut self, images: u32) -> Self {
+        self.workload.images_per_step = images;
+        self
+    }
+
+    pub fn with_sim_ops(mut self, ops_per_element: f64) -> Self {
+        self.workload.sim_ops_per_element = ops_per_element;
+        self
+    }
+
+    pub fn with_calibration(mut self, cal: Calibration) -> Self {
+        self.calibration = cal;
+        self
+    }
+
+    /// Space-share with an asymmetric split (implies internode coupling).
+    pub fn with_viz_fraction(mut self, fraction: f64) -> Self {
+        self.coupling = CouplingStrategy::Internode;
+        self.viz_fraction = Some(fraction);
+        self
+    }
+}
+
+/// Execute a paper-scale design point on the Hikari model.
+pub fn run_cluster(exp: &ClusterExperiment) -> RunMetrics {
+    let cluster = ClusterSpec::hikari(exp.nodes);
+    let model = CostModel::new(exp.calibration, cluster);
+    let graph = match (exp.coupling, exp.viz_fraction) {
+        (CouplingStrategy::Internode, Some(fraction)) => {
+            eth_cluster::coupling::build_schedule_split(
+                &model,
+                exp.algorithm,
+                &exp.workload,
+                exp.nodes,
+                fraction,
+            )
+        }
+        _ => build_schedule(&model, exp.coupling, exp.algorithm, &exp.workload, exp.nodes),
+    };
+    let machine = ClusterMachine::new(cluster);
+    let (trace, profile) = machine.run(&graph);
+    RunMetrics::from_run(exp.nodes, &trace, &profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Algorithm, Application, ExperimentSpec};
+
+    fn base_spec(name: &str) -> ExperimentSpec {
+        ExperimentSpec::builder(name)
+            .application(Application::Hacc { particles: 3_000 })
+            .algorithm(Algorithm::GaussianSplat)
+            .ranks(3)
+            .steps(2)
+            .images_per_step(2)
+            .image_size(40, 40)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tight_native_run_end_to_end() {
+        let spec = base_spec("tight");
+        let out = run_native(&spec).unwrap();
+        assert_eq!(out.images.len(), 4); // 2 steps x 2 images
+        assert!(out.images[0].coverage(0.01) > 0.0, "blank image");
+        assert!(out.stats.fragments > 0);
+        assert!(out.phases.viz_s > 0.0);
+        assert!(out.bytes_moved > 0, "compositing moved no bytes");
+        assert!(out.report().contains("tight"));
+    }
+
+    #[test]
+    fn intercore_native_run_matches_tight_images() {
+        let tight = run_native(&base_spec("a")).unwrap();
+        let mut spec = base_spec("a"); // same name/seed => same data
+        spec.coupling = Coupling::Intercore;
+        let intercore = run_native(&spec).unwrap();
+        assert_eq!(intercore.images.len(), tight.images.len());
+        for (a, b) in tight.images.iter().zip(&intercore.images) {
+            let rmse = a.rmse(b).unwrap();
+            assert!(rmse < 1e-6, "couplings changed the image: rmse {rmse}");
+        }
+        assert!(intercore.phases.transfer_s >= 0.0);
+    }
+
+    #[test]
+    fn internode_native_run_matches_tight_images() {
+        let tight = run_native(&base_spec("b")).unwrap();
+        let mut spec = base_spec("b");
+        spec.coupling = Coupling::Internode;
+        let internode = run_native(&spec).unwrap();
+        assert_eq!(internode.images.len(), tight.images.len());
+        for (a, b) in tight.images.iter().zip(&internode.images) {
+            let rmse = a.rmse(b).unwrap();
+            assert!(rmse < 1e-6, "couplings changed the image: rmse {rmse}");
+        }
+        // internode really moved the data across the socket layer
+        assert!(internode.bytes_moved > tight.bytes_moved);
+    }
+
+    #[test]
+    fn grid_application_native_run() {
+        let spec = ExperimentSpec::builder("grid")
+            .application(Application::Xrage { dims: [20, 16, 12] })
+            .algorithm(Algorithm::RaycastIsosurface)
+            .ranks(2)
+            .image_size(40, 40)
+            .build()
+            .unwrap();
+        let out = run_native(&spec).unwrap();
+        assert_eq!(out.images.len(), 1);
+        assert!(out.images[0].coverage(0.01) > 0.005, "isosurface invisible");
+    }
+
+    #[test]
+    fn sampling_changes_output_but_not_shape() {
+        let full = run_native(&base_spec("s")).unwrap();
+        let mut spec = base_spec("s");
+        spec.sampling_ratio = 0.25;
+        let sampled = run_native(&spec).unwrap();
+        let rmse = sampled.images[0].rmse(&full.images[0]).unwrap();
+        assert!(rmse > 0.0, "sampling must change the image");
+        assert!(rmse < 0.5, "sampled image unrecognizable: rmse {rmse}");
+    }
+
+    #[test]
+    fn cluster_mode_produces_paper_scale_metrics() {
+        let exp = ClusterExperiment::hacc(AlgorithmClass::RaycastSpheres, 400, 1_000_000_000);
+        let m = run_cluster(&exp);
+        assert_eq!(m.nodes, 400);
+        assert!(m.exec_time_s > 1.0);
+        assert!((40.0..60.0).contains(&m.avg_power_kw), "power {}", m.avg_power_kw);
+        assert!(m.energy_kj > 0.0);
+    }
+
+    #[test]
+    fn cluster_mode_coupling_builder() {
+        let exp = ClusterExperiment::hacc(AlgorithmClass::VtkPoints, 64, 10_000_000)
+            .with_coupling(CouplingStrategy::Internode)
+            .with_sampling(0.5)
+            .with_steps(3)
+            .with_sim_ops(100.0);
+        let m = run_cluster(&exp);
+        assert!(m.exec_time_s.is_finite() && m.exec_time_s > 0.0);
+    }
+}

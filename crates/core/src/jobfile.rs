@@ -1,0 +1,194 @@
+//! The job-layout file.
+//!
+//! "The job layout (i.e., where the visualization and simulation proxies
+//! are run) is specified in a separate file … For subsequent exploration of
+//! a different layout, the user simply changes the job layout file."
+//! (Section VII)
+//!
+//! A [`JobLayout`] names the coupling strategy and the node assignment of
+//! both proxies. It is stored as JSON; [`JobLayout::for_coupling`] builds
+//! the canonical layouts the paper evaluates, and [`JobLayout::validate`]
+//! catches hand-edited mistakes (overlapping internode halves, empty
+//! sides, out-of-range nodes).
+
+use crate::config::Coupling;
+use crate::error::{CoreError, Result};
+use eth_data::error::DataError;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A node assignment for one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobLayout {
+    pub coupling: Coupling,
+    pub total_nodes: u32,
+    /// Node indices running the simulation proxy.
+    pub sim_nodes: Vec<u32>,
+    /// Node indices running the visualization proxy.
+    pub viz_nodes: Vec<u32>,
+}
+
+impl JobLayout {
+    /// The canonical layout for a coupling strategy on `total_nodes`.
+    pub fn for_coupling(coupling: Coupling, total_nodes: u32) -> JobLayout {
+        assert!(total_nodes >= 1);
+        match coupling {
+            Coupling::Tight | Coupling::Intercore => {
+                // both proxies on every node
+                let all: Vec<u32> = (0..total_nodes).collect();
+                JobLayout {
+                    coupling,
+                    total_nodes,
+                    sim_nodes: all.clone(),
+                    viz_nodes: all,
+                }
+            }
+            Coupling::Internode => {
+                let half = (total_nodes / 2).max(1);
+                JobLayout {
+                    coupling,
+                    total_nodes,
+                    sim_nodes: (0..half).collect(),
+                    viz_nodes: (half..total_nodes.max(half + 1)).collect(),
+                }
+            }
+        }
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.sim_nodes.is_empty() || self.viz_nodes.is_empty() {
+            return Err(CoreError::Config(
+                "layout must assign at least one node to each proxy".into(),
+            ));
+        }
+        for &n in self.sim_nodes.iter().chain(&self.viz_nodes) {
+            if n >= self.total_nodes {
+                return Err(CoreError::Config(format!(
+                    "layout references node {n} but total_nodes is {}",
+                    self.total_nodes
+                )));
+            }
+        }
+        match self.coupling {
+            Coupling::Internode => {
+                // space-shared: the halves must be disjoint
+                for s in &self.sim_nodes {
+                    if self.viz_nodes.contains(s) {
+                        return Err(CoreError::Config(format!(
+                            "internode layout shares node {s} between proxies"
+                        )));
+                    }
+                }
+            }
+            Coupling::Tight | Coupling::Intercore => {
+                // co-located: the sets must be identical
+                if self.sim_nodes != self.viz_nodes {
+                    return Err(CoreError::Config(
+                        "tight/intercore layouts co-locate both proxies on the same nodes"
+                            .into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of ranks per proxy side.
+    pub fn sim_rank_count(&self) -> usize {
+        self.sim_nodes.len()
+    }
+
+    pub fn viz_rank_count(&self) -> usize {
+        self.viz_nodes.len()
+    }
+
+    pub fn write_json(&self, path: &Path) -> Result<()> {
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| CoreError::Config(format!("layout encode: {e}")))?;
+        std::fs::write(path, text).map_err(DataError::from)?;
+        Ok(())
+    }
+
+    pub fn read_json(path: &Path) -> Result<JobLayout> {
+        let text = std::fs::read_to_string(path).map_err(DataError::from)?;
+        let layout: JobLayout = serde_json::from_str(&text)
+            .map_err(|e| CoreError::Config(format!("layout decode: {e}")))?;
+        layout.validate()?;
+        Ok(layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_layouts_validate() {
+        for c in Coupling::all() {
+            let l = JobLayout::for_coupling(c, 8);
+            l.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn internode_splits_in_half_disjointly() {
+        let l = JobLayout::for_coupling(Coupling::Internode, 8);
+        assert_eq!(l.sim_rank_count(), 4);
+        assert_eq!(l.viz_rank_count(), 4);
+        assert!(l.sim_nodes.iter().all(|n| !l.viz_nodes.contains(n)));
+    }
+
+    #[test]
+    fn colocated_layouts_share_all_nodes() {
+        let l = JobLayout::for_coupling(Coupling::Intercore, 4);
+        assert_eq!(l.sim_nodes, l.viz_nodes);
+        assert_eq!(l.sim_rank_count(), 4);
+    }
+
+    #[test]
+    fn validation_catches_hand_edits() {
+        let mut l = JobLayout::for_coupling(Coupling::Internode, 8);
+        l.viz_nodes.push(0); // overlaps sim side
+        assert!(l.validate().is_err());
+
+        let mut l = JobLayout::for_coupling(Coupling::Tight, 4);
+        l.viz_nodes.pop();
+        assert!(l.validate().is_err());
+
+        let mut l = JobLayout::for_coupling(Coupling::Tight, 4);
+        l.sim_nodes[0] = 99;
+        assert!(l.validate().is_err());
+
+        let mut l = JobLayout::for_coupling(Coupling::Internode, 8);
+        l.sim_nodes.clear();
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("eth-jobfile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("layout.json");
+        let l = JobLayout::for_coupling(Coupling::Internode, 16);
+        l.write_json(&path).unwrap();
+        let back = JobLayout::read_json(&path).unwrap();
+        assert_eq!(l, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_rejects_invalid_file() {
+        let dir = std::env::temp_dir().join("eth-jobfile-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{\"not\": \"a layout\"}").unwrap();
+        assert!(JobLayout::read_json(&path).is_err());
+        // structurally valid JSON but semantically broken
+        let mut l = JobLayout::for_coupling(Coupling::Internode, 4);
+        l.viz_nodes = l.sim_nodes.clone();
+        std::fs::write(&path, serde_json::to_string(&l).unwrap()).unwrap();
+        assert!(JobLayout::read_json(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

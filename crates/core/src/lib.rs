@@ -1,0 +1,43 @@
+//! # eth-core — the Exploration Test Harness
+//!
+//! The paper's contribution: a lightweight harness for early-stage
+//! design-space exploration of in-situ visualization pipelines. An
+//! [`config::ExperimentSpec`] names a point in the design space —
+//! application data, rendering algorithm, spatial-sampling ratio, coupling
+//! strategy, rank/node count — and the harness executes it in two ways:
+//!
+//! * [`harness::run_native`] — **native mode**: real data is generated (or
+//!   replayed from disk), partitioned over real ranks (threads or
+//!   sockets), rendered with the real renderers, depth-composited across
+//!   ranks, and written as image artifacts. Wall time, operation counts,
+//!   and traffic are measured.
+//! * [`harness::run_cluster`] — **cluster-sim mode**: the same spec is
+//!   compiled to a phase graph and executed on the calibrated Hikari model
+//!   (`eth-cluster`), producing paper-scale execution time / power /
+//!   energy estimates.
+//!
+//! Around those two entry points:
+//!
+//! * [`pipeline`] — the per-rank visualization pipeline (sample → render →
+//!   composite → artifact), usable directly as an in-situ sink,
+//! * [`sweep`] — cartesian parameter sweeps over the design space,
+//! * [`results`] — result tables (markdown/CSV) for the experiment index,
+//! * [`calibrate`] — measures this host's kernel rates to fit the cluster
+//!   model's [`eth_cluster::Calibration`],
+//! * [`jobfile`] — the job-layout file of Section VII ("the job layout is
+//!   specified in a separate file").
+
+pub mod calibrate;
+pub mod config;
+pub mod error;
+pub mod harness;
+pub mod jobfile;
+pub mod pipeline;
+pub mod results;
+pub mod sweep;
+
+pub use config::{Algorithm, Application, Coupling, ExperimentSpec};
+pub use error::{CoreError, Result};
+pub use harness::{run_cluster, run_native, ClusterExperiment, NativeOutcome};
+pub use results::ResultTable;
+pub use sweep::Sweep;

@@ -1,0 +1,179 @@
+//! Cartesian parameter sweeps over the design space.
+//!
+//! "Our experience … strongly indicate\[s\] the need for a light-weight
+//! mechanism to quickly explore large parameter spaces" (Section VIII).
+//! A [`Sweep`] takes a base experiment and axes to vary; iterating yields
+//! one fully-validated [`ExperimentSpec`] per design point.
+
+use crate::config::{Algorithm, Coupling, ExperimentSpec};
+use crate::error::Result;
+
+/// A sweep: the cartesian product of the provided axes applied to a base
+/// spec. Empty axes keep the base value.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    base: ExperimentSpec,
+    algorithms: Vec<Algorithm>,
+    couplings: Vec<Coupling>,
+    sampling_ratios: Vec<f64>,
+    rank_counts: Vec<usize>,
+}
+
+impl Sweep {
+    pub fn over(base: ExperimentSpec) -> Sweep {
+        Sweep {
+            base,
+            algorithms: Vec::new(),
+            couplings: Vec::new(),
+            sampling_ratios: Vec::new(),
+            rank_counts: Vec::new(),
+        }
+    }
+
+    pub fn algorithms(mut self, algorithms: &[Algorithm]) -> Sweep {
+        self.algorithms = algorithms.to_vec();
+        self
+    }
+
+    pub fn couplings(mut self, couplings: &[Coupling]) -> Sweep {
+        self.couplings = couplings.to_vec();
+        self
+    }
+
+    pub fn sampling_ratios(mut self, ratios: &[f64]) -> Sweep {
+        self.sampling_ratios = ratios.to_vec();
+        self
+    }
+
+    pub fn rank_counts(mut self, ranks: &[usize]) -> Sweep {
+        self.rank_counts = ranks.to_vec();
+        self
+    }
+
+    /// Number of design points.
+    pub fn len(&self) -> usize {
+        let f = |n: usize| n.max(1);
+        f(self.algorithms.len())
+            * f(self.couplings.len())
+            * f(self.sampling_ratios.len())
+            * f(self.rank_counts.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize every design point, validating each.
+    pub fn specs(&self) -> Result<Vec<ExperimentSpec>> {
+        let algorithms: Vec<Option<Algorithm>> = axis(&self.algorithms);
+        let couplings: Vec<Option<Coupling>> = axis(&self.couplings);
+        let ratios: Vec<Option<f64>> = axis(&self.sampling_ratios);
+        let ranks: Vec<Option<usize>> = axis(&self.rank_counts);
+        let mut out = Vec::with_capacity(self.len());
+        for &alg in &algorithms {
+            for &coupling in &couplings {
+                for &ratio in &ratios {
+                    for &rank_count in &ranks {
+                        let mut spec = self.base.clone();
+                        if let Some(a) = alg {
+                            spec.algorithm = a;
+                        }
+                        if let Some(c) = coupling {
+                            spec.coupling = c;
+                        }
+                        if let Some(r) = ratio {
+                            spec.sampling_ratio = r;
+                        }
+                        if let Some(n) = rank_count {
+                            spec.ranks = n;
+                        }
+                        spec.name = format!(
+                            "{}-{}-{}-r{:.2}-n{}",
+                            self.base.name,
+                            spec.algorithm.name(),
+                            spec.coupling.name(),
+                            spec.sampling_ratio,
+                            spec.ranks
+                        );
+                        spec.validate()?;
+                        out.push(spec);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// An axis: `None` means "keep the base value" (used when unset).
+fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
+    if values.is_empty() {
+        vec![None]
+    } else {
+        values.iter().copied().map(Some).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Application;
+
+    fn base() -> ExperimentSpec {
+        ExperimentSpec::builder("sweep")
+            .application(Application::Hacc { particles: 1_000 })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_sweep_is_just_the_base() {
+        let sweep = Sweep::over(base());
+        let specs = sweep.specs().unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].algorithm, base().algorithm);
+    }
+
+    #[test]
+    fn cartesian_product_size() {
+        let sweep = Sweep::over(base())
+            .algorithms(&Algorithm::particle_algorithms())
+            .sampling_ratios(&[1.0, 0.5, 0.25])
+            .couplings(&Coupling::all());
+        assert_eq!(sweep.len(), 3 * 3 * 3);
+        assert_eq!(sweep.specs().unwrap().len(), 27);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let specs = Sweep::over(base())
+            .algorithms(&Algorithm::particle_algorithms())
+            .rank_counts(&[1, 2, 4])
+            .specs()
+            .unwrap();
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len());
+    }
+
+    #[test]
+    fn invalid_points_are_rejected() {
+        // grid algorithm against a particle base application
+        let sweep = Sweep::over(base()).algorithms(&[Algorithm::VtkIsosurface]);
+        assert!(sweep.specs().is_err());
+    }
+
+    #[test]
+    fn sweep_varies_the_right_fields() {
+        let specs = Sweep::over(base())
+            .sampling_ratios(&[0.75, 0.25])
+            .specs()
+            .unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].sampling_ratio, 0.75);
+        assert_eq!(specs[1].sampling_ratio, 0.25);
+        // unswept axes untouched
+        assert_eq!(specs[0].ranks, base().ranks);
+    }
+}

@@ -1,0 +1,125 @@
+//! TACC-stats-flavored counter aggregation.
+//!
+//! "We use TACC stats, a low-overhead monitoring infrastructure, to collect
+//! hardware performance counter data, which we use for analyzing our
+//! results." (Section V-A). The harness's analogue: named counters
+//! collected per rank/phase and merged across the job — the render
+//! statistics (fragments, ray steps, cells scanned) and transport traffic
+//! flow into these.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A set of named monotonically-accumulating counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CounterSet {
+    values: BTreeMap<String, f64>,
+}
+
+impl CounterSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `amount` to `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, amount: f64) {
+        *self.values.entry(name.to_string()).or_insert(0.0) += amount;
+    }
+
+    /// Set `name` to exactly `value` (gauges).
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.values.insert(name.to_string(), value);
+    }
+
+    pub fn get(&self, name: &str) -> f64 {
+        self.values.get(name).copied().unwrap_or(0.0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Merge another set into this one (sums — cross-rank aggregation).
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (k, v) in &other.values {
+            self.add(k, *v);
+        }
+    }
+
+    /// Deterministic iteration (sorted by name).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Flatten to an f64 vector + schema, for transport over
+    /// `collectives::reduce_f64`.
+    pub fn to_vec(&self) -> (Vec<String>, Vec<f64>) {
+        let names: Vec<String> = self.values.keys().cloned().collect();
+        let vals: Vec<f64> = self.values.values().cloned().collect();
+        (names, vals)
+    }
+
+    /// Rebuild from a schema + vector (inverse of [`CounterSet::to_vec`]).
+    pub fn from_vec(names: &[String], values: &[f64]) -> CounterSet {
+        let mut c = CounterSet::new();
+        for (n, v) in names.iter().zip(values) {
+            c.set(n, *v);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut c = CounterSet::new();
+        assert_eq!(c.get("x"), 0.0);
+        c.add("x", 2.0);
+        c.add("x", 3.0);
+        assert_eq!(c.get("x"), 5.0);
+        c.set("x", 1.0);
+        assert_eq!(c.get("x"), 1.0);
+    }
+
+    #[test]
+    fn merge_sums_by_name() {
+        let mut a = CounterSet::new();
+        a.add("rays", 10.0);
+        a.add("frags", 1.0);
+        let mut b = CounterSet::new();
+        b.add("rays", 5.0);
+        b.add("cells", 7.0);
+        a.merge(&b);
+        assert_eq!(a.get("rays"), 15.0);
+        assert_eq!(a.get("frags"), 1.0);
+        assert_eq!(a.get("cells"), 7.0);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn vec_roundtrip_is_order_stable() {
+        let mut c = CounterSet::new();
+        c.add("zeta", 1.0);
+        c.add("alpha", 2.0);
+        let (names, vals) = c.to_vec();
+        assert_eq!(names, vec!["alpha".to_string(), "zeta".to_string()]);
+        let back = CounterSet::from_vec(&names, &vals);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn iteration_sorted() {
+        let mut c = CounterSet::new();
+        c.add("b", 1.0);
+        c.add("a", 1.0);
+        let keys: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

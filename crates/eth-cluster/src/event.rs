@@ -1,0 +1,170 @@
+//! Minimal discrete-event queue.
+//!
+//! The machine scheduler pops events in time order; ties resolve in
+//! insertion order (deterministic replays). Time is `f64` seconds; NaN is
+//! rejected at insertion so the ordering is total.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event queue carrying payloads of type `T`.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+    now: f64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    time: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, and prefer
+        // the lower sequence number on ties (FIFO).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> EventQueue<T> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `payload` at absolute time `at` (must be finite and not in
+    /// the past).
+    pub fn schedule(&mut self, at: f64, payload: T) {
+        assert!(at.is_finite(), "event time must be finite");
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
+        let entry = Entry {
+            time: at,
+            seq: self.seq,
+            payload,
+        };
+        self.seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Pop the earliest event, advancing `now`.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: popping mutates `now`
+    pub fn next(&mut self) -> Option<(f64, T)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.payload))
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.next().unwrap(), (1.0, "a"));
+        assert_eq!(q.next().unwrap(), (2.0, "b"));
+        assert_eq!(q.next().unwrap(), (3.0, "c"));
+        assert!(q.next().is_none());
+    }
+
+    #[test]
+    fn ties_resolve_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(1.0, 2);
+        q.schedule(1.0, 3);
+        assert_eq!(q.next().unwrap().1, 1);
+        assert_eq!(q.next().unwrap().1, 2);
+        assert_eq!(q.next().unwrap().1, 3);
+    }
+
+    #[test]
+    fn now_advances() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.schedule(5.0, ());
+        q.next();
+        assert_eq!(q.now(), 5.0);
+        // can schedule at the current instant
+        q.schedule(5.0, ());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.next();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nan_time() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "first");
+        let (t, _) = q.next().unwrap();
+        q.schedule(t + 2.0, "third");
+        q.schedule(t + 1.0, "second");
+        assert_eq!(q.next().unwrap().1, "second");
+        assert_eq!(q.next().unwrap().1, "third");
+    }
+}

@@ -1,0 +1,134 @@
+//! Node and cluster specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// One compute node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Physical cores per node.
+    pub cores: u32,
+    /// Aggregate useful operation rate of one fully-busy node, in
+    /// "kernel operations" per second. Kernel operations are the units the
+    /// render statistics count (point writes, ray steps, cell scans…);
+    /// the calibration in [`crate::costmodel`] converts between them.
+    pub node_ops_per_sec: f64,
+    /// Idle (static) power draw in watts. Includes everything that burns
+    /// power just by being allocated: uncore, memory, fans' share, HVDC
+    /// conversion losses.
+    pub idle_watts: f64,
+    /// Additional power at 100% utilization, in watts.
+    pub dynamic_watts: f64,
+}
+
+impl NodeSpec {
+    /// A Hikari node: 2 × 12-core Intel Haswell E5-2600v3.
+    ///
+    /// Power constants are fitted to the paper's own numbers:
+    /// 400 nodes at full tilt draw 55.2–55.7 kW (Table I) → ~139 W/node;
+    /// spatial sampling at ratio 0.25 cut total power by 11%, which the
+    /// paper identifies as a 39% cut in *dynamic* power (Section VI-A) →
+    /// dynamic ≈ 0.11/0.39 × 139 ≈ 39 W, idle ≈ 100 W.
+    pub fn hikari() -> NodeSpec {
+        NodeSpec {
+            cores: 24,
+            node_ops_per_sec: 2.0e9,
+            idle_watts: 100.0,
+            dynamic_watts: 39.0,
+        }
+    }
+
+    /// Power draw at a given utilization in `[0, 1]`.
+    pub fn power_watts(&self, utilization: f64) -> f64 {
+        self.idle_watts + self.dynamic_watts * utilization.clamp(0.0, 1.0)
+    }
+}
+
+/// A homogeneous cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    pub nodes: u32,
+    pub node: NodeSpec,
+    /// Point-to-point interconnect bandwidth per node, bytes/second.
+    pub interconnect_bytes_per_sec: f64,
+    /// Per-message latency, seconds.
+    pub interconnect_latency_s: f64,
+}
+
+impl ClusterSpec {
+    /// Hikari: 432 nodes, Mellanox EDR InfiniBand (~100 Gb/s), fat tree.
+    pub fn hikari(nodes: u32) -> ClusterSpec {
+        assert!((1..=432).contains(&nodes), "Hikari has 432 nodes");
+        ClusterSpec {
+            nodes,
+            node: NodeSpec::hikari(),
+            interconnect_bytes_per_sec: 10.0e9, // ~80 Gb/s effective
+            interconnect_latency_s: 2.0e-6,
+        }
+    }
+
+    /// Seconds to move `bytes` point-to-point between two nodes.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.interconnect_latency_s + bytes as f64 / self.interconnect_bytes_per_sec
+    }
+
+    /// Cluster-wide power at a uniform utilization (kW).
+    pub fn power_kw(&self, utilization: f64) -> f64 {
+        self.nodes as f64 * self.node.power_watts(utilization) / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hikari_matches_paper_power_envelope() {
+        let cluster = ClusterSpec::hikari(400);
+        let busy = cluster.power_kw(1.0);
+        // Table I reports 55.2–55.7 kW for 400 busy nodes.
+        assert!((54.0..57.0).contains(&busy), "busy power {busy} kW");
+        let idle = cluster.power_kw(0.0);
+        assert!((38.0..42.0).contains(&idle), "idle power {idle} kW");
+    }
+
+    #[test]
+    fn sampling_power_drop_reproduced() {
+        // The paper: dropping dynamic power by 39% cuts total by ~11%.
+        let node = NodeSpec::hikari();
+        let full = node.power_watts(1.0);
+        let sampled = node.power_watts(1.0 - 0.39);
+        let drop = (full - sampled) / full;
+        assert!((0.09..0.13).contains(&drop), "total power drop {drop}");
+    }
+
+    #[test]
+    fn utilization_clamped() {
+        let node = NodeSpec::hikari();
+        assert_eq!(node.power_watts(-1.0), node.idle_watts);
+        assert_eq!(node.power_watts(2.0), node.idle_watts + node.dynamic_watts);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let c = ClusterSpec::hikari(4);
+        let t_small = c.transfer_time(1_000);
+        let t_big = c.transfer_time(1_000_000_000);
+        assert!(t_big > t_small * 100.0);
+        // 1 GB over ~10 GB/s ≈ 0.1 s
+        assert!((0.05..0.2).contains(&t_big), "1GB transfer {t_big}s");
+    }
+
+    #[test]
+    #[should_panic]
+    fn hikari_node_count_bounded() {
+        ClusterSpec::hikari(500);
+    }
+
+    #[test]
+    fn power_halves_with_half_the_nodes() {
+        // Figure 10: 200-node runs draw ~50% the power of 400-node runs.
+        let p400 = ClusterSpec::hikari(400).power_kw(1.0);
+        let p200 = ClusterSpec::hikari(200).power_kw(1.0);
+        assert!((p200 / p400 - 0.5).abs() < 1e-9);
+    }
+}

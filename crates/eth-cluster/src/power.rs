@@ -1,0 +1,222 @@
+//! Power model and the Apollo-8000-style sampler.
+//!
+//! "Apollo 8000 system manager … samples instantaneous power and records
+//! the average power every 5 seconds. From this power profile, we calculate
+//! and report the power consumed over the period of one entire run"
+//! (Section V-C). We reproduce that measurement chain: instantaneous power
+//! is `allocated_nodes × idle + Σ busy_group × dynamic × utilization`, the
+//! sampler reads it on a fixed period, and the reported figures are the
+//! sampled average power and `energy = avg_power × exec_time`.
+
+use crate::node::ClusterSpec;
+use crate::task::NodeGroup;
+use serde::{Deserialize, Serialize};
+
+/// A busy interval: `group` runs at `utilization` during `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusyInterval {
+    pub start: f64,
+    pub end: f64,
+    pub group: NodeGroup,
+    pub utilization: f64,
+}
+
+/// The measured power profile of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    /// `(time, kW)` samples on the sampler period.
+    pub samples: Vec<(f64, f64)>,
+    /// Average power over the run from exact integration (kW).
+    pub avg_power_kw: f64,
+    /// Average power as the sampler would report it (kW).
+    pub sampled_avg_power_kw: f64,
+    /// Exact energy (kJ).
+    pub energy_kj: f64,
+    /// Average *dynamic* power (above allocation idle floor), kW.
+    pub avg_dynamic_power_kw: f64,
+}
+
+/// Instantaneous cluster power at time `t` in watts.
+fn instantaneous_watts(cluster: &ClusterSpec, intervals: &[BusyInterval], t: f64) -> f64 {
+    let mut w = cluster.nodes as f64 * cluster.node.idle_watts;
+    for iv in intervals {
+        if t >= iv.start && t < iv.end {
+            w += iv.group.count as f64
+                * cluster.node.dynamic_watts
+                * iv.utilization.clamp(0.0, 1.0);
+        }
+    }
+    w
+}
+
+/// Integrate a run's power profile.
+///
+/// * `makespan` — run duration in seconds (idle tail included),
+/// * `sample_period` — sampler period (Apollo 8000: 5 s). When the run is
+///   shorter than one period the sampler degrades to the midpoint sample,
+///   just like a real coarse meter would.
+pub fn integrate(
+    cluster: &ClusterSpec,
+    intervals: &[BusyInterval],
+    makespan: f64,
+    sample_period: f64,
+) -> PowerProfile {
+    assert!(sample_period > 0.0, "sample period must be positive");
+    let makespan = makespan.max(1e-9);
+
+    // Exact energy: idle floor + per-interval dynamic contributions.
+    let idle_j = cluster.nodes as f64 * cluster.node.idle_watts * makespan;
+    let dyn_j: f64 = intervals
+        .iter()
+        .map(|iv| {
+            (iv.end - iv.start).max(0.0)
+                * iv.group.count as f64
+                * cluster.node.dynamic_watts
+                * iv.utilization.clamp(0.0, 1.0)
+        })
+        .sum();
+    let energy_j = idle_j + dyn_j;
+    let avg_w = energy_j / makespan;
+
+    // Sampled profile.
+    let mut samples = Vec::new();
+    let mut t = sample_period * 0.5; // mid-period instantaneous reads
+    while t < makespan {
+        samples.push((t, instantaneous_watts(cluster, intervals, t) / 1000.0));
+        t += sample_period;
+    }
+    if samples.is_empty() {
+        let mid = makespan * 0.5;
+        samples.push((mid, instantaneous_watts(cluster, intervals, mid) / 1000.0));
+    }
+    let sampled_avg = samples.iter().map(|(_, kw)| kw).sum::<f64>() / samples.len() as f64;
+
+    PowerProfile {
+        samples,
+        avg_power_kw: avg_w / 1000.0,
+        sampled_avg_power_kw: sampled_avg,
+        energy_kj: energy_j / 1000.0,
+        avg_dynamic_power_kw: dyn_j / makespan / 1000.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(nodes: u32) -> ClusterSpec {
+        ClusterSpec::hikari(nodes)
+    }
+
+    #[test]
+    fn idle_run_draws_idle_floor() {
+        let c = cluster(100);
+        let p = integrate(&c, &[], 50.0, 5.0);
+        assert!((p.avg_power_kw - 10.0).abs() < 1e-9); // 100 x 100 W
+        assert!((p.energy_kj - 500.0).abs() < 1e-6);
+        assert_eq!(p.avg_dynamic_power_kw, 0.0);
+        assert_eq!(p.samples.len(), 10);
+    }
+
+    #[test]
+    fn fully_busy_run_matches_node_model() {
+        let c = cluster(400);
+        let busy = BusyInterval {
+            start: 0.0,
+            end: 100.0,
+            group: NodeGroup::all(400),
+            utilization: 1.0,
+        };
+        let p = integrate(&c, &[busy], 100.0, 5.0);
+        // 400 x 139 W = 55.6 kW — the Table I ballpark.
+        assert!((p.avg_power_kw - 55.6).abs() < 0.1, "{}", p.avg_power_kw);
+        assert!((p.sampled_avg_power_kw - p.avg_power_kw).abs() < 0.1);
+    }
+
+    #[test]
+    fn partial_utilization_scales_dynamic_only() {
+        let c = cluster(10);
+        let full = integrate(
+            &c,
+            &[BusyInterval {
+                start: 0.0,
+                end: 10.0,
+                group: NodeGroup::all(10),
+                utilization: 1.0,
+            }],
+            10.0,
+            5.0,
+        );
+        let half = integrate(
+            &c,
+            &[BusyInterval {
+                start: 0.0,
+                end: 10.0,
+                group: NodeGroup::all(10),
+                utilization: 0.5,
+            }],
+            10.0,
+            5.0,
+        );
+        assert!((half.avg_dynamic_power_kw / full.avg_dynamic_power_kw - 0.5).abs() < 1e-9);
+        assert!(half.avg_power_kw > full.avg_power_kw * 0.7, "idle floor dominates");
+    }
+
+    #[test]
+    fn idle_tail_counted_in_energy() {
+        let c = cluster(4);
+        let busy = BusyInterval {
+            start: 0.0,
+            end: 5.0,
+            group: NodeGroup::all(4),
+            utilization: 1.0,
+        };
+        let short = integrate(&c, &[busy], 5.0, 1.0);
+        let long = integrate(&c, &[busy], 10.0, 1.0);
+        assert!(long.energy_kj > short.energy_kj);
+        assert!(long.avg_power_kw < short.avg_power_kw);
+    }
+
+    #[test]
+    fn sampler_sees_phase_structure() {
+        let c = cluster(4);
+        let busy = BusyInterval {
+            start: 0.0,
+            end: 10.0,
+            group: NodeGroup::all(4),
+            utilization: 1.0,
+        };
+        let p = integrate(&c, &[busy], 20.0, 5.0);
+        // samples at 2.5, 7.5 are busy; 12.5, 17.5 idle
+        assert_eq!(p.samples.len(), 4);
+        assert!(p.samples[0].1 > p.samples[3].1);
+    }
+
+    #[test]
+    fn short_run_still_sampled() {
+        let c = cluster(4);
+        let p = integrate(&c, &[], 1.0, 5.0);
+        assert_eq!(p.samples.len(), 1);
+    }
+
+    #[test]
+    fn disjoint_groups_sum() {
+        let c = cluster(8);
+        let a = BusyInterval {
+            start: 0.0,
+            end: 10.0,
+            group: NodeGroup::new(0, 4),
+            utilization: 1.0,
+        };
+        let b = BusyInterval {
+            start: 0.0,
+            end: 10.0,
+            group: NodeGroup::new(4, 4),
+            utilization: 1.0,
+        };
+        let both = integrate(&c, &[a, b], 10.0, 5.0);
+        let one = integrate(&c, &[a], 10.0, 5.0);
+        let dyn_ratio = both.avg_dynamic_power_kw / one.avg_dynamic_power_kw;
+        assert!((dyn_ratio - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared by the data-model crate.
+
+use std::fmt;
+
+/// Errors produced by data-model operations (IO, format parsing,
+/// shape mismatches between containers and attribute arrays).
+#[derive(Debug)]
+pub enum DataError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A file did not conform to the expected format.
+    Format(String),
+    /// An attribute array's length does not match its container.
+    ShapeMismatch { expected: usize, got: usize, name: String },
+    /// A named attribute was not found.
+    MissingAttribute(String),
+    /// A parameter was outside its legal domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "io error: {e}"),
+            DataError::Format(m) => write!(f, "format error: {m}"),
+            DataError::ShapeMismatch { expected, got, name } => write!(
+                f,
+                "attribute '{name}' has {got} values but the container holds {expected}"
+            ),
+            DataError::MissingAttribute(n) => write!(f, "missing attribute '{n}'"),
+            DataError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = DataError::ShapeMismatch {
+            expected: 10,
+            got: 7,
+            name: "density".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("density"));
+        assert!(s.contains("10"));
+        assert!(s.contains('7'));
+        assert!(DataError::MissingAttribute("t".into()).to_string().contains("'t'"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: DataError = io.into();
+        assert!(matches!(e, DataError::Io(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,326 @@
+//! ETH binary data format (`.ebd`).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   : b"EBD1"
+//! kind    : u8           1 = points, 2 = grid
+//! -- points --
+//! count   : u64
+//! pos     : count * 3 * f32
+//! -- grid --
+//! dims    : 3 * u64
+//! origin  : 3 * f32
+//! spacing : 3 * f32
+//! -- both --
+//! n_attr  : u32
+//! per attribute:
+//!   name_len : u32, name bytes (utf-8)
+//!   type     : u8   0 = scalar, 1 = vector, 2 = id
+//!   len      : u64
+//!   payload  : len * {4, 12, 8} bytes
+//! ```
+//!
+//! The encoder writes into a [`bytes::BytesMut`] so the same bytes can be
+//! shipped over the transport layer without re-serialization.
+
+use crate::dataset::DataObject;
+use crate::error::{DataError, Result};
+use crate::field::{Attribute, AttributeSet};
+use crate::grid::UniformGrid;
+use crate::points::PointCloud;
+use crate::vec3::Vec3;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::File;
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"EBD1";
+
+const KIND_POINTS: u8 = 1;
+const KIND_GRID: u8 = 2;
+
+const ATTR_SCALAR: u8 = 0;
+const ATTR_VECTOR: u8 = 1;
+const ATTR_ID: u8 = 2;
+
+fn put_vec3(buf: &mut BytesMut, v: Vec3) {
+    buf.put_f32_le(v.x);
+    buf.put_f32_le(v.y);
+    buf.put_f32_le(v.z);
+}
+
+fn get_vec3(buf: &mut Bytes) -> Result<Vec3> {
+    if buf.remaining() < 12 {
+        return Err(DataError::Format("truncated vec3".into()));
+    }
+    Ok(Vec3::new(buf.get_f32_le(), buf.get_f32_le(), buf.get_f32_le()))
+}
+
+fn put_attributes(buf: &mut BytesMut, attrs: &AttributeSet) {
+    buf.put_u32_le(attrs.len() as u32);
+    for (name, attr) in attrs.iter() {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+        match attr {
+            Attribute::Scalar(v) => {
+                buf.put_u8(ATTR_SCALAR);
+                buf.put_u64_le(v.len() as u64);
+                for &x in v {
+                    buf.put_f32_le(x);
+                }
+            }
+            Attribute::Vector(v) => {
+                buf.put_u8(ATTR_VECTOR);
+                buf.put_u64_le(v.len() as u64);
+                for &x in v {
+                    put_vec3(buf, x);
+                }
+            }
+            Attribute::Id(v) => {
+                buf.put_u8(ATTR_ID);
+                buf.put_u64_le(v.len() as u64);
+                for &x in v {
+                    buf.put_u64_le(x);
+                }
+            }
+        }
+    }
+}
+
+fn need(buf: &Bytes, n: usize, what: &str) -> Result<()> {
+    if buf.remaining() < n {
+        Err(DataError::Format(format!("truncated {what}")))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_attributes(buf: &mut Bytes, expected_len: usize) -> Result<AttributeSet> {
+    need(buf, 4, "attribute count")?;
+    let n_attr = buf.get_u32_le() as usize;
+    let mut attrs = AttributeSet::new();
+    for _ in 0..n_attr {
+        need(buf, 4, "attribute name length")?;
+        let name_len = buf.get_u32_le() as usize;
+        need(buf, name_len, "attribute name")?;
+        let name_bytes = buf.split_to(name_len);
+        let name = std::str::from_utf8(&name_bytes)
+            .map_err(|_| DataError::Format("attribute name is not utf-8".into()))?
+            .to_string();
+        need(buf, 9, "attribute header")?;
+        let ty = buf.get_u8();
+        let len = buf.get_u64_le() as usize;
+        let attr = match ty {
+            ATTR_SCALAR => {
+                need(buf, len * 4, "scalar payload")?;
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    v.push(buf.get_f32_le());
+                }
+                Attribute::Scalar(v)
+            }
+            ATTR_VECTOR => {
+                need(buf, len * 12, "vector payload")?;
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    v.push(get_vec3(buf)?);
+                }
+                Attribute::Vector(v)
+            }
+            ATTR_ID => {
+                need(buf, len * 8, "id payload")?;
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    v.push(buf.get_u64_le());
+                }
+                Attribute::Id(v)
+            }
+            other => {
+                return Err(DataError::Format(format!("unknown attribute type {other}")))
+            }
+        };
+        attrs.insert(&name, attr, expected_len)?;
+    }
+    Ok(attrs)
+}
+
+/// Encode a dataset into a fresh byte buffer.
+pub fn encode(obj: &DataObject) -> Bytes {
+    let mut buf = BytesMut::with_capacity(obj.payload_bytes() + 256);
+    buf.put_slice(MAGIC);
+    match obj {
+        DataObject::Points(p) => {
+            buf.put_u8(KIND_POINTS);
+            buf.put_u64_le(p.len() as u64);
+            for &pos in p.positions() {
+                put_vec3(&mut buf, pos);
+            }
+            put_attributes(&mut buf, p.attributes());
+        }
+        DataObject::Grid(g) => {
+            buf.put_u8(KIND_GRID);
+            for d in g.dims() {
+                buf.put_u64_le(d as u64);
+            }
+            put_vec3(&mut buf, g.origin());
+            put_vec3(&mut buf, g.spacing());
+            put_attributes(&mut buf, g.attributes());
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a dataset from bytes produced by [`encode`].
+pub fn decode(mut buf: Bytes) -> Result<DataObject> {
+    need(&buf, 5, "header")?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DataError::Format(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    match buf.get_u8() {
+        KIND_POINTS => {
+            need(&buf, 8, "point count")?;
+            let count = buf.get_u64_le() as usize;
+            need(&buf, count * 12, "positions")?;
+            let mut pos = Vec::with_capacity(count);
+            for _ in 0..count {
+                pos.push(get_vec3(&mut buf)?);
+            }
+            let mut cloud = PointCloud::from_positions(pos);
+            let attrs = get_attributes(&mut buf, count)?;
+            for (name, attr) in attrs.iter() {
+                cloud.set_attribute(name, attr.clone())?;
+            }
+            Ok(DataObject::Points(cloud))
+        }
+        KIND_GRID => {
+            need(&buf, 24, "grid dims")?;
+            let dims = [
+                buf.get_u64_le() as usize,
+                buf.get_u64_le() as usize,
+                buf.get_u64_le() as usize,
+            ];
+            let origin = get_vec3(&mut buf)?;
+            let spacing = get_vec3(&mut buf)?;
+            let mut grid = UniformGrid::new(dims, origin, spacing)?;
+            let attrs = get_attributes(&mut buf, grid.num_vertices())?;
+            for (name, attr) in attrs.iter() {
+                grid.set_attribute(name, attr.clone())?;
+            }
+            Ok(DataObject::Grid(grid))
+        }
+        other => Err(DataError::Format(format!("unknown dataset kind {other}"))),
+    }
+}
+
+/// Write a dataset to a `.ebd` file.
+pub fn write_file(obj: &DataObject, path: &Path) -> Result<()> {
+    let bytes = encode(obj);
+    let mut f = File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Read a dataset from a `.ebd` file.
+pub fn read_file(path: &Path) -> Result<DataObject> {
+    let mut f = File::open(path)?;
+    let mut v = Vec::new();
+    f.read_to_end(&mut v)?;
+    decode(Bytes::from(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_points() -> DataObject {
+        let mut c = PointCloud::from_positions(vec![
+            Vec3::new(0.5, 1.5, 2.5),
+            Vec3::new(-1.0, 0.0, 3.0),
+        ]);
+        c.set_attribute("mass", Attribute::Scalar(vec![1.0, 2.0])).unwrap();
+        c.set_attribute(
+            "vel",
+            Attribute::Vector(vec![Vec3::ONE, Vec3::new(0.0, -1.0, 0.5)]),
+        )
+        .unwrap();
+        c.set_attribute("id", Attribute::Id(vec![42, 7])).unwrap();
+        DataObject::Points(c)
+    }
+
+    fn sample_grid() -> DataObject {
+        let mut g =
+            UniformGrid::new([3, 2, 2], Vec3::new(1.0, 2.0, 3.0), Vec3::splat(0.5)).unwrap();
+        g.set_attribute(
+            "temp",
+            Attribute::Scalar((0..12).map(|i| i as f32 * 0.25).collect()),
+        )
+        .unwrap();
+        DataObject::Grid(g)
+    }
+
+    #[test]
+    fn points_roundtrip_in_memory() {
+        let obj = sample_points();
+        let back = decode(encode(&obj)).unwrap();
+        assert_eq!(obj, back);
+    }
+
+    #[test]
+    fn grid_roundtrip_in_memory() {
+        let obj = sample_grid();
+        let back = decode(encode(&obj)).unwrap();
+        assert_eq!(obj, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("eth-data-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("points.ebd");
+        let obj = sample_points();
+        write_file(&obj, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(obj, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = encode(&sample_points()).to_vec();
+        raw[0] = b'X';
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(DataError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let full = encode(&sample_points()).to_vec();
+        // Chop at a spread of offsets; every prefix must fail cleanly,
+        // never panic.
+        for cut in [0, 3, 4, 5, 12, 13, 20, full.len() - 1] {
+            let r = decode(Bytes::from(full[..cut].to_vec()));
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let mut raw = encode(&sample_grid()).to_vec();
+        raw[4] = 99;
+        assert!(decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn empty_cloud_roundtrips() {
+        let obj = DataObject::Points(PointCloud::new());
+        let back = decode(encode(&obj)).unwrap();
+        assert_eq!(obj, back);
+    }
+}

@@ -1,0 +1,385 @@
+//! Legacy VTK ASCII format (subset).
+//!
+//! ETH's interoperability story is "users export their simulation data as
+//! VTK data objects" (Section III-B). This module implements the slice of
+//! the legacy ASCII format the harness needs:
+//!
+//! * `DATASET STRUCTURED_POINTS` with `POINT_DATA` / `SCALARS` / `VECTORS`
+//!   — maps to [`UniformGrid`],
+//! * `DATASET POLYDATA` with `POINTS` and `POINT_DATA` — maps to
+//!   [`PointCloud`].
+//!
+//! The writer emits files readable by ParaView/VisIt; the reader accepts
+//! files they write (within the subset above, `float` arrays, ASCII only).
+
+use crate::dataset::DataObject;
+use crate::error::{DataError, Result};
+use crate::field::Attribute;
+use crate::grid::UniformGrid;
+use crate::points::PointCloud;
+use crate::vec3::Vec3;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Serialize a dataset to legacy VTK ASCII text.
+pub fn to_string(obj: &DataObject) -> String {
+    let mut s = String::new();
+    s.push_str("# vtk DataFile Version 3.0\n");
+    s.push_str("ETH exploration test harness dataset\n");
+    s.push_str("ASCII\n");
+    match obj {
+        DataObject::Grid(g) => write_grid(&mut s, g),
+        DataObject::Points(p) => write_points(&mut s, p),
+    }
+    s
+}
+
+fn write_grid(s: &mut String, g: &UniformGrid) {
+    let d = g.dims();
+    let o = g.origin();
+    let sp = g.spacing();
+    s.push_str("DATASET STRUCTURED_POINTS\n");
+    let _ = writeln!(s, "DIMENSIONS {} {} {}", d[0], d[1], d[2]);
+    let _ = writeln!(s, "ORIGIN {} {} {}", o.x, o.y, o.z);
+    let _ = writeln!(s, "SPACING {} {} {}", sp.x, sp.y, sp.z);
+    let _ = writeln!(s, "POINT_DATA {}", g.num_vertices());
+    write_point_data(s, g.attributes());
+}
+
+fn write_points(s: &mut String, p: &PointCloud) {
+    s.push_str("DATASET POLYDATA\n");
+    let _ = writeln!(s, "POINTS {} float", p.len());
+    for pos in p.positions() {
+        let _ = writeln!(s, "{} {} {}", pos.x, pos.y, pos.z);
+    }
+    // VERTICES section so viewers render the points. Legacy cell format:
+    // count, total-size, then per-cell "1 <index>".
+    let _ = writeln!(s, "VERTICES {} {}", p.len(), p.len() * 2);
+    for i in 0..p.len() {
+        let _ = writeln!(s, "1 {i}");
+    }
+    let _ = writeln!(s, "POINT_DATA {}", p.len());
+    write_point_data(s, p.attributes());
+}
+
+fn write_point_data(s: &mut String, attrs: &crate::field::AttributeSet) {
+    for (name, attr) in attrs.iter() {
+        match attr {
+            Attribute::Scalar(v) => {
+                let _ = writeln!(s, "SCALARS {name} float 1");
+                s.push_str("LOOKUP_TABLE default\n");
+                for x in v {
+                    let _ = writeln!(s, "{x}");
+                }
+            }
+            Attribute::Vector(v) => {
+                let _ = writeln!(s, "VECTORS {name} float");
+                for x in v {
+                    let _ = writeln!(s, "{} {} {}", x.x, x.y, x.z);
+                }
+            }
+            // Legacy VTK has no 64-bit id array in this subset; store ids
+            // as a scalar field of floats (lossless below 2^24, documented).
+            Attribute::Id(v) => {
+                let _ = writeln!(s, "SCALARS {name} float 1");
+                s.push_str("LOOKUP_TABLE default\n");
+                for x in v {
+                    let _ = writeln!(s, "{}", *x as f32);
+                }
+            }
+        }
+    }
+}
+
+/// Tokenizer that walks whitespace-separated words, tracking position for
+/// error messages.
+struct Tokens<'a> {
+    words: std::str::SplitWhitespace<'a>,
+    consumed: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(text: &'a str) -> Self {
+        Tokens {
+            words: text.split_whitespace(),
+            consumed: 0,
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str> {
+        self.consumed += 1;
+        self.words
+            .next()
+            .ok_or_else(|| DataError::Format(format!("unexpected EOF at token {}", self.consumed)))
+    }
+
+    fn next_usize(&mut self) -> Result<usize> {
+        let w = self.next()?;
+        w.parse()
+            .map_err(|_| DataError::Format(format!("expected integer, got '{w}'")))
+    }
+
+    fn next_f32(&mut self) -> Result<f32> {
+        let w = self.next()?;
+        w.parse()
+            .map_err(|_| DataError::Format(format!("expected float, got '{w}'")))
+    }
+
+    fn expect(&mut self, want: &str) -> Result<()> {
+        let got = self.next()?;
+        if got.eq_ignore_ascii_case(want) {
+            Ok(())
+        } else {
+            Err(DataError::Format(format!("expected '{want}', got '{got}'")))
+        }
+    }
+
+    fn peek_done(&mut self) -> bool {
+        self.words.clone().next().is_none()
+    }
+}
+
+/// Parse legacy VTK ASCII text (the subset written by [`to_string`]).
+pub fn from_str(text: &str) -> Result<DataObject> {
+    // Strip the two header lines (comment line may contain anything).
+    let mut lines = text.lines();
+    let first = lines.next().unwrap_or("");
+    if !first.starts_with("# vtk DataFile") {
+        return Err(DataError::Format("missing '# vtk DataFile' header".into()));
+    }
+    let _title = lines.next().unwrap_or("");
+    let rest: String = lines.collect::<Vec<_>>().join("\n");
+    let mut t = Tokens::new(&rest);
+    t.expect("ASCII")?;
+    t.expect("DATASET")?;
+    let kind = t.next()?;
+    if kind.eq_ignore_ascii_case("STRUCTURED_POINTS") {
+        parse_grid(&mut t)
+    } else if kind.eq_ignore_ascii_case("POLYDATA") {
+        parse_polydata(&mut t)
+    } else {
+        Err(DataError::Format(format!(
+            "unsupported DATASET kind '{kind}' (subset: STRUCTURED_POINTS, POLYDATA)"
+        )))
+    }
+}
+
+fn parse_grid(t: &mut Tokens) -> Result<DataObject> {
+    t.expect("DIMENSIONS")?;
+    let dims = [t.next_usize()?, t.next_usize()?, t.next_usize()?];
+    t.expect("ORIGIN")?;
+    let origin = Vec3::new(t.next_f32()?, t.next_f32()?, t.next_f32()?);
+    t.expect("SPACING")?;
+    let spacing = Vec3::new(t.next_f32()?, t.next_f32()?, t.next_f32()?);
+    let mut grid = UniformGrid::new(dims, origin, spacing)?;
+    t.expect("POINT_DATA")?;
+    let n = t.next_usize()?;
+    if n != grid.num_vertices() {
+        return Err(DataError::Format(format!(
+            "POINT_DATA count {n} != grid vertex count {}",
+            grid.num_vertices()
+        )));
+    }
+    parse_point_data(t, n, |name, attr| grid.set_attribute(name, attr))?;
+    Ok(DataObject::Grid(grid))
+}
+
+fn parse_polydata(t: &mut Tokens) -> Result<DataObject> {
+    t.expect("POINTS")?;
+    let n = t.next_usize()?;
+    let _dtype = t.next()?; // "float"
+    let mut pos = Vec::with_capacity(n);
+    for _ in 0..n {
+        pos.push(Vec3::new(t.next_f32()?, t.next_f32()?, t.next_f32()?));
+    }
+    let mut cloud = PointCloud::from_positions(pos);
+    // Optional VERTICES section — skip it.
+    // (clone-based lookahead keeps the tokenizer simple)
+    let mut lookahead = Tokens {
+        words: t.words.clone(),
+        consumed: t.consumed,
+    };
+    if let Ok(word) = lookahead.next() {
+        if word.eq_ignore_ascii_case("VERTICES") {
+            t.expect("VERTICES")?;
+            let ncells = t.next_usize()?;
+            let total = t.next_usize()?;
+            let _ = ncells;
+            for _ in 0..total {
+                t.next()?;
+            }
+        }
+    }
+    if t.peek_done() {
+        return Ok(DataObject::Points(cloud));
+    }
+    t.expect("POINT_DATA")?;
+    let pd = t.next_usize()?;
+    if pd != n {
+        return Err(DataError::Format(format!(
+            "POINT_DATA count {pd} != point count {n}"
+        )));
+    }
+    parse_point_data(t, n, |name, attr| cloud.set_attribute(name, attr))?;
+    Ok(DataObject::Points(cloud))
+}
+
+fn parse_point_data(
+    t: &mut Tokens,
+    n: usize,
+    mut sink: impl FnMut(&str, Attribute) -> Result<()>,
+) -> Result<()> {
+    while !t.peek_done() {
+        let section = t.next()?;
+        if section.eq_ignore_ascii_case("SCALARS") {
+            let name = t.next()?.to_string();
+            let _dtype = t.next()?;
+            // optional component count
+            let mut lookahead = Tokens {
+                words: t.words.clone(),
+                consumed: t.consumed,
+            };
+            if let Ok(w) = lookahead.next() {
+                if w.parse::<usize>().is_ok() {
+                    t.next()?;
+                }
+            }
+            t.expect("LOOKUP_TABLE")?;
+            let _table = t.next()?;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(t.next_f32()?);
+            }
+            sink(&name, Attribute::Scalar(v))?;
+        } else if section.eq_ignore_ascii_case("VECTORS") {
+            let name = t.next()?.to_string();
+            let _dtype = t.next()?;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(Vec3::new(t.next_f32()?, t.next_f32()?, t.next_f32()?));
+            }
+            sink(&name, Attribute::Vector(v))?;
+        } else {
+            return Err(DataError::Format(format!(
+                "unsupported POINT_DATA section '{section}'"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Write a dataset to a legacy `.vtk` file.
+pub fn write_file(obj: &DataObject, path: &Path) -> Result<()> {
+    fs::write(path, to_string(obj))?;
+    Ok(())
+}
+
+/// Read a dataset from a legacy `.vtk` file.
+pub fn read_file(path: &Path) -> Result<DataObject> {
+    let text = fs::read_to_string(path)?;
+    from_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_obj() -> DataObject {
+        let mut g =
+            UniformGrid::new([3, 2, 2], Vec3::new(0.5, 0.0, -1.0), Vec3::splat(0.25)).unwrap();
+        g.set_attribute(
+            "temp",
+            Attribute::Scalar((0..12).map(|i| i as f32).collect()),
+        )
+        .unwrap();
+        g.set_attribute(
+            "flow",
+            Attribute::Vector((0..12).map(|i| Vec3::splat(i as f32 * 0.1)).collect()),
+        )
+        .unwrap();
+        DataObject::Grid(g)
+    }
+
+    fn points_obj() -> DataObject {
+        let mut c = PointCloud::from_positions(vec![
+            Vec3::new(0.0, 1.0, 2.0),
+            Vec3::new(3.5, -1.25, 0.0),
+            Vec3::new(1.0, 1.0, 1.0),
+        ]);
+        c.set_attribute("mass", Attribute::Scalar(vec![0.5, 1.5, 2.5]))
+            .unwrap();
+        DataObject::Points(c)
+    }
+
+    #[test]
+    fn grid_roundtrip() {
+        let obj = grid_obj();
+        let text = to_string(&obj);
+        let back = from_str(&text).unwrap();
+        assert_eq!(obj, back);
+    }
+
+    #[test]
+    fn points_roundtrip() {
+        let obj = points_obj();
+        let back = from_str(&to_string(&obj)).unwrap();
+        assert_eq!(obj, back);
+    }
+
+    #[test]
+    fn header_present_in_output() {
+        let text = to_string(&grid_obj());
+        assert!(text.starts_with("# vtk DataFile Version 3.0\n"));
+        assert!(text.contains("DATASET STRUCTURED_POINTS"));
+        assert!(text.contains("SCALARS temp float 1"));
+        assert!(text.contains("VECTORS flow float"));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(from_str("DATASET POLYDATA").is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_dataset() {
+        let text = "# vtk DataFile Version 3.0\nt\nASCII\nDATASET UNSTRUCTURED_GRID\n";
+        let err = from_str(text).unwrap_err();
+        assert!(err.to_string().contains("UNSTRUCTURED_GRID"));
+    }
+
+    #[test]
+    fn rejects_point_data_count_mismatch() {
+        let mut text = to_string(&grid_obj());
+        text = text.replace("POINT_DATA 12", "POINT_DATA 13");
+        assert!(from_str(&text).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("eth-vtk-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.vtk");
+        let obj = grid_obj();
+        write_file(&obj, &path).unwrap();
+        assert_eq!(read_file(&path).unwrap(), obj);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn points_without_point_data_parse() {
+        let text = "# vtk DataFile Version 3.0\nt\nASCII\nDATASET POLYDATA\nPOINTS 1 float\n1 2 3\n";
+        let obj = from_str(text).unwrap();
+        assert_eq!(obj.num_elements(), 1);
+    }
+
+    #[test]
+    fn id_attribute_degrades_to_scalar() {
+        let mut c = PointCloud::from_positions(vec![Vec3::ZERO]);
+        c.set_attribute("id", Attribute::Id(vec![77])).unwrap();
+        let text = to_string(&DataObject::Points(c));
+        let back = from_str(&text).unwrap();
+        let p = back.as_points().unwrap();
+        assert_eq!(p.scalar("id").unwrap(), &[77.0]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Property-based tests for the data-model substrate.
+
+use eth_data::compress;
+use eth_data::field::Attribute;
+use eth_data::io::{binary, vtk_legacy};
+use eth_data::partition::{decompose_domain, partition_grid_slabs, partition_points};
+use eth_data::sampling::{sample_points, SamplingMethod, SamplingSpec};
+use eth_data::{Aabb, DataObject, PointCloud, UniformGrid, Vec3};
+use proptest::prelude::*;
+
+fn arb_vec3(range: f32) -> impl Strategy<Value = Vec3> {
+    (
+        -range..range,
+        -range..range,
+        -range..range,
+    )
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_cloud(max_n: usize) -> impl Strategy<Value = PointCloud> {
+    prop::collection::vec(arb_vec3(100.0), 1..max_n).prop_map(|pos| {
+        let n = pos.len();
+        let mut c = PointCloud::from_positions(pos);
+        c.set_attribute("id", Attribute::Id((0..n as u64).collect()))
+            .unwrap();
+        c.set_attribute(
+            "w",
+            Attribute::Scalar((0..n).map(|i| i as f32 * 0.5).collect()),
+        )
+        .unwrap();
+        c
+    })
+}
+
+proptest! {
+    #[test]
+    fn binary_roundtrip_points(cloud in arb_cloud(200)) {
+        let obj = DataObject::Points(cloud);
+        let back = binary::decode(binary::encode(&obj)).unwrap();
+        prop_assert_eq!(obj, back);
+    }
+
+    #[test]
+    fn binary_roundtrip_grid(
+        nx in 1usize..6, ny in 1usize..6, nz in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut g = UniformGrid::new([nx, ny, nz], Vec3::ZERO, Vec3::ONE).unwrap();
+        let n = g.num_vertices();
+        let vals: Vec<f32> = (0..n).map(|i| ((i as u64).wrapping_mul(seed + 1) % 1000) as f32).collect();
+        g.set_attribute("f", Attribute::Scalar(vals)).unwrap();
+        let obj = DataObject::Grid(g);
+        let back = binary::decode(binary::encode(&obj)).unwrap();
+        prop_assert_eq!(obj, back);
+    }
+
+    #[test]
+    fn vtk_roundtrip_points(cloud in arb_cloud(60)) {
+        // Legacy VTK stores ids as f32; restrict to the exactly-representable
+        // range (ids < 200 here, far below 2^24).
+        let obj = DataObject::Points(cloud.clone());
+        let text = vtk_legacy::to_string(&obj);
+        let back = vtk_legacy::from_str(&text).unwrap();
+        let p = back.as_points().unwrap();
+        prop_assert_eq!(p.len(), cloud.len());
+        // scalars survive exactly (they are small half-integers)
+        prop_assert_eq!(p.scalar("w").unwrap(), cloud.scalar("w").unwrap());
+    }
+
+    #[test]
+    fn partition_points_conserves_everything(cloud in arb_cloud(300), n in 1usize..9) {
+        let parts = partition_points(&cloud, n).unwrap();
+        prop_assert_eq!(parts.len(), n);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, cloud.len());
+        let mut seen = vec![false; cloud.len()];
+        for part in &parts {
+            for &id in part.attribute("id").unwrap().as_id().unwrap() {
+                prop_assert!(!seen[id as usize]);
+                seen[id as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // every particle lies inside (or on) its block's bounds… blocks are
+        // derived from the global bounds, so just check containment in the
+        // global domain padded for float slop.
+        let domain = cloud.bounds().padded(1e-3);
+        for part in &parts {
+            for &p in part.positions() {
+                prop_assert!(domain.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_domain_tiles_exactly(n in 1usize..25) {
+        let d = Aabb::new(Vec3::new(-3.0, 1.0, 0.0), Vec3::new(5.0, 4.0, 2.0));
+        let blocks = decompose_domain(&d, n);
+        prop_assert_eq!(blocks.len(), n);
+        let mut union = Aabb::empty();
+        let mut vol = 0.0f64;
+        for b in &blocks {
+            union.expand_box(b);
+            vol += b.volume() as f64;
+        }
+        prop_assert_eq!(union, d);
+        prop_assert!((vol - d.volume() as f64).abs() < 1e-3 * d.volume() as f64);
+        // pairwise disjoint interiors
+        for i in 0..blocks.len() {
+            for j in (i + 1)..blocks.len() {
+                let a = &blocks[i];
+                let b = &blocks[j];
+                // shrink one slightly: interiors must not overlap
+                let shrunk = Aabb::new(
+                    a.min + Vec3::splat(1e-4),
+                    a.max - Vec3::splat(1e-4),
+                );
+                if shrunk.intersects(b) {
+                    // overlap region must be degenerate (face contact)
+                    let lo = shrunk.min.max(b.min);
+                    let hi = shrunk.max.min(b.max);
+                    let overlap = (hi - lo).max_component();
+                    prop_assert!((hi.x - lo.x).min(hi.y - lo.y).min(hi.z - lo.z) <= 1e-3,
+                        "blocks {i} and {j} overlap volumetrically: {overlap}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_ratio_and_subset(
+        cloud in arb_cloud(400),
+        ratio in 0.05f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let spec = SamplingSpec::new(ratio, SamplingMethod::Random, seed).unwrap();
+        let s = sample_points(&cloud, &spec).unwrap();
+        let want = ((cloud.len() as f64) * ratio).round() as usize;
+        prop_assert_eq!(s.len(), want);
+        // sampled ids form a strictly increasing subset
+        let ids = s.attribute("id").unwrap().as_id().unwrap();
+        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        // attribute alignment preserved: w[i] == id[i] * 0.5
+        let w = s.scalar("w").unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            prop_assert_eq!(w[i], id as f32 * 0.5);
+        }
+    }
+
+    #[test]
+    fn stratified_sampling_within_tolerance(
+        cloud in arb_cloud(400),
+        ratio in 0.1f64..0.9,
+        strata in 1usize..5,
+    ) {
+        let spec = SamplingSpec::new(ratio, SamplingMethod::Stratified { strata }, 11).unwrap();
+        let s = sample_points(&cloud, &spec).unwrap();
+        // per-stratum rounding can drift by up to one point per stratum
+        let want = (cloud.len() as f64) * ratio;
+        let slack = (strata * strata * strata) as f64;
+        prop_assert!((s.len() as f64 - want).abs() <= slack + 1.0,
+            "len {} vs want {want} (slack {slack})", s.len());
+    }
+
+    #[test]
+    fn grid_slabs_conserve_cells(
+        nx in 3usize..12, ny in 2usize..6, nz in 2usize..6,
+        n in 1usize..5,
+    ) {
+        let mut g = UniformGrid::new([nx, ny, nz], Vec3::ZERO, Vec3::ONE).unwrap();
+        let vals: Vec<f32> = (0..g.num_vertices()).map(|i| i as f32).collect();
+        g.set_attribute("f", Attribute::Scalar(vals)).unwrap();
+        let slabs = partition_grid_slabs(&g, n).unwrap();
+        prop_assert_eq!(slabs.len(), n);
+        let axis = g.bounds().longest_axis();
+        let cells_along_axis = g.dims()[axis] - 1;
+        if n <= cells_along_axis {
+            let total: usize = slabs.iter().map(|s| s.num_cells()).sum();
+            prop_assert_eq!(total, g.num_cells());
+        }
+    }
+
+    #[test]
+    fn trilinear_sample_within_vertex_range(
+        seed in 0u64..200,
+        px in 0.0f32..2.0, py in 0.0f32..2.0, pz in 0.0f32..2.0,
+    ) {
+        let mut g = UniformGrid::new([3, 3, 3], Vec3::ZERO, Vec3::ONE).unwrap();
+        let vals: Vec<f32> = (0..27)
+            .map(|i| (((i as u64 + 1).wrapping_mul(seed.wrapping_mul(2654435761) + 1)) % 997) as f32)
+            .collect();
+        g.set_attribute("f", Attribute::Scalar(vals.clone())).unwrap();
+        let v = g.sample_trilinear(&vals, Vec3::new(px, py, pz)).unwrap();
+        let lo = vals.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        // interpolation is a convex combination: must stay inside the hull
+        prop_assert!(v >= lo - 1e-3 && v <= hi + 1e-3, "{v} not in [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn aabb_union_contains_both(a in arb_vec3(10.0), b in arb_vec3(10.0),
+                                c in arb_vec3(10.0), d in arb_vec3(10.0)) {
+        let b1 = Aabb::new(a.min(b), a.max(b));
+        let b2 = Aabb::new(c.min(d), c.max(d));
+        let u = b1.union(&b2);
+        prop_assert!(u.contains(b1.min) && u.contains(b1.max));
+        prop_assert!(u.contains(b2.min) && u.contains(b2.max));
+        prop_assert!(u.volume() + 1e-3 >= b1.volume().max(b2.volume()));
+    }
+
+    /// Compression round-trips within its documented error bounds and ids
+    /// survive losslessly.
+    #[test]
+    fn compression_bounds(cloud in arb_cloud(300)) {
+        let obj = DataObject::Points(cloud.clone());
+        let back = compress::decompress(compress::compress(&obj)).unwrap();
+        let b = back.as_points().unwrap();
+        prop_assert_eq!(b.len(), cloud.len());
+        let ext = cloud.bounds().extent();
+        for (p, q) in cloud.positions().iter().zip(b.positions()) {
+            prop_assert!((p.x - q.x).abs() <= ext.x * 1.5 / 65535.0 + 1e-6);
+            prop_assert!((p.y - q.y).abs() <= ext.y * 1.5 / 65535.0 + 1e-6);
+            prop_assert!((p.z - q.z).abs() <= ext.z * 1.5 / 65535.0 + 1e-6);
+        }
+        // scalar error bound: range / 255 (w = i * 0.5, so range = (n-1)/2)
+        let w_orig = cloud.scalar("w").unwrap();
+        let w_back = b.scalar("w").unwrap();
+        let range = (cloud.len() as f32 - 1.0) * 0.5;
+        for (x, y) in w_orig.iter().zip(w_back) {
+            prop_assert!((x - y).abs() <= range * 1.5 / 255.0 + 1e-6);
+        }
+        prop_assert_eq!(
+            cloud.attribute("id").unwrap().as_id().unwrap(),
+            b.attribute("id").unwrap().as_id().unwrap()
+        );
+    }
+
+    /// Compression never inflates a non-trivial payload.
+    #[test]
+    fn compression_never_inflates(cloud in arb_cloud(300)) {
+        prop_assume!(cloud.len() >= 16);
+        let obj = DataObject::Points(cloud);
+        let raw = eth_data::io::binary::encode(&obj).len();
+        let packed = compress::compress(&obj).len();
+        prop_assert!(packed < raw, "packed {packed} >= raw {raw}");
+    }
+
+    /// The grid-field sampler masks exactly the complement of the kept set
+    /// and never changes topology, at any ratio.
+    #[test]
+    fn grid_sampling_masks_exactly(
+        side in 2usize..6,
+        ratio in 0.05f64..0.95,
+        seed in 0u64..300,
+    ) {
+        let mut g = UniformGrid::new([side, side, side], Vec3::ZERO, Vec3::ONE).unwrap();
+        let n = g.num_vertices();
+        let vals: Vec<f32> = (0..n).map(|i| 1.0 + i as f32).collect(); // all > 0
+        g.set_attribute("f", Attribute::Scalar(vals)).unwrap();
+        let spec = SamplingSpec::new(ratio, SamplingMethod::Random, seed).unwrap();
+        let s = eth_data::sampling::sample_grid_field(&g, "f", &spec, 0.0).unwrap();
+        prop_assert_eq!(s.dims(), g.dims());
+        let out = s.scalar("f").unwrap();
+        let kept = out.iter().filter(|&&v| v > 0.0).count();
+        prop_assert_eq!(kept, ((n as f64) * ratio).round() as usize);
+    }
+}

@@ -1,0 +1,268 @@
+//! Pinhole camera shared by both pipelines.
+//!
+//! The rasterizer uses [`Camera::project`] (world → screen + view depth)
+//! and the raycaster uses [`Camera::primary_ray`] (pixel → world ray); both
+//! are derived from the same view frustum, so the two pipelines render
+//! pixel-comparable images — which is what makes the paper's RMSE
+//! comparisons between backends meaningful.
+
+use eth_data::{Aabb, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A ray in world space. `dir` is unit length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    pub origin: Vec3,
+    pub dir: Vec3,
+}
+
+impl Ray {
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+
+    /// Component-wise reciprocal of the direction (for slab tests). Zero
+    /// components become ±inf, which the AABB test handles correctly.
+    pub fn inv_dir(&self) -> Vec3 {
+        Vec3::new(1.0 / self.dir.x, 1.0 / self.dir.y, 1.0 / self.dir.z)
+    }
+}
+
+/// A pinhole camera with an orthonormal view basis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Camera {
+    pub position: Vec3,
+    /// Unit vector pointing into the scene.
+    forward: Vec3,
+    /// Unit vector to the right in image space.
+    right: Vec3,
+    /// Unit vector up in image space.
+    up: Vec3,
+    /// Vertical field of view, radians.
+    pub fov_y: f32,
+    pub width: usize,
+    pub height: usize,
+}
+
+impl Camera {
+    /// Build a camera at `position` looking at `target`.
+    ///
+    /// `world_up` seeds the orthonormalization; it must not be parallel to
+    /// the view direction.
+    pub fn look_at(
+        position: Vec3,
+        target: Vec3,
+        world_up: Vec3,
+        fov_y_degrees: f32,
+        width: usize,
+        height: usize,
+    ) -> Camera {
+        assert!(width > 0 && height > 0, "camera needs a non-empty image");
+        let forward = (target - position).normalized();
+        let mut right = forward.cross(world_up.normalized()).normalized();
+        if right.length_squared() < 1e-12 {
+            // forward ∥ world_up — pick any perpendicular axis
+            right = forward.cross(Vec3::new(1.0, 0.0, 0.0)).normalized();
+            if right.length_squared() < 1e-12 {
+                right = forward.cross(Vec3::new(0.0, 1.0, 0.0)).normalized();
+            }
+        }
+        let up = right.cross(forward).normalized();
+        Camera {
+            position,
+            forward,
+            right,
+            up,
+            fov_y: fov_y_degrees.to_radians(),
+            width,
+            height,
+        }
+    }
+
+    /// Frame a bounding box: camera placed along `(1,-0.6,0.8)`-ish diagonal
+    /// far enough that the whole box fits in view. The standard camera used
+    /// by the experiments so every algorithm sees the same view.
+    pub fn framing(bounds: &Aabb, width: usize, height: usize) -> Camera {
+        let center = bounds.center();
+        let radius = (bounds.diagonal() * 0.5).max(1e-6);
+        let fov_y = 40.0f32;
+        let dist = radius / (fov_y.to_radians() * 0.5).tan() * 1.1;
+        let dir = Vec3::new(0.85, -0.5, 0.65).normalized();
+        Camera::look_at(
+            center + dir * dist,
+            center,
+            Vec3::new(0.0, 0.0, 1.0),
+            fov_y,
+            width,
+            height,
+        )
+    }
+
+    pub fn aspect(&self) -> f32 {
+        self.width as f32 / self.height as f32
+    }
+
+    pub fn forward(&self) -> Vec3 {
+        self.forward
+    }
+
+    pub fn right(&self) -> Vec3 {
+        self.right
+    }
+
+    pub fn up(&self) -> Vec3 {
+        self.up
+    }
+
+    /// Number of primary rays (= pixels).
+    pub fn num_pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// World-space ray through the center of pixel `(px, py)`.
+    /// Pixel (0,0) is the top-left corner.
+    pub fn primary_ray(&self, px: usize, py: usize) -> Ray {
+        let tan_half = (self.fov_y * 0.5).tan();
+        // NDC in [-1, 1], y flipped so +y is up
+        let ndc_x = ((px as f32 + 0.5) / self.width as f32) * 2.0 - 1.0;
+        let ndc_y = 1.0 - ((py as f32 + 0.5) / self.height as f32) * 2.0;
+        let dir = (self.forward
+            + self.right * (ndc_x * tan_half * self.aspect())
+            + self.up * (ndc_y * tan_half))
+            .normalized();
+        Ray {
+            origin: self.position,
+            dir,
+        }
+    }
+
+    /// Project a world point to `(x_pixel, y_pixel, view_depth)`.
+    ///
+    /// Returns `None` for points at or behind the eye plane. The returned
+    /// pixel coordinates are continuous (callers round/clip); `view_depth`
+    /// is the distance along the forward axis, suitable for z-buffering.
+    pub fn project(&self, p: Vec3) -> Option<(f32, f32, f32)> {
+        let rel = p - self.position;
+        let depth = rel.dot(self.forward);
+        if depth <= 1e-6 {
+            return None;
+        }
+        let x_view = rel.dot(self.right);
+        let y_view = rel.dot(self.up);
+        let tan_half = (self.fov_y * 0.5).tan();
+        let ndc_x = x_view / (depth * tan_half * self.aspect());
+        let ndc_y = y_view / (depth * tan_half);
+        let fx = (ndc_x + 1.0) * 0.5 * self.width as f32;
+        let fy = (1.0 - ndc_y) * 0.5 * self.height as f32;
+        Some((fx, fy, depth))
+    }
+
+    /// Screen-space radius (pixels) of a world-space radius at view depth.
+    /// Splatters use this to size their footprints.
+    pub fn pixels_per_world_unit(&self, depth: f32) -> f32 {
+        let tan_half = (self.fov_y * 0.5).tan();
+        self.height as f32 / (2.0 * depth.max(1e-6) * tan_half)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam() -> Camera {
+        Camera::look_at(
+            Vec3::new(0.0, -5.0, 0.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 0.0, 1.0),
+            60.0,
+            200,
+            100,
+        )
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let c = cam();
+        assert!((c.forward().length() - 1.0).abs() < 1e-5);
+        assert!((c.right().length() - 1.0).abs() < 1e-5);
+        assert!((c.up().length() - 1.0).abs() < 1e-5);
+        assert!(c.forward().dot(c.right()).abs() < 1e-5);
+        assert!(c.forward().dot(c.up()).abs() < 1e-5);
+        assert!(c.right().dot(c.up()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn center_pixel_ray_points_forward() {
+        let c = cam();
+        let r = c.primary_ray(100, 50);
+        assert!(r.dir.dot(c.forward()) > 0.999);
+        assert_eq!(r.origin, c.position);
+    }
+
+    #[test]
+    fn project_center_lands_mid_image() {
+        let c = cam();
+        let (fx, fy, depth) = c.project(Vec3::ZERO).unwrap();
+        assert!((fx - 100.0).abs() < 1e-3);
+        assert!((fy - 50.0).abs() < 1e-3);
+        assert!((depth - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn behind_camera_does_not_project() {
+        let c = cam();
+        assert!(c.project(Vec3::new(0.0, -10.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn project_and_ray_agree() {
+        // Casting a ray through the projected pixel should pass near the point.
+        let c = cam();
+        let p = Vec3::new(0.7, 0.3, -0.4);
+        let (fx, fy, _) = c.project(p).unwrap();
+        let r = c.primary_ray(fx as usize, fy as usize);
+        // closest approach of the ray to p
+        let t = (p - r.origin).dot(r.dir);
+        let closest = r.at(t);
+        assert!((closest - p).length() < 0.05, "ray misses projected point");
+    }
+
+    #[test]
+    fn framing_sees_whole_box() {
+        let b = Aabb::new(Vec3::splat(-2.0), Vec3::splat(2.0));
+        let c = Camera::framing(&b, 64, 64);
+        // all 8 corners project inside the image
+        for &x in &[b.min.x, b.max.x] {
+            for &y in &[b.min.y, b.max.y] {
+                for &z in &[b.min.z, b.max.z] {
+                    let (fx, fy, d) = c.project(Vec3::new(x, y, z)).expect("corner visible");
+                    assert!(d > 0.0);
+                    assert!((-1.0..=65.0).contains(&fx), "fx {fx}");
+                    assert!((-1.0..=65.0).contains(&fy), "fy {fy}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn up_degenerate_fallback() {
+        // Looking straight down the world up axis must not produce NaNs.
+        let c = Camera::look_at(
+            Vec3::new(0.0, 0.0, 5.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 0.0, 1.0),
+            45.0,
+            10,
+            10,
+        );
+        assert!(c.forward().is_finite());
+        assert!(c.right().is_finite());
+        assert!((c.right().length() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pixels_per_world_unit_shrinks_with_depth() {
+        let c = cam();
+        assert!(c.pixels_per_world_unit(1.0) > c.pixels_per_world_unit(10.0));
+    }
+}

@@ -1,0 +1,183 @@
+//! Colormaps and transfer functions.
+//!
+//! The experiments color particles and fields through a shared colormap so
+//! that images from different backends are comparable.
+
+use eth_data::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Built-in colormaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Colormap {
+    /// Perceptually-ordered blue→green→yellow (viridis-like).
+    Viridis,
+    /// Black→red→yellow→white; the classic temperature map used for the
+    /// asteroid dataset.
+    Hot,
+    /// Blue→white→red diverging map.
+    CoolWarm,
+    /// Plain grayscale.
+    Gray,
+}
+
+impl Colormap {
+    /// Sample the map at `t in [0,1]` (clamped).
+    pub fn sample(self, t: f32) -> Vec3 {
+        let t = if t.is_nan() { 0.0 } else { t.clamp(0.0, 1.0) };
+        match self {
+            Colormap::Viridis => sample_stops(&VIRIDIS_STOPS, t),
+            Colormap::Hot => sample_stops(&HOT_STOPS, t),
+            Colormap::CoolWarm => sample_stops(&COOLWARM_STOPS, t),
+            Colormap::Gray => Vec3::splat(t),
+        }
+    }
+}
+
+/// Piecewise-linear interpolation through evenly spaced stops.
+fn sample_stops(stops: &[Vec3], t: f32) -> Vec3 {
+    let n = stops.len();
+    debug_assert!(n >= 2);
+    let x = t * (n - 1) as f32;
+    let i = (x as usize).min(n - 2);
+    let f = x - i as f32;
+    stops[i].lerp(stops[i + 1], f)
+}
+
+/// Coarse approximation of matplotlib's viridis (7 stops).
+const VIRIDIS_STOPS: [Vec3; 7] = [
+    Vec3::new(0.267, 0.005, 0.329),
+    Vec3::new(0.283, 0.141, 0.458),
+    Vec3::new(0.254, 0.265, 0.530),
+    Vec3::new(0.207, 0.372, 0.553),
+    Vec3::new(0.128, 0.567, 0.551),
+    Vec3::new(0.369, 0.789, 0.383),
+    Vec3::new(0.993, 0.906, 0.144),
+];
+
+const HOT_STOPS: [Vec3; 4] = [
+    Vec3::new(0.02, 0.0, 0.0),
+    Vec3::new(0.9, 0.0, 0.0),
+    Vec3::new(1.0, 0.9, 0.0),
+    Vec3::new(1.0, 1.0, 1.0),
+];
+
+const COOLWARM_STOPS: [Vec3; 3] = [
+    Vec3::new(0.23, 0.30, 0.75),
+    Vec3::new(0.87, 0.87, 0.87),
+    Vec3::new(0.71, 0.02, 0.15),
+];
+
+/// Maps a scalar range onto a colormap — the transfer function handed to
+/// every renderer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferFunction {
+    pub map: Colormap,
+    pub lo: f32,
+    pub hi: f32,
+}
+
+impl TransferFunction {
+    pub fn new(map: Colormap, lo: f32, hi: f32) -> TransferFunction {
+        TransferFunction { map, lo, hi }
+    }
+
+    /// Transfer function spanning the range of `values` (degenerate ranges
+    /// widen to a unit interval so they still produce sensible colors).
+    pub fn fit(map: Colormap, values: &[f32]) -> TransferFunction {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in values {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            lo = 0.0;
+            hi = 1.0;
+        }
+        if hi - lo < 1e-12 {
+            hi = lo + 1.0;
+        }
+        TransferFunction { map, lo, hi }
+    }
+
+    /// Normalized position of `v` in the range (clamped to \[0,1\]).
+    #[inline]
+    pub fn normalize(&self, v: f32) -> f32 {
+        ((v - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+    }
+
+    /// Color for scalar value `v`.
+    #[inline]
+    pub fn color(&self, v: f32) -> Vec3 {
+        self.map.sample(self.normalize(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_stops() {
+        assert_eq!(Colormap::Hot.sample(0.0), HOT_STOPS[0]);
+        assert_eq!(Colormap::Hot.sample(1.0), HOT_STOPS[3]);
+        assert_eq!(Colormap::Gray.sample(0.5), Vec3::splat(0.5));
+    }
+
+    #[test]
+    fn samples_clamp_and_survive_nan() {
+        assert_eq!(Colormap::Viridis.sample(-3.0), Colormap::Viridis.sample(0.0));
+        assert_eq!(Colormap::Viridis.sample(7.0), Colormap::Viridis.sample(1.0));
+        let c = Colormap::Viridis.sample(f32::NAN);
+        assert!(c.is_finite());
+    }
+
+    #[test]
+    fn colors_stay_in_gamut() {
+        for map in [Colormap::Viridis, Colormap::Hot, Colormap::CoolWarm, Colormap::Gray] {
+            for i in 0..=100 {
+                let c = map.sample(i as f32 / 100.0);
+                for ch in [c.x, c.y, c.z] {
+                    assert!((0.0..=1.0).contains(&ch), "{map:?} at {i}: {c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_function_fit_and_normalize() {
+        let tf = TransferFunction::fit(Colormap::Gray, &[2.0, 4.0, 3.0]);
+        assert_eq!(tf.lo, 2.0);
+        assert_eq!(tf.hi, 4.0);
+        assert_eq!(tf.normalize(3.0), 0.5);
+        assert_eq!(tf.color(2.0), Vec3::ZERO);
+        assert_eq!(tf.color(4.0), Vec3::ONE);
+        // out of range clamps
+        assert_eq!(tf.color(99.0), Vec3::ONE);
+    }
+
+    #[test]
+    fn fit_handles_degenerate_input() {
+        let tf = TransferFunction::fit(Colormap::Gray, &[5.0, 5.0]);
+        assert!(tf.hi > tf.lo);
+        let tf = TransferFunction::fit(Colormap::Gray, &[]);
+        assert_eq!((tf.lo, tf.hi), (0.0, 1.0));
+        let tf = TransferFunction::fit(Colormap::Gray, &[f32::NAN]);
+        assert_eq!((tf.lo, tf.hi), (0.0, 1.0));
+    }
+
+    #[test]
+    fn viridis_is_monotone_in_luma() {
+        // luma should rise monotonically along viridis — a sanity property
+        // of perceptually-ordered maps.
+        let luma = |c: Vec3| 0.2126 * c.x + 0.7152 * c.y + 0.0722 * c.z;
+        let mut prev = -1.0f32;
+        for i in 0..=20 {
+            let l = luma(Colormap::Viridis.sample(i as f32 / 20.0));
+            assert!(l >= prev - 1e-3, "luma dipped at stop {i}");
+            prev = l;
+        }
+    }
+}

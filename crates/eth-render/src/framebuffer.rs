@@ -1,0 +1,267 @@
+//! Color + depth framebuffer with z-buffered writes.
+//!
+//! Every renderer draws into a `Framebuffer`; rank-local buffers are later
+//! merged by depth compositing (see [`crate::composite`]), which is exactly
+//! the sort-last structure a distributed ETH run uses.
+
+use crate::image::Image;
+use eth_data::Vec3;
+
+/// An RGB color buffer with a parallel depth buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Framebuffer {
+    width: usize,
+    height: usize,
+    color: Vec<Vec3>,
+    depth: Vec<f32>,
+    background: Vec3,
+}
+
+impl Framebuffer {
+    /// New buffer cleared to `background` with depth at infinity.
+    pub fn new(width: usize, height: usize, background: Vec3) -> Framebuffer {
+        Framebuffer {
+            width,
+            height,
+            color: vec![background; width * height],
+            depth: vec![f32::INFINITY; width * height],
+            background,
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    pub fn background(&self) -> Vec3 {
+        self.background
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        y * self.width + x
+    }
+
+    /// Depth-tested write: the fragment lands only if it is strictly nearer
+    /// than what is already there.
+    #[inline]
+    pub fn write(&mut self, x: usize, y: usize, depth: f32, color: Vec3) -> bool {
+        let i = self.idx(x, y);
+        if depth < self.depth[i] {
+            self.depth[i] = depth;
+            self.color[i] = color;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Depth-tested write with bounds clipping; fragments off the image are
+    /// silently discarded. Returns true if the fragment landed.
+    #[inline]
+    pub fn write_clipped(&mut self, x: isize, y: isize, depth: f32, color: Vec3) -> bool {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return false;
+        }
+        self.write(x as usize, y as usize, depth, color)
+    }
+
+    #[inline]
+    pub fn depth_at(&self, x: usize, y: usize) -> f32 {
+        self.depth[self.idx(x, y)]
+    }
+
+    #[inline]
+    pub fn color_at(&self, x: usize, y: usize) -> Vec3 {
+        self.color[self.idx(x, y)]
+    }
+
+    pub fn depth_buffer(&self) -> &[f32] {
+        &self.depth
+    }
+
+    pub fn color_buffer(&self) -> &[Vec3] {
+        &self.color
+    }
+
+    /// Merge another buffer into this one pixel-by-pixel, keeping the nearer
+    /// fragment (sort-last depth compositing kernel).
+    pub fn composite_in(&mut self, other: &Framebuffer) {
+        assert_eq!(self.width, other.width, "framebuffer width mismatch");
+        assert_eq!(self.height, other.height, "framebuffer height mismatch");
+        for i in 0..self.color.len() {
+            if other.depth[i] < self.depth[i] {
+                self.depth[i] = other.depth[i];
+                self.color[i] = other.color[i];
+            }
+        }
+    }
+
+    /// Number of pixels something was drawn into.
+    pub fn fragments_landed(&self) -> usize {
+        self.depth.iter().filter(|d| d.is_finite()).count()
+    }
+
+    /// Finish: drop the depth buffer and return the color image.
+    pub fn into_image(self) -> Image {
+        Image::from_pixels(self.width, self.height, self.color)
+            .expect("framebuffer dimensions are consistent by construction")
+    }
+
+    /// Serialize for shipping across ranks (compositing). Little-endian:
+    /// `w:u32, h:u32, bg:3xf32, color:3*w*h*f32, depth:w*h*f32`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.width * self.height;
+        let mut out = Vec::with_capacity(8 + 12 + n * 16);
+        out.extend_from_slice(&(self.width as u32).to_le_bytes());
+        out.extend_from_slice(&(self.height as u32).to_le_bytes());
+        for ch in [self.background.x, self.background.y, self.background.z] {
+            out.extend_from_slice(&ch.to_le_bytes());
+        }
+        for c in &self.color {
+            out.extend_from_slice(&c.x.to_le_bytes());
+            out.extend_from_slice(&c.y.to_le_bytes());
+            out.extend_from_slice(&c.z.to_le_bytes());
+        }
+        for d in &self.depth {
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`Framebuffer::to_bytes`]. Returns `None` on malformed
+    /// input.
+    pub fn from_bytes(raw: &[u8]) -> Option<Framebuffer> {
+        if raw.len() < 20 {
+            return None;
+        }
+        let f32_at = |o: usize| -> Option<f32> {
+            Some(f32::from_le_bytes(raw.get(o..o + 4)?.try_into().ok()?))
+        };
+        let width = u32::from_le_bytes(raw[0..4].try_into().ok()?) as usize;
+        let height = u32::from_le_bytes(raw[4..8].try_into().ok()?) as usize;
+        let n = width.checked_mul(height)?;
+        if raw.len() != n.checked_mul(16)?.checked_add(20)? {
+            return None;
+        }
+        let background = Vec3::new(f32_at(8)?, f32_at(12)?, f32_at(16)?);
+        let mut color = Vec::with_capacity(n);
+        let base = 20;
+        for i in 0..n {
+            let o = base + i * 12;
+            color.push(Vec3::new(f32_at(o)?, f32_at(o + 4)?, f32_at(o + 8)?));
+        }
+        let dbase = base + n * 12;
+        let mut depth = Vec::with_capacity(n);
+        for i in 0..n {
+            depth.push(f32_at(dbase + i * 4)?);
+        }
+        Some(Framebuffer {
+            width,
+            height,
+            color,
+            depth,
+            background,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearer_fragment_wins() {
+        let mut fb = Framebuffer::new(2, 2, Vec3::ZERO);
+        assert!(fb.write(0, 0, 5.0, Vec3::new(1.0, 0.0, 0.0)));
+        assert!(!fb.write(0, 0, 6.0, Vec3::new(0.0, 1.0, 0.0)));
+        assert!(fb.write(0, 0, 4.0, Vec3::new(0.0, 0.0, 1.0)));
+        assert_eq!(fb.color_at(0, 0), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(fb.depth_at(0, 0), 4.0);
+    }
+
+    #[test]
+    fn clipped_writes_discard_out_of_bounds() {
+        let mut fb = Framebuffer::new(2, 2, Vec3::ZERO);
+        assert!(!fb.write_clipped(-1, 0, 1.0, Vec3::ONE));
+        assert!(!fb.write_clipped(0, 2, 1.0, Vec3::ONE));
+        assert!(fb.write_clipped(1, 1, 1.0, Vec3::ONE));
+        assert_eq!(fb.fragments_landed(), 1);
+    }
+
+    #[test]
+    fn composite_keeps_nearest_across_buffers() {
+        let mut a = Framebuffer::new(2, 1, Vec3::ZERO);
+        let mut b = Framebuffer::new(2, 1, Vec3::ZERO);
+        a.write(0, 0, 3.0, Vec3::new(1.0, 0.0, 0.0));
+        b.write(0, 0, 2.0, Vec3::new(0.0, 1.0, 0.0));
+        b.write(1, 0, 9.0, Vec3::new(0.0, 0.0, 1.0));
+        a.composite_in(&b);
+        assert_eq!(a.color_at(0, 0), Vec3::new(0.0, 1.0, 0.0));
+        assert_eq!(a.color_at(1, 0), Vec3::new(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn composite_is_order_independent() {
+        let mut a1 = Framebuffer::new(4, 1, Vec3::ZERO);
+        let mut a2;
+        let mut b = Framebuffer::new(4, 1, Vec3::ZERO);
+        let mut c = Framebuffer::new(4, 1, Vec3::ZERO);
+        for i in 0..4 {
+            b.write(i, 0, (i + 1) as f32, Vec3::splat(0.3));
+            c.write(i, 0, (4 - i) as f32, Vec3::splat(0.7));
+        }
+        a2 = a1.clone();
+        a1.composite_in(&b);
+        a1.composite_in(&c);
+        a2.composite_in(&c);
+        a2.composite_in(&b);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn into_image_carries_colors() {
+        let mut fb = Framebuffer::new(2, 1, Vec3::splat(0.1));
+        fb.write(1, 0, 1.0, Vec3::ONE);
+        let img = fb.into_image();
+        assert_eq!(img.get(0, 0), Vec3::splat(0.1));
+        assert_eq!(img.get(1, 0), Vec3::ONE);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut fb = Framebuffer::new(3, 2, Vec3::new(0.1, 0.2, 0.3));
+        fb.write(0, 0, 4.0, Vec3::ONE);
+        fb.write(2, 1, 1.5, Vec3::new(0.5, 0.0, 0.9));
+        let raw = fb.to_bytes();
+        let back = Framebuffer::from_bytes(&raw).unwrap();
+        assert_eq!(back, fb);
+    }
+
+    #[test]
+    fn wire_rejects_malformed() {
+        assert!(Framebuffer::from_bytes(&[]).is_none());
+        let fb = Framebuffer::new(2, 2, Vec3::ZERO);
+        let mut raw = fb.to_bytes();
+        raw.pop();
+        assert!(Framebuffer::from_bytes(&raw).is_none());
+        // absurd dimensions with short payload
+        let mut bogus = vec![0u8; 20];
+        bogus[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        bogus[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Framebuffer::from_bytes(&bogus).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn composite_size_mismatch_panics() {
+        let mut a = Framebuffer::new(2, 2, Vec3::ZERO);
+        let b = Framebuffer::new(3, 2, Vec3::ZERO);
+        a.composite_in(&b);
+    }
+}

@@ -1,0 +1,328 @@
+//! Isosurface extraction on uniform grids — the "VTK isosurface" filter.
+//!
+//! The paper's geometry pipeline "identif\[ies\] the cells of the data grid
+//! that contain fragments of the surface, and then determin\[es\] the geometry
+//! within those cells" (Section IV-C). We implement that cell scan with the
+//! Freudenthal (Kuhn) 6-tetrahedra decomposition: every cell is split into
+//! six tetrahedra along the main diagonal, and marching-tetrahedra rules
+//! emit 1–2 triangles per crossed tetrahedron.
+//!
+//! Compared to table-driven marching cubes this produces slightly more
+//! triangles for the same surface, but (a) the cost shape is identical —
+//! O(cells) scanned, geometry ∝ surface size — which is what the paper's
+//! evaluation measures, and (b) the Freudenthal split tiles the lattice
+//! consistently, so surfaces are crack-free across cell and rank boundaries
+//! by construction.
+//!
+//! Vertices on shared tetrahedron edges are deduplicated through an edge →
+//! vertex map, and normals come from the grid's central-difference gradient,
+//! so the output is a compact, smoothly-shaded mesh.
+
+use crate::geometry::mesh::TriangleMesh;
+use eth_data::error::Result;
+use eth_data::UniformGrid;
+use std::collections::HashMap;
+
+/// Statistics from one extraction.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IsosurfaceStats {
+    /// Cells examined (the full scan the paper charges the geometry pipeline).
+    pub cells_scanned: u64,
+    /// Cells straddling the isovalue that emitted geometry.
+    pub cells_crossed: u64,
+    pub triangles: u64,
+    pub vertices: u64,
+}
+
+/// The six tetrahedra of the Freudenthal decomposition, as indices into the
+/// cube-corner table below. Each walks a monotone path 0 → 7, so facial
+/// diagonals agree between neighboring cells.
+const TETS: [[usize; 4]; 6] = [
+    [0, 1, 3, 7],
+    [0, 1, 5, 7],
+    [0, 2, 3, 7],
+    [0, 2, 6, 7],
+    [0, 4, 5, 7],
+    [0, 4, 6, 7],
+];
+
+/// Cube corner offsets in (dx, dy, dz); corner index bit k selects axis k.
+const CORNERS: [(usize, usize, usize); 8] = [
+    (0, 0, 0),
+    (1, 0, 0),
+    (0, 1, 0),
+    (1, 1, 0),
+    (0, 0, 1),
+    (1, 0, 1),
+    (0, 1, 1),
+    (1, 1, 1),
+];
+
+/// Extract the isosurface of `field` at `isovalue`.
+pub fn extract_isosurface(
+    grid: &UniformGrid,
+    field: &str,
+    isovalue: f32,
+) -> Result<(TriangleMesh, IsosurfaceStats)> {
+    let values = grid.scalar(field)?;
+    let dims = grid.dims();
+    let mut mesh = TriangleMesh::new();
+    let mut stats = IsosurfaceStats::default();
+    // Edge (global vertex id pair, sorted) -> mesh vertex index.
+    let mut edge_cache: HashMap<(u32, u32), u32> = HashMap::new();
+
+    if dims[0] < 2 || dims[1] < 2 || dims[2] < 2 {
+        return Ok((mesh, stats));
+    }
+
+    for k in 0..dims[2] - 1 {
+        for j in 0..dims[1] - 1 {
+            for i in 0..dims[0] - 1 {
+                stats.cells_scanned += 1;
+                // Gather corner ids and values.
+                let mut ids = [0u32; 8];
+                let mut f = [0f32; 8];
+                let mut above = 0u8;
+                for (c, &(dx, dy, dz)) in CORNERS.iter().enumerate() {
+                    let idx = grid.vertex_index(i + dx, j + dy, k + dz);
+                    ids[c] = idx as u32;
+                    f[c] = values[idx];
+                    if f[c] > isovalue {
+                        above |= 1 << c;
+                    }
+                }
+                // Quick reject: all corners on one side.
+                if above == 0 || above == 0xff {
+                    continue;
+                }
+                let mut emitted = false;
+                for tet in &TETS {
+                    emitted |= march_tet(
+                        grid, values, isovalue, &ids, &f, tet, &mut mesh, &mut edge_cache,
+                    );
+                }
+                if emitted {
+                    stats.cells_crossed += 1;
+                }
+            }
+        }
+    }
+    stats.triangles = mesh.num_triangles() as u64;
+    stats.vertices = mesh.num_vertices() as u64;
+    Ok((mesh, stats))
+}
+
+/// Emit triangles for one tetrahedron; returns true if any were emitted.
+#[allow(clippy::too_many_arguments)]
+fn march_tet(
+    grid: &UniformGrid,
+    values: &[f32],
+    iso: f32,
+    ids: &[u32; 8],
+    f: &[f32; 8],
+    tet: &[usize; 4],
+    mesh: &mut TriangleMesh,
+    cache: &mut HashMap<(u32, u32), u32>,
+) -> bool {
+    let mut mask = 0u8;
+    for (b, &c) in tet.iter().enumerate() {
+        if f[c] > iso {
+            mask |= 1 << b;
+        }
+    }
+    if mask == 0 || mask == 0b1111 {
+        return false;
+    }
+    // Local helper: vertex on the edge between tet-local corners a, b.
+    let mut edge_vertex = |a: usize, b: usize| -> u32 {
+        let (ga, gb) = (ids[tet[a]], ids[tet[b]]);
+        let key = if ga < gb { (ga, gb) } else { (gb, ga) };
+        if let Some(&v) = cache.get(&key) {
+            return v;
+        }
+        let (fa, fb) = (f[tet[a]], f[tet[b]]);
+        let t = if (fb - fa).abs() < 1e-20 {
+            0.5
+        } else {
+            ((iso - fa) / (fb - fa)).clamp(0.0, 1.0)
+        };
+        let (ia, ja, ka) = grid.vertex_coords(ga as usize);
+        let (ib, jb, kb) = grid.vertex_coords(gb as usize);
+        let pa = grid.vertex_position(ia, ja, ka);
+        let pb = grid.vertex_position(ib, jb, kb);
+        let na = grid.gradient_at_vertex(values, ia, ja, ka);
+        let nb = grid.gradient_at_vertex(values, ib, jb, kb);
+        let p = pa.lerp(pb, t);
+        // surface normal points down-gradient; sign handled by two-sided shading
+        let n = na.lerp(nb, t).normalized();
+        let v = mesh.push_vertex(p, n, iso);
+        cache.insert(key, v);
+        v
+    };
+
+    // Enumerate marching-tetrahedra cases by popcount of the mask.
+    let inside: Vec<usize> = (0..4).filter(|&b| mask & (1 << b) != 0).collect();
+    match inside.len() {
+        1 => {
+            // One corner above: one triangle across its three edges.
+            let a = inside[0];
+            let others: Vec<usize> = (0..4).filter(|&b| b != a).collect();
+            let v0 = edge_vertex(a, others[0]);
+            let v1 = edge_vertex(a, others[1]);
+            let v2 = edge_vertex(a, others[2]);
+            mesh.push_triangle(v0, v1, v2);
+        }
+        3 => {
+            // Mirror case: one corner below.
+            let a = (0..4).find(|&b| mask & (1 << b) == 0).unwrap();
+            let others: Vec<usize> = (0..4).filter(|&b| b != a).collect();
+            let v0 = edge_vertex(a, others[0]);
+            let v1 = edge_vertex(a, others[1]);
+            let v2 = edge_vertex(a, others[2]);
+            mesh.push_triangle(v0, v1, v2);
+        }
+        2 => {
+            // Two above / two below: quad across the four crossing edges.
+            let (a0, a1) = (inside[0], inside[1]);
+            let below: Vec<usize> = (0..4).filter(|&b| mask & (1 << b) == 0).collect();
+            let (b0, b1) = (below[0], below[1]);
+            let v00 = edge_vertex(a0, b0);
+            let v01 = edge_vertex(a0, b1);
+            let v11 = edge_vertex(a1, b1);
+            let v10 = edge_vertex(a1, b0);
+            // fan the quad v00-v01-v11-v10
+            mesh.push_triangle(v00, v01, v11);
+            mesh.push_triangle(v00, v11, v10);
+        }
+        _ => unreachable!("mask 0 and 15 already rejected"),
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_data::field::Attribute;
+    use eth_data::Vec3;
+    use std::collections::HashMap as Map;
+
+    /// Grid sampling a sphere SDF-like field: f = R - |p - c| (positive inside).
+    fn sphere_grid(n: usize, radius: f32) -> UniformGrid {
+        let mut g = UniformGrid::new(
+            [n, n, n],
+            Vec3::splat(-1.0),
+            Vec3::splat(2.0 / (n - 1) as f32),
+        )
+        .unwrap();
+        let mut vals = Vec::with_capacity(n * n * n);
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let p = g.vertex_position(i, j, k);
+                    vals.push(radius - p.length());
+                }
+            }
+        }
+        g.set_attribute("f", Attribute::Scalar(vals)).unwrap();
+        g
+    }
+
+    #[test]
+    fn empty_when_iso_outside_range() {
+        let g = sphere_grid(8, 0.6);
+        let (mesh, stats) = extract_isosurface(&g, "f", 99.0).unwrap();
+        assert!(mesh.is_empty());
+        assert_eq!(stats.cells_crossed, 0);
+        assert_eq!(stats.cells_scanned, 7 * 7 * 7);
+    }
+
+    #[test]
+    fn sphere_surface_has_expected_area() {
+        let g = sphere_grid(32, 0.6);
+        let (mesh, stats) = extract_isosurface(&g, "f", 0.0).unwrap();
+        assert!(mesh.validate());
+        assert!(stats.triangles > 100);
+        let want = 4.0 * std::f32::consts::PI * 0.6 * 0.6;
+        let got = mesh.surface_area();
+        assert!(
+            (got - want).abs() / want < 0.05,
+            "area {got} vs sphere {want}"
+        );
+    }
+
+    #[test]
+    fn surface_vertices_lie_on_isosurface() {
+        let g = sphere_grid(24, 0.55);
+        let (mesh, _) = extract_isosurface(&g, "f", 0.0).unwrap();
+        // every vertex should sit within one cell diagonal of the sphere
+        let cell = 2.0 / 23.0;
+        for &p in &mesh.positions {
+            let err = (p.length() - 0.55).abs();
+            assert!(err < cell * 1.5, "vertex {p:?} off-surface by {err}");
+        }
+    }
+
+    #[test]
+    fn mesh_is_watertight() {
+        // A closed surface: every edge must be shared by exactly 2 triangles.
+        let g = sphere_grid(16, 0.6);
+        let (mesh, _) = extract_isosurface(&g, "f", 0.0).unwrap();
+        let mut edge_count: Map<(u32, u32), u32> = Map::new();
+        for t in &mesh.indices {
+            for e in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+                let key = if e.0 < e.1 { e } else { (e.1, e.0) };
+                *edge_count.entry(key).or_default() += 1;
+            }
+        }
+        // Degenerate (zero-length) triangles where a vertex lands exactly on
+        // a corner can produce boundary artifacts; require >= 99% closed.
+        let closed = edge_count.values().filter(|&&c| c == 2).count();
+        let frac = closed as f64 / edge_count.len() as f64;
+        assert!(frac > 0.99, "only {frac} of edges are 2-manifold");
+    }
+
+    #[test]
+    fn normals_point_radially() {
+        let g = sphere_grid(24, 0.6);
+        let (mesh, _) = extract_isosurface(&g, "f", 0.0).unwrap();
+        let mut aligned = 0usize;
+        for (p, n) in mesh.positions.iter().zip(&mesh.normals) {
+            // gradient of R - |p| is -p/|p|: normals anti-parallel to radius
+            let r = p.normalized();
+            if n.dot(r).abs() > 0.9 {
+                aligned += 1;
+            }
+        }
+        let frac = aligned as f64 / mesh.num_vertices() as f64;
+        assert!(frac > 0.95, "only {frac} of normals radial");
+    }
+
+    #[test]
+    fn vertex_dedup_keeps_mesh_compact() {
+        let g = sphere_grid(16, 0.6);
+        let (mesh, _) = extract_isosurface(&g, "f", 0.0).unwrap();
+        // With per-triangle vertices we'd have 3 * T; dedup should give far fewer.
+        assert!(mesh.num_vertices() < mesh.num_triangles() * 3 / 2);
+    }
+
+    #[test]
+    fn triangle_count_scales_with_surface_not_volume() {
+        let (m1, s1) = extract_isosurface(&sphere_grid(16, 0.6), "f", 0.0).unwrap();
+        let (m2, s2) = extract_isosurface(&sphere_grid(32, 0.6), "f", 0.0).unwrap();
+        // doubling resolution quadruples surface triangles (x4) but
+        // octuples scanned cells (x8)
+        let tri_ratio = m2.num_triangles() as f64 / m1.num_triangles() as f64;
+        let scan_ratio = s2.cells_scanned as f64 / s1.cells_scanned as f64;
+        assert!((3.0..6.0).contains(&tri_ratio), "tri ratio {tri_ratio}");
+        assert!(scan_ratio > 7.0, "scan ratio {scan_ratio}");
+    }
+
+    #[test]
+    fn degenerate_thin_grids_yield_nothing() {
+        let mut g = UniformGrid::new([5, 5, 1], Vec3::ZERO, Vec3::ONE).unwrap();
+        g.set_attribute("f", Attribute::Scalar(vec![1.0; 25])).unwrap();
+        let (mesh, stats) = extract_isosurface(&g, "f", 0.5).unwrap();
+        assert!(mesh.is_empty());
+        assert_eq!(stats.cells_scanned, 0);
+    }
+}

@@ -1,0 +1,10 @@
+//! Geometry extraction filters — the "generate intermediate geometry"
+//! stage of the geometry-based pipeline (Section IV-C of the paper).
+
+pub mod marching_cubes;
+pub mod mesh;
+pub mod slice;
+pub mod unstructured;
+
+pub use mesh::TriangleMesh;
+pub use slice::Plane;

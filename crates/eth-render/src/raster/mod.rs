@@ -1,0 +1,13 @@
+//! The geometry-based (rasterization) pipeline — the VTK/OpenGL role.
+//!
+//! Three rasterizers:
+//! * [`points`] — the paper's "VTK points": every particle becomes a fixed
+//!   size screen-space block of fixed color,
+//! * [`splat`] — the paper's "Gaussian splatter": one impostor per particle
+//!   whose per-pixel normals model a sphere,
+//! * [`triangle`] — a z-buffered, perspective-correct triangle rasterizer
+//!   consuming the meshes produced by marching cubes / slicing.
+
+pub mod points;
+pub mod splat;
+pub mod triangle;

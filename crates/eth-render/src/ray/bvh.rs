@@ -1,0 +1,407 @@
+//! Bounding volume hierarchy over sphere primitives.
+//!
+//! "Each particle is … placed into a specialized acceleration structure at a
+//! cost of roughly O(N log N). At run-time, the acceleration structure is
+//! traversed to determine whether the viewing rays strike a sphere with a
+//! cost that is sub-linear in the number of particles." (Section IV-C)
+//!
+//! The build is a median split on the longest axis (recursing on index
+//! ranges over a reordered primitive array), giving a balanced tree in
+//! O(N log N); traversal is an iterative stack walk with near-child-first
+//! ordering and t-max pruning.
+
+use crate::camera::Ray;
+use eth_data::{Aabb, Vec3};
+
+/// Flattened BVH node.
+#[derive(Debug, Clone)]
+struct Node {
+    bounds: Aabb,
+    /// Interior: index of the right child (left child is `self + 1`).
+    /// Leaf: start of the primitive range.
+    payload: u32,
+    /// 0 for interior nodes; primitive count for leaves.
+    count: u16,
+    /// Split axis for interior nodes (traversal ordering hint).
+    axis: u8,
+}
+
+/// A BVH over spheres of uniform radius.
+///
+/// Uniform radius matches the paper's particle rendering (a single
+/// world-space radius for all particles) and keeps the leaf payload to the
+/// center array.
+#[derive(Debug, Clone)]
+pub struct SphereBvh {
+    nodes: Vec<Node>,
+    /// Sphere centers, reordered during the build.
+    centers: Vec<Vec3>,
+    /// Map from reordered slot to original primitive index (for attributes).
+    prim_index: Vec<u32>,
+    radius: f32,
+    /// Primitive-visit operations performed during the build (≈ N log N).
+    build_ops: u64,
+}
+
+/// A ray/sphere intersection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SphereHit {
+    /// Ray parameter of the hit point.
+    pub t: f32,
+    /// Original index of the sphere hit.
+    pub prim: u32,
+    /// World-space hit position.
+    pub position: Vec3,
+    /// Outward unit normal at the hit.
+    pub normal: Vec3,
+}
+
+const LEAF_SIZE: usize = 8;
+
+impl SphereBvh {
+    /// Build over `centers` with the given world-space sphere radius.
+    pub fn build(centers: &[Vec3], radius: f32) -> SphereBvh {
+        assert!(radius > 0.0, "sphere radius must be positive");
+        let n = centers.len();
+        let mut bvh = SphereBvh {
+            nodes: Vec::with_capacity((2 * n).max(1)),
+            centers: centers.to_vec(),
+            prim_index: (0..n as u32).collect(),
+            radius,
+            build_ops: 0,
+        };
+        if n == 0 {
+            bvh.nodes.push(Node {
+                bounds: Aabb::empty(),
+                payload: 0,
+                count: 0,
+                axis: 0,
+            });
+            return bvh;
+        }
+        bvh.build_range(0, n);
+        bvh
+    }
+
+    /// Recursively build `[start, end)`; returns the node index.
+    fn build_range(&mut self, start: usize, end: usize) -> usize {
+        let mut bounds = Aabb::empty();
+        for &c in &self.centers[start..end] {
+            bounds.expand_point(c);
+        }
+        let bounds = bounds.padded(self.radius);
+        self.build_ops += (end - start) as u64;
+
+        let node_index = self.nodes.len();
+        let count = end - start;
+        if count <= LEAF_SIZE {
+            self.nodes.push(Node {
+                bounds,
+                payload: start as u32,
+                count: count as u16,
+                axis: 0,
+            });
+            return node_index;
+        }
+        let axis = bounds.longest_axis();
+        let mid = start + count / 2;
+        // Median split: O(n) selection per level -> O(N log N) total.
+        {
+            let slice = &mut self.centers[start..end];
+            let prims = &mut self.prim_index[start..end];
+            // co-sort centers and prim indices around the median
+            let mut order: Vec<usize> = (0..slice.len()).collect();
+            order.select_nth_unstable_by((mid - start).min(slice.len() - 1), |&a, &b| {
+                slice[a][axis]
+                    .partial_cmp(&slice[b][axis])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let reordered_c: Vec<Vec3> = order.iter().map(|&i| slice[i]).collect();
+            let reordered_p: Vec<u32> = order.iter().map(|&i| prims[i]).collect();
+            slice.copy_from_slice(&reordered_c);
+            prims.copy_from_slice(&reordered_p);
+        }
+        // Placeholder; patched after children are built.
+        self.nodes.push(Node {
+            bounds,
+            payload: 0,
+            count: 0,
+            axis: axis as u8,
+        });
+        let _left = self.build_range(start, mid);
+        let right = self.build_range(mid, end);
+        self.nodes[node_index].payload = right as u32;
+        node_index
+    }
+
+    pub fn num_primitives(&self) -> usize {
+        self.centers.len()
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn radius(&self) -> f32 {
+        self.radius
+    }
+
+    /// Primitive-visit operations performed by the build (≈ N log N);
+    /// calibrates the cluster-scale cost model.
+    pub fn build_ops(&self) -> u64 {
+        self.build_ops
+    }
+
+    pub fn bounds(&self) -> Aabb {
+        self.nodes
+            .first()
+            .map(|n| n.bounds)
+            .unwrap_or_else(Aabb::empty)
+    }
+
+    /// Nearest intersection along `ray`, if any. `steps` accumulates the
+    /// number of node visits (the traversal cost counter).
+    pub fn intersect(&self, ray: &Ray, t_max: f32, steps: &mut u64) -> Option<SphereHit> {
+        if self.centers.is_empty() {
+            return None;
+        }
+        let inv = ray.inv_dir();
+        let mut best: Option<SphereHit> = None;
+        let mut best_t = t_max;
+        // Manual stack: node indices to visit.
+        let mut stack = [0u32; 64];
+        let mut sp = 0usize;
+        stack[sp] = 0;
+        sp += 1;
+        while sp > 0 {
+            sp -= 1;
+            let node = &self.nodes[stack[sp] as usize];
+            *steps += 1;
+            if node
+                .bounds
+                .ray_intersect(ray.origin, inv, 1e-4, best_t)
+                .is_none()
+            {
+                continue;
+            }
+            if node.count > 0 {
+                // Leaf: test each sphere.
+                let start = node.payload as usize;
+                for slot in start..start + node.count as usize {
+                    *steps += 1;
+                    if let Some((t, pos, n)) =
+                        ray_sphere(ray, self.centers[slot], self.radius, best_t)
+                    {
+                        best_t = t;
+                        best = Some(SphereHit {
+                            t,
+                            prim: self.prim_index[slot],
+                            position: pos,
+                            normal: n,
+                        });
+                    }
+                }
+            } else {
+                // Interior: push far child first so the near child pops first.
+                let left = stack[sp] + 1;
+                let right = node.payload;
+                let near_first = ray.dir[node.axis as usize] >= 0.0;
+                let (first, second) = if near_first { (left, right) } else { (right, left) };
+                if sp + 2 <= stack.len() {
+                    stack[sp] = second;
+                    sp += 1;
+                    stack[sp] = first;
+                    sp += 1;
+                }
+            }
+        }
+        best
+    }
+
+    /// Brute-force reference intersection (for tests).
+    pub fn intersect_brute_force(&self, ray: &Ray, t_max: f32) -> Option<SphereHit> {
+        let mut best: Option<SphereHit> = None;
+        let mut best_t = t_max;
+        for slot in 0..self.centers.len() {
+            if let Some((t, pos, n)) = ray_sphere(ray, self.centers[slot], self.radius, best_t) {
+                best_t = t;
+                best = Some(SphereHit {
+                    t,
+                    prim: self.prim_index[slot],
+                    position: pos,
+                    normal: n,
+                });
+            }
+        }
+        best
+    }
+}
+
+/// Ray/sphere intersection; returns `(t, position, normal)` of the nearest
+/// hit with `1e-4 < t < t_max`.
+#[inline]
+fn ray_sphere(ray: &Ray, center: Vec3, radius: f32, t_max: f32) -> Option<(f32, Vec3, Vec3)> {
+    let oc = ray.origin - center;
+    let b = oc.dot(ray.dir);
+    let c = oc.length_squared() - radius * radius;
+    let disc = b * b - c;
+    if disc < 0.0 {
+        return None;
+    }
+    let sq = disc.sqrt();
+    let mut t = -b - sq;
+    if t <= 1e-4 {
+        t = -b + sq;
+        if t <= 1e-4 {
+            return None;
+        }
+    }
+    if t >= t_max {
+        return None;
+    }
+    let pos = ray.at(t);
+    let normal = (pos - center) / radius;
+    Some((t, pos, normal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ray(origin: Vec3, toward: Vec3) -> Ray {
+        Ray {
+            origin,
+            dir: (toward - origin).normalized(),
+        }
+    }
+
+    fn scatter(n: usize) -> Vec<Vec3> {
+        let mut out = Vec::with_capacity(n);
+        let mut s = 12345u64;
+        for _ in 0..n {
+            let mut f = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f64 / (1u64 << 31) as f64) as f32
+            };
+            out.push(Vec3::new(f() * 4.0 - 2.0, f() * 4.0 - 2.0, f() * 4.0 - 2.0));
+        }
+        out
+    }
+
+    #[test]
+    fn empty_bvh_hits_nothing() {
+        let bvh = SphereBvh::build(&[], 0.1);
+        let mut steps = 0;
+        assert!(bvh
+            .intersect(&ray(Vec3::new(0.0, -5.0, 0.0), Vec3::ZERO), f32::MAX, &mut steps)
+            .is_none());
+    }
+
+    #[test]
+    fn single_sphere_direct_hit() {
+        let bvh = SphereBvh::build(&[Vec3::ZERO], 1.0);
+        let r = ray(Vec3::new(0.0, -5.0, 0.0), Vec3::ZERO);
+        let mut steps = 0;
+        let hit = bvh.intersect(&r, f32::MAX, &mut steps).unwrap();
+        assert!((hit.t - 4.0).abs() < 1e-4);
+        assert_eq!(hit.prim, 0);
+        assert!((hit.normal - Vec3::new(0.0, -1.0, 0.0)).length() < 1e-4);
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        let bvh = SphereBvh::build(&[Vec3::ZERO], 0.5);
+        let r = ray(Vec3::new(5.0, -5.0, 0.0), Vec3::new(5.0, 5.0, 0.0));
+        let mut steps = 0;
+        assert!(bvh.intersect(&r, f32::MAX, &mut steps).is_none());
+    }
+
+    #[test]
+    fn nearest_of_two_spheres_wins() {
+        let bvh = SphereBvh::build(&[Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.0, -2.0, 0.0)], 0.5);
+        let r = ray(Vec3::new(0.0, -5.0, 0.0), Vec3::ZERO);
+        let mut steps = 0;
+        let hit = bvh.intersect(&r, f32::MAX, &mut steps).unwrap();
+        assert_eq!(hit.prim, 1, "nearer sphere must win");
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        let centers = scatter(500);
+        let bvh = SphereBvh::build(&centers, 0.05);
+        let mut disagreements = 0;
+        for i in 0..200 {
+            let theta = i as f32 * 0.1;
+            let origin = Vec3::new(theta.cos() * 6.0, theta.sin() * 6.0, (i % 10) as f32 * 0.3 - 1.5);
+            let r = ray(origin, Vec3::ZERO);
+            let mut steps = 0;
+            let a = bvh.intersect(&r, f32::MAX, &mut steps);
+            let b = bvh.intersect_brute_force(&r, f32::MAX);
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    if (x.t - y.t).abs() > 1e-3 {
+                        disagreements += 1;
+                    }
+                }
+                _ => disagreements += 1,
+            }
+        }
+        assert_eq!(disagreements, 0);
+    }
+
+    #[test]
+    fn t_max_prunes_hits() {
+        let bvh = SphereBvh::build(&[Vec3::ZERO], 0.5);
+        let r = ray(Vec3::new(0.0, -5.0, 0.0), Vec3::ZERO);
+        let mut steps = 0;
+        assert!(bvh.intersect(&r, 2.0, &mut steps).is_none());
+        assert!(bvh.intersect(&r, 100.0, &mut steps).is_some());
+    }
+
+    #[test]
+    fn build_ops_grow_superlinearly_but_modestly() {
+        let a = SphereBvh::build(&scatter(1_000), 0.05);
+        let b = SphereBvh::build(&scatter(8_000), 0.05);
+        let ratio = b.build_ops() as f64 / a.build_ops() as f64;
+        // N log N: 8x data -> between 8x and ~11x ops
+        assert!(ratio > 7.5 && ratio < 13.0, "build ops ratio {ratio}");
+    }
+
+    #[test]
+    fn traversal_is_sublinear_in_primitives() {
+        let small = SphereBvh::build(&scatter(1_000), 0.02);
+        let large = SphereBvh::build(&scatter(64_000), 0.02);
+        let r = ray(Vec3::new(0.0, -6.0, 0.0), Vec3::ZERO);
+        let mut steps_small = 0;
+        let mut steps_large = 0;
+        small.intersect(&r, f32::MAX, &mut steps_small);
+        large.intersect(&r, f32::MAX, &mut steps_large);
+        // 64x primitives must cost far less than 64x traversal steps
+        assert!(
+            (steps_large as f64) < (steps_small as f64) * 16.0,
+            "steps {steps_small} -> {steps_large}"
+        );
+    }
+
+    #[test]
+    fn ray_from_inside_sphere_hits_far_side() {
+        let bvh = SphereBvh::build(&[Vec3::ZERO], 1.0);
+        let r = Ray {
+            origin: Vec3::ZERO,
+            dir: Vec3::new(0.0, 1.0, 0.0),
+        };
+        let mut steps = 0;
+        let hit = bvh.intersect(&r, f32::MAX, &mut steps).unwrap();
+        assert!((hit.t - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn coincident_centers_do_not_break_build() {
+        let centers = vec![Vec3::ONE; 100];
+        let bvh = SphereBvh::build(&centers, 0.1);
+        let r = ray(Vec3::new(1.0, -5.0, 1.0), Vec3::ONE);
+        let mut steps = 0;
+        assert!(bvh.intersect(&r, f32::MAX, &mut steps).is_some());
+    }
+}

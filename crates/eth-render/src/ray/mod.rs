@@ -1,0 +1,17 @@
+//! The raycasting (geometry-free) pipeline — the OSPRay role.
+//!
+//! "Recent technical advances make it practical to support raycasting
+//! renderers that operate directly on data, avoiding the need for
+//! intermediate representations and the memory space they require."
+//! (Section III). Three renderers:
+//!
+//! * [`sphere`] — raycast spheres over a [`bvh`] acceleration structure
+//!   (the HACC case: O(N log N) build, sub-linear traversal per ray),
+//! * [`raymarch`] — isosurface ray-marching on uniform grids
+//!   (O(rays · N^(1/3)) sampling),
+//! * [`plane`] — O(1) ray/plane slicing (O(rays) per image).
+
+pub mod bvh;
+pub mod plane;
+pub mod raymarch;
+pub mod sphere;

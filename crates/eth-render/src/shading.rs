@@ -1,0 +1,121 @@
+//! Shading shared by both pipelines.
+//!
+//! A single headlight-style directional light plus ambient term. Both the
+//! rasterizer and the raycaster shade through this module so that surface
+//! appearance — and therefore RMSE comparisons — depend on the algorithm,
+//! not on divergent lighting.
+
+use eth_data::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Directional light + ambient floor + optional specular highlight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lighting {
+    /// Unit vector pointing *toward* the light.
+    pub light_dir: Vec3,
+    pub ambient: f32,
+    pub diffuse: f32,
+    pub specular: f32,
+    pub shininess: f32,
+}
+
+impl Default for Lighting {
+    fn default() -> Self {
+        Lighting {
+            light_dir: Vec3::new(0.4, -0.5, 0.77).normalized(),
+            ambient: 0.25,
+            diffuse: 0.65,
+            specular: 0.15,
+            shininess: 24.0,
+        }
+    }
+}
+
+impl Lighting {
+    /// Shade a surface point.
+    ///
+    /// * `albedo` — base color from the transfer function,
+    /// * `normal` — surface normal (any length; normalized here),
+    /// * `view_dir` — unit vector from the surface toward the eye.
+    ///
+    /// Normals are treated as two-sided (isosurfaces have no canonical
+    /// orientation).
+    pub fn shade(&self, albedo: Vec3, normal: Vec3, view_dir: Vec3) -> Vec3 {
+        let n = normal.normalized();
+        if n == Vec3::ZERO {
+            return albedo * (self.ambient + self.diffuse);
+        }
+        // flip the normal toward the viewer (two-sided shading)
+        let n = if n.dot(view_dir) < 0.0 { -n } else { n };
+        let ndl = n.dot(self.light_dir).abs();
+        let mut c = albedo * (self.ambient + self.diffuse * ndl);
+        if self.specular > 0.0 {
+            let h = (self.light_dir + view_dir).normalized();
+            let ndh = n.dot(h).max(0.0);
+            c += Vec3::splat(self.specular * ndh.powf(self.shininess));
+        }
+        Vec3::new(c.x.min(1.0), c.y.min(1.0), c.z.min(1.0))
+    }
+
+    /// Flat shading for unlit primitives (VTK-points style fixed color).
+    pub fn flat(&self, albedo: Vec3) -> Vec3 {
+        albedo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facing_light_is_brighter_than_grazing() {
+        let l = Lighting::default();
+        let albedo = Vec3::splat(0.8);
+        let view = -l.light_dir; // looking along the light
+        let facing = l.shade(albedo, l.light_dir, l.light_dir);
+        let perp = l.light_dir.cross(Vec3::new(0.0, 0.0, 1.0)).normalized();
+        let grazing = l.shade(albedo, perp, view);
+        assert!(facing.x > grazing.x);
+    }
+
+    #[test]
+    fn output_clamped_to_unit() {
+        let l = Lighting {
+            ambient: 1.0,
+            diffuse: 1.0,
+            specular: 1.0,
+            ..Lighting::default()
+        };
+        let c = l.shade(Vec3::ONE, l.light_dir, l.light_dir);
+        assert!(c.x <= 1.0 && c.y <= 1.0 && c.z <= 1.0);
+    }
+
+    #[test]
+    fn two_sided_normals_shade_equally() {
+        let l = Lighting::default();
+        let albedo = Vec3::splat(0.5);
+        let view = Vec3::new(0.0, -1.0, 0.0);
+        let n = Vec3::new(0.3, 0.8, 0.1).normalized();
+        let a = l.shade(albedo, n, view);
+        let b = l.shade(albedo, -n, view);
+        assert!((a - b).length() < 1e-6);
+    }
+
+    #[test]
+    fn zero_normal_degrades_gracefully() {
+        let l = Lighting::default();
+        let c = l.shade(Vec3::splat(0.5), Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+        assert!(c.is_finite());
+        assert!(c.x > 0.0);
+    }
+
+    #[test]
+    fn ambient_floor_always_present() {
+        let l = Lighting::default();
+        // normal perpendicular to light: only ambient (+ maybe specular≈0)
+        let perp = l.light_dir.cross(Vec3::new(0.0, 0.0, 1.0)).normalized();
+        let view = perp.cross(l.light_dir).normalized();
+        let c = l.shade(Vec3::ONE, perp, view);
+        assert!(c.x >= l.ambient * 0.9);
+    }
+}

@@ -1,0 +1,136 @@
+//! The simulation ↔ analysis in-situ interface.
+//!
+//! "The developer codes to an interface that communicates with a customized
+//! analysis component … This two-part architecture — a large simulation
+//! computation communicating via an interface to a potentially
+//! comparably-sized analysis component — is at the heart of in-situ
+//! processing." (Section I)
+//!
+//! [`SimulationSource`] is the producer side (a real simulation, or ETH's
+//! proxy replaying recorded data); [`InSituSink`] is the consumer side (the
+//! visualization proxy). The harness wires a source to a sink through one
+//! of the coupling strategies.
+
+use eth_data::error::Result;
+use eth_data::DataObject;
+
+/// Producer side: yields one dataset per timestep for one rank.
+pub trait SimulationSource {
+    /// Number of timesteps this source will produce.
+    fn num_timesteps(&self) -> usize;
+
+    /// Rank of this source within its parallel job.
+    fn rank(&self) -> usize;
+
+    /// Total ranks in the job.
+    fn num_ranks(&self) -> usize;
+
+    /// Produce (or load) the data for `step`. Steps are visited in order by
+    /// the proxy driver, but sources must tolerate repeated calls (the
+    /// intercore coupling re-runs a step if the viz phase is re-scheduled).
+    fn timestep(&mut self, step: usize) -> Result<DataObject>;
+}
+
+/// Consumer side: receives each timestep's data.
+pub trait InSituSink {
+    /// Consume one timestep of data. Called once per step, in order.
+    fn consume(&mut self, step: usize, data: &DataObject) -> Result<()>;
+
+    /// Called after the last timestep; flush artifacts.
+    fn finish(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A sink that only counts what it sees — useful for tests and for
+/// measuring pure simulation/transport cost without rendering.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct CountingSink {
+    pub steps: usize,
+    pub elements: u64,
+    pub bytes: u64,
+    pub finished: bool,
+}
+
+impl InSituSink for CountingSink {
+    fn consume(&mut self, _step: usize, data: &DataObject) -> Result<()> {
+        self.steps += 1;
+        self.elements += data.num_elements() as u64;
+        self.bytes += data.payload_bytes() as u64;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.finished = true;
+        Ok(())
+    }
+}
+
+/// A source wrapping a fixed in-memory sequence (tests, tiny experiments).
+pub struct VecSource {
+    rank: usize,
+    num_ranks: usize,
+    steps: Vec<DataObject>,
+}
+
+impl VecSource {
+    pub fn new(rank: usize, num_ranks: usize, steps: Vec<DataObject>) -> VecSource {
+        VecSource {
+            rank,
+            num_ranks,
+            steps,
+        }
+    }
+}
+
+impl SimulationSource for VecSource {
+    fn num_timesteps(&self) -> usize {
+        self.steps.len()
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    fn timestep(&mut self, step: usize) -> Result<DataObject> {
+        Ok(self.steps[step].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_data::{PointCloud, Vec3};
+
+    fn obj(n: usize) -> DataObject {
+        DataObject::Points(PointCloud::from_positions(vec![Vec3::ZERO; n]))
+    }
+
+    #[test]
+    fn counting_sink_accumulates() {
+        let mut sink = CountingSink::default();
+        sink.consume(0, &obj(3)).unwrap();
+        sink.consume(1, &obj(5)).unwrap();
+        sink.finish().unwrap();
+        assert_eq!(sink.steps, 2);
+        assert_eq!(sink.elements, 8);
+        assert_eq!(sink.bytes, 8 * 12);
+        assert!(sink.finished);
+    }
+
+    #[test]
+    fn vec_source_replays_in_order() {
+        let mut src = VecSource::new(1, 4, vec![obj(1), obj(2)]);
+        assert_eq!(src.num_timesteps(), 2);
+        assert_eq!(src.rank(), 1);
+        assert_eq!(src.num_ranks(), 4);
+        assert_eq!(src.timestep(0).unwrap().num_elements(), 1);
+        assert_eq!(src.timestep(1).unwrap().num_elements(), 2);
+        // repeatable
+        assert_eq!(src.timestep(0).unwrap().num_elements(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # eth-sim — simulation proxies and synthetic science data
+//!
+//! ETH "replace\[s\] the simulation with a proxy for the simulation; a task
+//! that has access to the same raw data that the simulation produces
+//! internally, but which is much easier to reconfigure for different
+//! in-situ architectures" (Section I). This crate provides:
+//!
+//! * [`interface`] — the simulation↔analysis coupling interface (the thick
+//!   black line of Figure 1),
+//! * [`hacc`] — a deterministic halo-clustered particle generator standing
+//!   in for HACC dark-sky outputs,
+//! * [`xrage`] — an analytic blast-wave field generator standing in for
+//!   xRAGE asteroid-impact outputs, produced through the same
+//!   AMR → structured-grid downsampling path the paper describes,
+//! * [`amr`] — the octree AMR substrate used by the xRAGE path,
+//! * [`timeseries`] — the on-disk layout of the "preliminary run"
+//!   (per-timestep, per-rank files; Figure 7),
+//! * [`proxy`] — the simulation proxy that replays those files (or an
+//!   in-memory generator) into the in-situ interface.
+//!
+//! Both generators are substitutions for data we cannot have (documented in
+//! DESIGN.md): they produce the same *structural* content the visualization
+//! algorithms consume — halo-clustered particles, and a hot moving front in
+//! a volumetric temperature field.
+
+pub mod amr;
+pub mod hacc;
+pub mod interface;
+pub mod proxy;
+pub mod timeseries;
+pub mod xrage;
+
+pub use hacc::HaccConfig;
+pub use interface::{InSituSink, SimulationSource};
+pub use proxy::SimulationProxy;
+pub use xrage::XrageConfig;

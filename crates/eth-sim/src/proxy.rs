@@ -1,0 +1,245 @@
+//! The ETH simulation proxy.
+//!
+//! "The ETH simulation proxy reads data from the disk and then operates on
+//! the data in parallel" (Section III-A). A proxy instance represents one
+//! rank of the simulation job; it obtains its per-rank blocks either from a
+//! recorded [`TimeSeriesReader`] (the
+//! production path, Figure 7) or from an in-memory generator (the quick
+//! path used by experiments that synthesize data on the fly), and drives an
+//! [`InSituSink`] through every timestep.
+
+use crate::interface::{InSituSink, SimulationSource};
+use crate::timeseries::TimeSeriesReader;
+use eth_data::error::{DataError, Result};
+use eth_data::DataObject;
+use std::path::Path;
+
+/// A rank of the simulation proxy.
+pub struct SimulationProxy {
+    source: Box<dyn SimulationSource + Send>,
+}
+
+/// Source backed by a recorded time series on disk.
+struct DiskSource {
+    reader: TimeSeriesReader,
+    rank: usize,
+}
+
+impl SimulationSource for DiskSource {
+    fn num_timesteps(&self) -> usize {
+        self.reader.manifest().num_steps
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.reader.manifest().num_ranks
+    }
+
+    fn timestep(&mut self, step: usize) -> Result<DataObject> {
+        self.reader.read_block(step, self.rank)
+    }
+}
+
+/// Source backed by a generator closure (rank-partitioned synthesis).
+struct GeneratorSource<F> {
+    generate: F,
+    rank: usize,
+    num_ranks: usize,
+    num_steps: usize,
+}
+
+impl<F> SimulationSource for GeneratorSource<F>
+where
+    F: FnMut(usize, usize) -> Result<DataObject>,
+{
+    fn num_timesteps(&self) -> usize {
+        self.num_steps
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    fn timestep(&mut self, step: usize) -> Result<DataObject> {
+        (self.generate)(step, self.rank)
+    }
+}
+
+impl SimulationProxy {
+    /// Proxy replaying a recorded series from `root` as `rank`.
+    pub fn from_disk(root: &Path, rank: usize) -> Result<SimulationProxy> {
+        let reader = TimeSeriesReader::open(root)?;
+        if rank >= reader.manifest().num_ranks {
+            return Err(DataError::InvalidArgument(format!(
+                "rank {rank} outside series with {} ranks",
+                reader.manifest().num_ranks
+            )));
+        }
+        Ok(SimulationProxy {
+            source: Box::new(DiskSource { reader, rank }),
+        })
+    }
+
+    /// Proxy generating data on the fly. `generate(step, rank)` must return
+    /// the block this rank would have loaded.
+    pub fn from_generator<F>(
+        rank: usize,
+        num_ranks: usize,
+        num_steps: usize,
+        generate: F,
+    ) -> SimulationProxy
+    where
+        F: FnMut(usize, usize) -> Result<DataObject> + Send + 'static,
+    {
+        SimulationProxy {
+            source: Box::new(GeneratorSource {
+                generate,
+                rank,
+                num_ranks,
+                num_steps,
+            }),
+        }
+    }
+
+    /// Proxy over any custom source.
+    pub fn from_source(source: Box<dyn SimulationSource + Send>) -> SimulationProxy {
+        SimulationProxy { source }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.source.rank()
+    }
+
+    pub fn num_ranks(&self) -> usize {
+        self.source.num_ranks()
+    }
+
+    pub fn num_timesteps(&self) -> usize {
+        self.source.num_timesteps()
+    }
+
+    /// Produce the data for one step (the "simulation compute" phase).
+    pub fn step(&mut self, step: usize) -> Result<DataObject> {
+        self.source.timestep(step)
+    }
+
+    /// Drive a sink through every timestep (tight coupling: source and sink
+    /// in the same call stack, exactly the paper's unified mode).
+    pub fn run(&mut self, sink: &mut dyn InSituSink) -> Result<ProxyRunStats> {
+        let mut stats = ProxyRunStats::default();
+        for step in 0..self.source.num_timesteps() {
+            let data = self.source.timestep(step)?;
+            stats.steps += 1;
+            stats.elements += data.num_elements() as u64;
+            stats.bytes_presented += data.payload_bytes() as u64;
+            sink.consume(step, &data)?;
+        }
+        sink.finish()?;
+        Ok(stats)
+    }
+}
+
+/// Accounting from one proxy run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProxyRunStats {
+    pub steps: usize,
+    pub elements: u64,
+    /// Bytes presented across the in-situ interface.
+    pub bytes_presented: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hacc::HaccConfig;
+    use crate::interface::CountingSink;
+    use crate::timeseries::TimeSeriesWriter;
+    use eth_data::partition::partition_points;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("eth-sim-proxy-tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn generator_proxy_drives_sink() {
+        let cfg = HaccConfig::with_particles(500);
+        let mut proxy = SimulationProxy::from_generator(0, 1, 3, move |step, _rank| {
+            Ok(DataObject::Points(cfg.generate(step)?))
+        });
+        let mut sink = CountingSink::default();
+        let stats = proxy.run(&mut sink).unwrap();
+        assert_eq!(stats.steps, 3);
+        assert_eq!(sink.steps, 3);
+        assert_eq!(sink.elements, 1500);
+        assert!(sink.finished);
+        assert_eq!(stats.elements, sink.elements);
+    }
+
+    #[test]
+    fn disk_proxy_replays_preliminary_run() {
+        // Preliminary run: generate, partition over 2 ranks, write.
+        let root = tmp("replay");
+        let cfg = HaccConfig::with_particles(800);
+        let ranks = 2;
+        let steps = 2;
+        let mut w = TimeSeriesWriter::create(&root, "hacc", ranks, steps).unwrap();
+        for step in 0..steps {
+            let cloud = cfg.generate(step).unwrap();
+            let parts = partition_points(&cloud, ranks).unwrap();
+            for (rank, part) in parts.into_iter().enumerate() {
+                w.write_block(step, rank, &DataObject::Points(part)).unwrap();
+            }
+        }
+        w.close().unwrap();
+
+        // Replay both ranks; together they must see every particle.
+        let mut total = 0u64;
+        for rank in 0..ranks {
+            let mut proxy = SimulationProxy::from_disk(&root, rank).unwrap();
+            assert_eq!(proxy.num_ranks(), 2);
+            assert_eq!(proxy.num_timesteps(), 2);
+            let mut sink = CountingSink::default();
+            proxy.run(&mut sink).unwrap();
+            total += sink.elements;
+        }
+        assert_eq!(total, 800 * steps as u64);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn disk_proxy_validates_rank() {
+        let root = tmp("badrank");
+        let mut w = TimeSeriesWriter::create(&root, "x", 1, 1).unwrap();
+        w.write_block(
+            0,
+            0,
+            &DataObject::Points(eth_data::PointCloud::new()),
+        )
+        .unwrap();
+        w.close().unwrap();
+        assert!(SimulationProxy::from_disk(&root, 5).is_err());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn step_is_repeatable() {
+        let cfg = HaccConfig::with_particles(100);
+        let mut proxy = SimulationProxy::from_generator(0, 1, 2, move |step, _| {
+            Ok(DataObject::Points(cfg.generate(step)?))
+        });
+        let a = proxy.step(1).unwrap();
+        let b = proxy.step(1).unwrap();
+        assert_eq!(a, b);
+    }
+}

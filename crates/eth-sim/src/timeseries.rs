@@ -1,0 +1,234 @@
+//! On-disk layout of the "preliminary run".
+//!
+//! "We make a preliminary run of the simulation itself on the science case,
+//! and write data out as if for simple post-processing analysis … Our
+//! simulation proxy then reads the simulation data into memory and presents
+//! it to the simulation/analysis interface as if by the simulation itself."
+//! (Section I)
+//!
+//! Layout:
+//!
+//! ```text
+//! <root>/
+//!   manifest.json                   # name, ranks, steps, format
+//!   step_0000/rank_0000.ebd
+//!   step_0000/rank_0001.ebd
+//!   ...
+//! ```
+//!
+//! Every rank's block is a self-contained dataset, so "each parallel
+//! process of the proxy is able to load the data that it will pass to the
+//! in-situ interface" (Section III-B, Figure 7).
+
+use eth_data::error::{DataError, Result};
+use eth_data::io::binary;
+use eth_data::DataObject;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Manifest describing a recorded time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    pub name: String,
+    pub num_ranks: usize,
+    pub num_steps: usize,
+    /// Data kind ("points" or "grid"), informational.
+    pub kind: String,
+}
+
+fn step_dir(root: &Path, step: usize) -> PathBuf {
+    root.join(format!("step_{step:04}"))
+}
+
+fn rank_file(root: &Path, step: usize, rank: usize) -> PathBuf {
+    step_dir(root, step).join(format!("rank_{rank:04}.ebd"))
+}
+
+fn manifest_path(root: &Path) -> PathBuf {
+    root.join("manifest.json")
+}
+
+/// Writer for a preliminary run.
+pub struct TimeSeriesWriter {
+    root: PathBuf,
+    manifest: Manifest,
+    /// (step, rank) pairs written so far — completeness is checked at close.
+    written: Vec<(usize, usize)>,
+}
+
+impl TimeSeriesWriter {
+    /// Create (or truncate) a series directory.
+    pub fn create(root: &Path, name: &str, num_ranks: usize, num_steps: usize) -> Result<Self> {
+        if num_ranks == 0 || num_steps == 0 {
+            return Err(DataError::InvalidArgument(
+                "time series needs at least one rank and one step".into(),
+            ));
+        }
+        fs::create_dir_all(root)?;
+        Ok(TimeSeriesWriter {
+            root: root.to_path_buf(),
+            manifest: Manifest {
+                name: name.to_string(),
+                num_ranks,
+                num_steps,
+                kind: String::new(),
+            },
+            written: Vec::new(),
+        })
+    }
+
+    /// Write one rank's block for one step.
+    pub fn write_block(&mut self, step: usize, rank: usize, data: &DataObject) -> Result<()> {
+        if step >= self.manifest.num_steps || rank >= self.manifest.num_ranks {
+            return Err(DataError::InvalidArgument(format!(
+                "block ({step}, {rank}) outside series shape ({} steps, {} ranks)",
+                self.manifest.num_steps, self.manifest.num_ranks
+            )));
+        }
+        fs::create_dir_all(step_dir(&self.root, step))?;
+        binary::write_file(data, &rank_file(&self.root, step, rank))?;
+        if self.manifest.kind.is_empty() {
+            self.manifest.kind = data.kind().to_string();
+        }
+        self.written.push((step, rank));
+        Ok(())
+    }
+
+    /// Finish: verify completeness and write the manifest.
+    pub fn close(self) -> Result<Manifest> {
+        let expect = self.manifest.num_steps * self.manifest.num_ranks;
+        let mut seen = vec![false; expect];
+        for (s, r) in &self.written {
+            seen[s * self.manifest.num_ranks + r] = true;
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            let step = missing / self.manifest.num_ranks;
+            let rank = missing % self.manifest.num_ranks;
+            return Err(DataError::InvalidArgument(format!(
+                "series incomplete: block (step {step}, rank {rank}) never written"
+            )));
+        }
+        let json = serde_json::to_string_pretty(&self.manifest)
+            .map_err(|e| DataError::Format(format!("manifest encode: {e}")))?;
+        fs::write(manifest_path(&self.root), json)?;
+        Ok(self.manifest)
+    }
+}
+
+/// Reader over a recorded series.
+pub struct TimeSeriesReader {
+    root: PathBuf,
+    manifest: Manifest,
+}
+
+impl TimeSeriesReader {
+    /// Open a series directory (reads the manifest).
+    pub fn open(root: &Path) -> Result<Self> {
+        let text = fs::read_to_string(manifest_path(root))?;
+        let manifest: Manifest = serde_json::from_str(&text)
+            .map_err(|e| DataError::Format(format!("manifest decode: {e}")))?;
+        Ok(TimeSeriesReader {
+            root: root.to_path_buf(),
+            manifest,
+        })
+    }
+
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Load one rank's block for one step.
+    pub fn read_block(&self, step: usize, rank: usize) -> Result<DataObject> {
+        if step >= self.manifest.num_steps || rank >= self.manifest.num_ranks {
+            return Err(DataError::InvalidArgument(format!(
+                "block ({step}, {rank}) outside series shape"
+            )));
+        }
+        binary::read_file(&rank_file(&self.root, step, rank))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_data::{PointCloud, Vec3};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("eth-sim-ts-tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn obj(tag: f32) -> DataObject {
+        DataObject::Points(PointCloud::from_positions(vec![Vec3::splat(tag)]))
+    }
+
+    #[test]
+    fn roundtrip_series() {
+        let root = tmp("roundtrip");
+        let mut w = TimeSeriesWriter::create(&root, "demo", 2, 3).unwrap();
+        for step in 0..3 {
+            for rank in 0..2 {
+                w.write_block(step, rank, &obj((step * 10 + rank) as f32))
+                    .unwrap();
+            }
+        }
+        let manifest = w.close().unwrap();
+        assert_eq!(manifest.kind, "points");
+
+        let r = TimeSeriesReader::open(&root).unwrap();
+        assert_eq!(r.manifest().num_ranks, 2);
+        assert_eq!(r.manifest().num_steps, 3);
+        let block = r.read_block(2, 1).unwrap();
+        assert_eq!(
+            block.as_points().unwrap().positions()[0],
+            Vec3::splat(21.0)
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn incomplete_series_rejected_at_close() {
+        let root = tmp("incomplete");
+        let mut w = TimeSeriesWriter::create(&root, "demo", 2, 2).unwrap();
+        w.write_block(0, 0, &obj(0.0)).unwrap();
+        w.write_block(0, 1, &obj(1.0)).unwrap();
+        w.write_block(1, 0, &obj(2.0)).unwrap();
+        // (1, 1) missing
+        let err = w.close().unwrap_err();
+        assert!(err.to_string().contains("step 1"));
+        assert!(err.to_string().contains("rank 1"));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn out_of_shape_blocks_rejected() {
+        let root = tmp("shape");
+        let mut w = TimeSeriesWriter::create(&root, "demo", 2, 2).unwrap();
+        assert!(w.write_block(2, 0, &obj(0.0)).is_err());
+        assert!(w.write_block(0, 5, &obj(0.0)).is_err());
+        let r_err = TimeSeriesReader::open(&root);
+        assert!(r_err.is_err(), "no manifest yet");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn zero_shape_rejected() {
+        let root = tmp("zero");
+        assert!(TimeSeriesWriter::create(&root, "demo", 0, 2).is_err());
+        assert!(TimeSeriesWriter::create(&root, "demo", 2, 0).is_err());
+    }
+
+    #[test]
+    fn reader_bounds_checked() {
+        let root = tmp("bounds");
+        let mut w = TimeSeriesWriter::create(&root, "demo", 1, 1).unwrap();
+        w.write_block(0, 0, &obj(0.0)).unwrap();
+        w.close().unwrap();
+        let r = TimeSeriesReader::open(&root).unwrap();
+        assert!(r.read_block(1, 0).is_err());
+        assert!(r.read_block(0, 1).is_err());
+        fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,305 @@
+//! Collective operations built on point-to-point messaging.
+//!
+//! The harness needs barriers (phase separation under intercore coupling),
+//! gather (image compositing to root), broadcast (experiment parameters),
+//! and reduce/allreduce (metric aggregation). All are implemented as
+//! binomial trees / dissemination rounds over [`Communicator`], so they run
+//! unchanged over the in-process and socket backends.
+//!
+//! Tags: collectives use the top tag bits (`0xC0xx_xxxx`) with the round
+//! number encoded, so user traffic (low tags) never collides as long as it
+//! stays below [`COLLECTIVE_TAG_BASE`].
+
+use crate::comm::{Communicator, Result};
+use bytes::Bytes;
+
+/// Tags at or above this value are reserved for collectives.
+pub const COLLECTIVE_TAG_BASE: u32 = 0xC000_0000;
+
+const TAG_BARRIER: u32 = COLLECTIVE_TAG_BASE;
+const TAG_BCAST: u32 = COLLECTIVE_TAG_BASE + 0x0100_0000;
+const TAG_GATHER: u32 = COLLECTIVE_TAG_BASE + 0x0200_0000;
+const TAG_REDUCE: u32 = COLLECTIVE_TAG_BASE + 0x0300_0000;
+
+/// Dissemination barrier: log2(P) rounds; returns when all ranks entered.
+pub fn barrier(comm: &dyn Communicator) -> Result<()> {
+    let size = comm.size();
+    let rank = comm.rank();
+    if size == 1 {
+        return Ok(());
+    }
+    let mut round = 0u32;
+    let mut distance = 1usize;
+    while distance < size {
+        let to = (rank + distance) % size;
+        let from = (rank + size - distance) % size;
+        comm.send(to, TAG_BARRIER + round, Bytes::new())?;
+        comm.recv(from, TAG_BARRIER + round)?;
+        distance *= 2;
+        round += 1;
+    }
+    Ok(())
+}
+
+/// Binomial-tree broadcast from `root`; returns the payload on every rank.
+pub fn broadcast(comm: &dyn Communicator, root: usize, payload: Option<Bytes>) -> Result<Bytes> {
+    let size = comm.size();
+    let rank = comm.rank();
+    comm.check_peer(root)?;
+    // Work in a rotated space where the root is rank 0.
+    let vrank = (rank + size - root) % size;
+    let data = if rank == root {
+        payload.ok_or_else(|| {
+            crate::comm::TransportError::InvalidArgument(
+                "root must supply the broadcast payload".into(),
+            )
+        })?
+    } else {
+        // Receive from parent: highest set bit of vrank.
+        let mut mask = 1usize;
+        while mask * 2 <= vrank {
+            mask *= 2;
+        }
+        let vparent = vrank - mask;
+        let parent = (vparent + root) % size;
+        comm.recv(parent, TAG_BCAST)?
+    };
+    // Forward to children.
+    let mut mask = 1usize;
+    while mask <= vrank {
+        mask *= 2;
+    }
+    while mask < size {
+        let vchild = vrank + mask;
+        if vchild < size {
+            let child = (vchild + root) % size;
+            comm.send(child, TAG_BCAST, data.clone())?;
+        }
+        mask *= 2;
+    }
+    Ok(data)
+}
+
+/// Gather every rank's payload at `root`. Returns `Some(vec)` (indexed by
+/// rank) on the root, `None` elsewhere. Flat gather: each non-root sends
+/// directly (the direct-send compositing schedule).
+pub fn gather(
+    comm: &dyn Communicator,
+    root: usize,
+    payload: Bytes,
+) -> Result<Option<Vec<Bytes>>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    comm.check_peer(root)?;
+    if rank == root {
+        let mut out: Vec<Bytes> = Vec::with_capacity(size);
+        for from in 0..size {
+            out.push(if from == root {
+                payload.clone()
+            } else {
+                comm.recv(from, TAG_GATHER)?
+            });
+        }
+        Ok(Some(out))
+    } else {
+        comm.send(root, TAG_GATHER, payload)?;
+        Ok(None)
+    }
+}
+
+/// Binomial-tree reduction of f64 vectors (element-wise `combine`), result
+/// at `root`. Returns `Some(result)` on the root, `None` elsewhere.
+pub fn reduce_f64(
+    comm: &dyn Communicator,
+    root: usize,
+    mut values: Vec<f64>,
+    combine: fn(f64, f64) -> f64,
+) -> Result<Option<Vec<f64>>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    comm.check_peer(root)?;
+    let vrank = (rank + size - root) % size;
+    let mut mask = 1usize;
+    let mut round = 0u32;
+    while mask < size {
+        if vrank & mask != 0 {
+            // send to partner and leave
+            let vpartner = vrank - mask;
+            let partner = (vpartner + root) % size;
+            comm.send(partner, TAG_REDUCE + round, encode_f64s(&values))?;
+            return Ok(None);
+        }
+        let vpartner = vrank + mask;
+        if vpartner < size {
+            let partner = (vpartner + root) % size;
+            let theirs = decode_f64s(&comm.recv(partner, TAG_REDUCE + round)?)?;
+            if theirs.len() != values.len() {
+                return Err(crate::comm::TransportError::InvalidArgument(format!(
+                    "reduce length mismatch: {} vs {}",
+                    theirs.len(),
+                    values.len()
+                )));
+            }
+            for (v, t) in values.iter_mut().zip(theirs) {
+                *v = combine(*v, t);
+            }
+        }
+        mask *= 2;
+        round += 1;
+    }
+    Ok(Some(values))
+}
+
+/// Reduce-then-broadcast: every rank gets the combined vector.
+pub fn allreduce_f64(
+    comm: &dyn Communicator,
+    values: Vec<f64>,
+    combine: fn(f64, f64) -> f64,
+) -> Result<Vec<f64>> {
+    let reduced = reduce_f64(comm, 0, values, combine)?;
+    let payload = reduced.map(|v| encode_f64s(&v));
+    let bytes = broadcast(comm, 0, payload)?;
+    decode_f64s(&bytes)
+}
+
+fn encode_f64s(values: &[f64]) -> Bytes {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+fn decode_f64s(bytes: &Bytes) -> Result<Vec<f64>> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(crate::comm::TransportError::Decode(format!(
+            "f64 vector payload of {} bytes",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalFabric;
+    use std::thread;
+
+    /// Run `f` on every rank of a local fabric, collecting results by rank.
+    fn on_ranks<T: Send + 'static>(
+        size: usize,
+        f: impl Fn(&dyn Communicator) -> T + Send + Sync + Clone + 'static,
+    ) -> Vec<T> {
+        let comms = LocalFabric::new(size);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let f = f.clone();
+                thread::spawn(move || f(&c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn barrier_completes_at_various_sizes() {
+        for size in [1usize, 2, 3, 4, 5, 8] {
+            let done = on_ranks(size, |c| {
+                barrier(c).unwrap();
+                true
+            });
+            assert_eq!(done.len(), size);
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        // All ranks increment a counter before the barrier; after it, every
+        // rank must observe the full count.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = counter.clone();
+        let size = 4;
+        let seen = on_ranks(size, move |c| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            barrier(c).unwrap();
+            c2.load(Ordering::SeqCst)
+        });
+        for s in seen {
+            assert_eq!(s, size);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for root in 0..4usize {
+            let got = on_ranks(4, move |c| {
+                let payload = if c.rank() == root {
+                    Some(Bytes::from(vec![root as u8; 3]))
+                } else {
+                    None
+                };
+                broadcast(c, root, payload).unwrap()
+            });
+            for g in got {
+                assert_eq!(&g[..], &[root as u8; 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_by_rank() {
+        let results = on_ranks(5, |c| {
+            gather(c, 2, Bytes::from(vec![c.rank() as u8])).unwrap()
+        });
+        for (rank, r) in results.iter().enumerate() {
+            if rank == 2 {
+                let v = r.as_ref().unwrap();
+                for (i, b) in v.iter().enumerate() {
+                    assert_eq!(b[0] as usize, i);
+                }
+            } else {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_vectors() {
+        for size in [1usize, 2, 3, 4, 7] {
+            let results = on_ranks(size, |c| {
+                let mine = vec![c.rank() as f64, 1.0];
+                reduce_f64(c, 0, mine, |a, b| a + b).unwrap()
+            });
+            let root = results[0].as_ref().unwrap();
+            let expect: f64 = (0..size).map(|r| r as f64).sum();
+            assert_eq!(root[0], expect, "size {size}");
+            assert_eq!(root[1], size as f64);
+            for r in &results[1..] {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_everywhere() {
+        let results = on_ranks(6, |c| {
+            allreduce_f64(c, vec![c.rank() as f64], f64::max).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, vec![5.0]);
+        }
+    }
+
+    #[test]
+    fn f64_codec_roundtrip_and_rejects_misaligned() {
+        let v = vec![1.5, -2.25, 1e300];
+        assert_eq!(decode_f64s(&encode_f64s(&v)).unwrap(), v);
+        assert!(decode_f64s(&Bytes::from_static(b"12345")).is_err());
+    }
+}

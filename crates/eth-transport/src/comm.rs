@@ -1,0 +1,108 @@
+//! The communicator abstraction.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Errors from the transport layer.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Underlying IO failure (socket backend).
+    Io(std::io::Error),
+    /// A peer disconnected or its channel closed.
+    Disconnected { peer: usize },
+    /// Rank/tag arguments out of range.
+    InvalidArgument(String),
+    /// Bootstrap (layout file) failure.
+    Bootstrap(String),
+    /// Payload failed to decode.
+    Decode(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport io error: {e}"),
+            TransportError::Disconnected { peer } => write!(f, "peer rank {peer} disconnected"),
+            TransportError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            TransportError::Bootstrap(m) => write!(f, "bootstrap failure: {m}"),
+            TransportError::Decode(m) => write!(f, "decode failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, TransportError>;
+
+/// Traffic counters every communicator maintains; these feed the coupling
+/// experiments' data-movement accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrafficCounters {
+    pub messages_sent: u64,
+    pub bytes_sent: u64,
+    pub messages_received: u64,
+    pub bytes_received: u64,
+}
+
+/// Rank-addressed, tagged, point-to-point messaging.
+///
+/// Semantics (MPI-flavored):
+/// * messages between a fixed (sender, receiver) pair with the same tag
+///   arrive in send order,
+/// * `recv` blocks until a matching message arrives,
+/// * distinct tags are independent matching queues.
+pub trait Communicator: Send {
+    /// This process's rank in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Send `payload` to rank `to` with matching `tag`.
+    fn send(&self, to: usize, tag: u32, payload: Bytes) -> Result<()>;
+
+    /// Block until a message from `from` with `tag` arrives.
+    fn recv(&self, from: usize, tag: u32) -> Result<Bytes>;
+
+    /// Snapshot of this rank's traffic counters.
+    fn traffic(&self) -> TrafficCounters;
+
+    /// Validate a peer rank.
+    fn check_peer(&self, peer: usize) -> Result<()> {
+        if peer >= self.size() {
+            return Err(TransportError::InvalidArgument(format!(
+                "rank {peer} outside communicator of size {}",
+                self.size()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(TransportError::Disconnected { peer: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(TransportError::Bootstrap("x".into()).to_string().contains('x'));
+        let io: TransportError = std::io::Error::other("y").into();
+        assert!(io.to_string().contains('y'));
+    }
+}

@@ -1,0 +1,178 @@
+//! The global layout file.
+//!
+//! "Each process of the [simulation proxy] application then adds its
+//! assigned IP address and port number to a globally accessible layout
+//! file, then opens its port and waits for connection. The visualization
+//! proxy application is then started. Each process … references the global
+//! layout file, determines the location of the simulation proxy(s) it will
+//! receive data from, waits for the corresponding port to open, and then
+//! establishes the connection." (Section III-C)
+//!
+//! To make concurrent publication race-free without file locking, the
+//! "layout file" is a directory: each rank writes `rank_<n>.addr`
+//! atomically (write to temp + rename). Readers poll until the expected
+//! number of entries exists.
+
+use crate::comm::{Result, TransportError};
+use std::collections::BTreeMap;
+use std::fs;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Handle to a layout directory.
+#[derive(Debug, Clone)]
+pub struct LayoutFile {
+    dir: PathBuf,
+}
+
+impl LayoutFile {
+    /// Create (or reuse) the layout directory.
+    pub fn create(dir: &Path) -> Result<LayoutFile> {
+        fs::create_dir_all(dir)?;
+        Ok(LayoutFile {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn entry_path(&self, rank: usize) -> PathBuf {
+        self.dir.join(format!("rank_{rank:04}.addr"))
+    }
+
+    /// Publish this rank's address (atomic write).
+    pub fn publish(&self, rank: usize, addr: SocketAddr) -> Result<()> {
+        let tmp = self.dir.join(format!(".rank_{rank:04}.tmp"));
+        fs::write(&tmp, addr.to_string())?;
+        fs::rename(&tmp, self.entry_path(rank))?;
+        Ok(())
+    }
+
+    /// Read one rank's published address, if present.
+    pub fn lookup(&self, rank: usize) -> Result<Option<SocketAddr>> {
+        let path = self.entry_path(rank);
+        match fs::read_to_string(&path) {
+            Ok(text) => {
+                let addr = text.trim().parse::<SocketAddr>().map_err(|e| {
+                    TransportError::Bootstrap(format!("bad address '{}': {e}", text.trim()))
+                })?;
+                Ok(Some(addr))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Block until `ranks` addresses are published (polling), or time out.
+    pub fn wait_for(
+        &self,
+        ranks: usize,
+        timeout: Duration,
+    ) -> Result<BTreeMap<usize, SocketAddr>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let mut found = BTreeMap::new();
+            for rank in 0..ranks {
+                if let Some(addr) = self.lookup(rank)? {
+                    found.insert(rank, addr);
+                }
+            }
+            if found.len() == ranks {
+                return Ok(found);
+            }
+            if Instant::now() > deadline {
+                return Err(TransportError::Bootstrap(format!(
+                    "timed out waiting for layout: {}/{} ranks published",
+                    found.len(),
+                    ranks
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Remove all published entries (start of a fresh experiment).
+    pub fn clear(&self) -> Result<()> {
+        if self.dir.exists() {
+            for entry in fs::read_dir(&self.dir)? {
+                let entry = entry?;
+                if entry
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".addr")
+                {
+                    fs::remove_file(entry.path())?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("eth-layout-tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn publish_and_lookup() {
+        let layout = LayoutFile::create(&tmp("pub")).unwrap();
+        let addr: SocketAddr = "127.0.0.1:4567".parse().unwrap();
+        layout.publish(2, addr).unwrap();
+        assert_eq!(layout.lookup(2).unwrap(), Some(addr));
+        assert_eq!(layout.lookup(0).unwrap(), None);
+    }
+
+    #[test]
+    fn wait_for_sees_concurrent_publishers() {
+        let layout = LayoutFile::create(&tmp("wait")).unwrap();
+        let l2 = layout.clone();
+        let t = thread::spawn(move || {
+            for rank in 0..3 {
+                thread::sleep(Duration::from_millis(10));
+                l2.publish(rank, format!("127.0.0.1:{}", 5000 + rank).parse().unwrap())
+                    .unwrap();
+            }
+        });
+        let map = layout.wait_for(3, Duration::from_secs(5)).unwrap();
+        assert_eq!(map.len(), 3);
+        assert_eq!(map[&1], "127.0.0.1:5001".parse().unwrap());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let layout = LayoutFile::create(&tmp("timeout")).unwrap();
+        layout
+            .publish(0, "127.0.0.1:9000".parse().unwrap())
+            .unwrap();
+        let err = layout.wait_for(2, Duration::from_millis(50)).unwrap_err();
+        assert!(err.to_string().contains("1/2"));
+    }
+
+    #[test]
+    fn clear_removes_entries() {
+        let layout = LayoutFile::create(&tmp("clear")).unwrap();
+        layout
+            .publish(0, "127.0.0.1:9000".parse().unwrap())
+            .unwrap();
+        layout.clear().unwrap();
+        assert_eq!(layout.lookup(0).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_entry_reports_bootstrap_error() {
+        let dir = tmp("corrupt");
+        let layout = LayoutFile::create(&dir).unwrap();
+        fs::write(dir.join("rank_0000.addr"), "not an address").unwrap();
+        assert!(matches!(
+            layout.lookup(0),
+            Err(TransportError::Bootstrap(_))
+        ));
+    }
+}

@@ -1,0 +1,236 @@
+//! In-process communicator: ranks are threads, links are crossbeam
+//! channels. This is the intra-job MPI role: tight and intercore coupling
+//! run entirely over this fabric.
+
+use crate::comm::{Communicator, Result, TrafficCounters, TransportError};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+type Envelope = (usize, u32, Bytes); // (from, tag, payload)
+
+/// Shared counters (atomics so `&self` sends can update them).
+#[derive(Default)]
+struct Counters {
+    messages_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    messages_received: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+/// One rank's endpoint on the local fabric.
+pub struct LocalComm {
+    rank: usize,
+    size: usize,
+    /// Sender to every rank's inbox (including self).
+    outboxes: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    /// Messages received but not yet matched by (from, tag).
+    pending: Mutex<Vec<Envelope>>,
+    counters: Arc<Counters>,
+}
+
+/// Factory for a set of connected [`LocalComm`] endpoints.
+pub struct LocalFabric;
+
+impl LocalFabric {
+    /// Create `size` endpoints wired all-to-all.
+    #[allow(clippy::new_ret_no_self)] // a fabric *is* its endpoints
+    pub fn new(size: usize) -> Vec<LocalComm> {
+        assert!(size > 0, "fabric needs at least one rank");
+        let mut inboxes = Vec::with_capacity(size);
+        let mut senders = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded::<Envelope>();
+            senders.push(tx);
+            inboxes.push(rx);
+        }
+        inboxes
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| LocalComm {
+                rank,
+                size,
+                outboxes: senders.clone(),
+                inbox,
+                pending: Mutex::new(Vec::new()),
+                counters: Arc::new(Counters::default()),
+            })
+            .collect()
+    }
+}
+
+impl Communicator for LocalComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, to: usize, tag: u32, payload: Bytes) -> Result<()> {
+        self.check_peer(to)?;
+        self.counters.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.outboxes[to]
+            .send((self.rank, tag, payload))
+            .map_err(|_| TransportError::Disconnected { peer: to })
+    }
+
+    fn recv(&self, from: usize, tag: u32) -> Result<Bytes> {
+        self.check_peer(from)?;
+        // Check messages already pulled off the channel.
+        {
+            let mut pending = self.pending.lock();
+            if let Some(pos) = pending
+                .iter()
+                .position(|(f, t, _)| *f == from && *t == tag)
+            {
+                let (_, _, payload) = pending.remove(pos);
+                self.counters
+                    .messages_received
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .bytes_received
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                return Ok(payload);
+            }
+        }
+        // Pull from the channel until a match appears; buffer the rest.
+        loop {
+            let envelope = self
+                .inbox
+                .recv()
+                .map_err(|_| TransportError::Disconnected { peer: from })?;
+            if envelope.0 == from && envelope.1 == tag {
+                self.counters
+                    .messages_received
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .bytes_received
+                    .fetch_add(envelope.2.len() as u64, Ordering::Relaxed);
+                return Ok(envelope.2);
+            }
+            self.pending.lock().push(envelope);
+        }
+    }
+
+    fn traffic(&self) -> TrafficCounters {
+        TrafficCounters {
+            messages_sent: self.counters.messages_sent.load(Ordering::Relaxed),
+            bytes_sent: self.counters.bytes_sent.load(Ordering::Relaxed),
+            messages_received: self.counters.messages_received.load(Ordering::Relaxed),
+            bytes_received: self.counters.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn ping_pong() {
+        let mut comms = LocalFabric::new(2);
+        let c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        let t = thread::spawn(move || {
+            let msg = c1.recv(0, 7).unwrap();
+            assert_eq!(&msg[..], b"ping");
+            c1.send(0, 8, Bytes::from_static(b"pong")).unwrap();
+        });
+        c0.send(1, 7, Bytes::from_static(b"ping")).unwrap();
+        let reply = c0.recv(1, 8).unwrap();
+        assert_eq!(&reply[..], b"pong");
+        t.join().unwrap();
+        let tr = c0.traffic();
+        assert_eq!(tr.messages_sent, 1);
+        assert_eq!(tr.bytes_sent, 4);
+        assert_eq!(tr.messages_received, 1);
+    }
+
+    #[test]
+    fn ordered_delivery_same_tag() {
+        let mut comms = LocalFabric::new(2);
+        let c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        for i in 0..10u8 {
+            c0.send(1, 1, Bytes::from(vec![i])).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(c1.recv(0, 1).unwrap()[0], i);
+        }
+    }
+
+    #[test]
+    fn tag_matching_skips_other_tags() {
+        let mut comms = LocalFabric::new(2);
+        let c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        c0.send(1, 1, Bytes::from_static(b"first")).unwrap();
+        c0.send(1, 2, Bytes::from_static(b"second")).unwrap();
+        // receive tag 2 first; tag 1 is buffered, not lost
+        assert_eq!(&c1.recv(0, 2).unwrap()[..], b"second");
+        assert_eq!(&c1.recv(0, 1).unwrap()[..], b"first");
+    }
+
+    #[test]
+    fn source_matching_skips_other_sources() {
+        let mut comms = LocalFabric::new(3);
+        let c2 = comms.pop().unwrap();
+        let c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        c0.send(2, 5, Bytes::from_static(b"from0")).unwrap();
+        c1.send(2, 5, Bytes::from_static(b"from1")).unwrap();
+        // wait for both to be queued, then receive rank 1 first
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(&c2.recv(1, 5).unwrap()[..], b"from1");
+        assert_eq!(&c2.recv(0, 5).unwrap()[..], b"from0");
+    }
+
+    #[test]
+    fn self_send_works() {
+        let mut comms = LocalFabric::new(1);
+        let c0 = comms.pop().unwrap();
+        c0.send(0, 3, Bytes::from_static(b"me")).unwrap();
+        assert_eq!(&c0.recv(0, 3).unwrap()[..], b"me");
+    }
+
+    #[test]
+    fn invalid_peer_rejected() {
+        let mut comms = LocalFabric::new(2);
+        let c0 = comms.remove(0);
+        assert!(c0.send(5, 0, Bytes::new()).is_err());
+        assert!(c0.recv(5, 0).is_err());
+    }
+
+    #[test]
+    fn many_ranks_all_to_all() {
+        let comms = LocalFabric::new(4);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                thread::spawn(move || {
+                    let me = c.rank();
+                    for to in 0..c.size() {
+                        c.send(to, 9, Bytes::from(vec![me as u8])).unwrap();
+                    }
+                    let mut got = Vec::new();
+                    for from in 0..c.size() {
+                        got.push(c.recv(from, 9).unwrap()[0]);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![0, 1, 2, 3]);
+        }
+    }
+}

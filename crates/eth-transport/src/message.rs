@@ -1,0 +1,158 @@
+//! Wire framing and dataset payload helpers.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! from : u32     sender rank
+//! tag  : u32     matching tag
+//! len  : u64     payload length
+//! data : len bytes
+//! ```
+//!
+//! The same framing is used on sockets; the local backend passes the
+//! decoded tuple directly. Dataset payloads reuse `eth_data::io::binary`
+//! (the `.ebd` encoding), so shipping a block across ranks costs one
+//! serialization, not two.
+
+use crate::comm::{Result, TransportError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use eth_data::io::binary;
+use eth_data::DataObject;
+use std::io::{Read, Write};
+
+/// Header size on the wire.
+pub const FRAME_HEADER_BYTES: usize = 16;
+
+/// Maximum accepted payload (guards against corrupt length fields).
+pub const MAX_PAYLOAD: u64 = 1 << 34; // 16 GiB
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub from: u32,
+    pub tag: u32,
+    pub payload: Bytes,
+}
+
+/// Write one frame to a stream.
+pub fn write_frame(w: &mut impl Write, from: u32, tag: u32, payload: &Bytes) -> Result<()> {
+    let mut header = BytesMut::with_capacity(FRAME_HEADER_BYTES);
+    header.put_u32_le(from);
+    header.put_u32_le(tag);
+    header.put_u64_le(payload.len() as u64);
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame from a stream (blocking).
+pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    r.read_exact(&mut header)?;
+    let mut h = &header[..];
+    let from = h.get_u32_le();
+    let tag = h.get_u32_le();
+    let len = h.get_u64_le();
+    if len > MAX_PAYLOAD {
+        return Err(TransportError::Decode(format!(
+            "frame length {len} exceeds maximum {MAX_PAYLOAD}"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Frame {
+        from,
+        tag,
+        payload: Bytes::from(payload),
+    })
+}
+
+/// Encode a dataset for shipping.
+pub fn encode_dataset(obj: &DataObject) -> Bytes {
+    binary::encode(obj)
+}
+
+/// Decode a dataset payload.
+pub fn decode_dataset(payload: Bytes) -> Result<DataObject> {
+    binary::decode(payload).map_err(|e| TransportError::Decode(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_data::{PointCloud, Vec3};
+
+    #[test]
+    fn frame_roundtrip_over_a_buffer() {
+        let payload = Bytes::from_static(b"hello ranks");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 3, 77, &payload).unwrap();
+        assert_eq!(wire.len(), FRAME_HEADER_BYTES + payload.len());
+        let frame = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(frame.from, 3);
+        assert_eq!(frame.tag, 77);
+        assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn several_frames_stream_in_order() {
+        let mut wire = Vec::new();
+        for i in 0..5u32 {
+            write_frame(&mut wire, i, i * 10, &Bytes::from(vec![i as u8; i as usize])).unwrap();
+        }
+        let mut r = wire.as_slice();
+        for i in 0..5u32 {
+            let f = read_frame(&mut r).unwrap();
+            assert_eq!(f.from, i);
+            assert_eq!(f.tag, i * 10);
+            assert_eq!(f.payload.len(), i as usize);
+        }
+    }
+
+    #[test]
+    fn truncated_frame_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 0, 0, &Bytes::from_static(b"abcdef")).unwrap();
+        wire.truncate(wire.len() - 2);
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut wire = Vec::new();
+        let mut header = BytesMut::new();
+        header.put_u32_le(0);
+        header.put_u32_le(0);
+        header.put_u64_le(MAX_PAYLOAD + 1);
+        wire.extend_from_slice(&header);
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(TransportError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn dataset_payload_roundtrip() {
+        let obj = DataObject::Points(PointCloud::from_positions(vec![
+            Vec3::ONE,
+            Vec3::new(2.0, 3.0, 4.0),
+        ]));
+        let payload = encode_dataset(&obj);
+        let back = decode_dataset(payload).unwrap();
+        assert_eq!(obj, back);
+    }
+
+    #[test]
+    fn garbage_dataset_payload_errors() {
+        assert!(decode_dataset(Bytes::from_static(b"not a dataset")).is_err());
+    }
+
+    #[test]
+    fn empty_payload_frame() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 9, 1, &Bytes::new()).unwrap();
+        let f = read_frame(&mut wire.as_slice()).unwrap();
+        assert!(f.payload.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! The `mpirun` equivalent: launch N ranks and join them.
+//!
+//! "In the first case, experiments are easily run using the standard batch
+//! scheduler" (Section III-C) — in this harness the "batch scheduler" is a
+//! thread per rank over a [`LocalFabric`], which is how the native
+//! execution mode runs tight and intercore coupling. The socket fabric has
+//! its own bootstrap (see [`crate::socket`]); [`run_ranks_socket`] wires it
+//! for tests and single-machine experiments.
+
+use crate::comm::{Communicator, Result};
+use crate::layout::LayoutFile;
+use crate::local::{LocalComm, LocalFabric};
+use crate::socket::SocketFabric;
+use std::path::Path;
+use std::thread;
+use std::time::Duration;
+
+/// Spawn `size` ranks over an in-process fabric, run `body` on each, and
+/// join. Returns per-rank results (indexed by rank).
+///
+/// Panics in a rank are propagated as a panic here (after all ranks are
+/// joined), matching the fail-fast behaviour of `mpirun`.
+pub fn run_ranks<T, F>(size: usize, body: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(LocalComm) -> T + Send + Sync + Clone + 'static,
+{
+    let comms = LocalFabric::new(size);
+    let handles: Vec<_> = comms
+        .into_iter()
+        .map(|comm| {
+            let body = body.clone();
+            thread::Builder::new()
+                .name(format!("eth-rank-{}", comm.rank()))
+                .spawn(move || body(comm))
+                .expect("spawn rank thread")
+        })
+        .collect();
+    let mut results = Vec::with_capacity(size);
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for h in handles {
+        match h.join() {
+            Ok(v) => results.push(v),
+            Err(p) => panic = Some(p),
+        }
+    }
+    if let Some(p) = panic {
+        std::panic::resume_unwind(p);
+    }
+    results
+}
+
+/// Like [`run_ranks`] but with fallible rank bodies: the first error is
+/// returned after all ranks complete.
+pub fn try_run_ranks<T, F>(size: usize, body: F) -> Result<Vec<T>>
+where
+    T: Send + 'static,
+    F: Fn(LocalComm) -> Result<T> + Send + Sync + Clone + 'static,
+{
+    let mut out = Vec::with_capacity(size);
+    for r in run_ranks(size, body) {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// Spawn `size` ranks over a loopback socket fabric bootstrapped through a
+/// layout directory at `layout_dir`.
+pub fn run_ranks_socket<T, F>(size: usize, layout_dir: &Path, body: F) -> Result<Vec<T>>
+where
+    T: Send + 'static,
+    F: Fn(SocketFabric) -> T + Send + Sync + Clone + 'static,
+{
+    let layout = LayoutFile::create(layout_dir)?;
+    layout.clear()?;
+    let handles: Vec<_> = (0..size)
+        .map(|rank| {
+            let body = body.clone();
+            let layout = layout.clone();
+            thread::Builder::new()
+                .name(format!("eth-sock-rank-{rank}"))
+                .spawn(move || {
+                    let comm =
+                        SocketFabric::bootstrap(rank, size, &layout, Duration::from_secs(30))?;
+                    Ok::<T, crate::comm::TransportError>(body(comm))
+                })
+                .expect("spawn rank thread")
+        })
+        .collect();
+    let mut results = Vec::with_capacity(size);
+    for h in handles {
+        match h.join() {
+            Ok(Ok(v)) => results.push(v),
+            Ok(Err(e)) => return Err(e),
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{allreduce_f64, barrier};
+    use crate::comm::Communicator;
+    use bytes::Bytes;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let ids = run_ranks(4, |c| (c.rank(), c.size()));
+        assert_eq!(ids, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn results_indexed_by_rank() {
+        let sq = run_ranks(5, |c| c.rank() * c.rank());
+        assert_eq!(sq, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn ring_pass_over_runner() {
+        let sums = run_ranks(4, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 0, Bytes::from(vec![c.rank() as u8])).unwrap();
+            let from_prev = c.recv(prev, 0).unwrap()[0] as usize;
+            barrier(&c).unwrap();
+            from_prev
+        });
+        assert_eq!(sums, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn collectives_work_over_runner() {
+        let totals = run_ranks(6, |c| {
+            allreduce_f64(&c, vec![1.0], |a, b| a + b).unwrap()[0]
+        });
+        assert!(totals.iter().all(|&t| t == 6.0));
+    }
+
+    #[test]
+    fn try_run_ranks_propagates_errors() {
+        let r = try_run_ranks(3, |c| {
+            if c.rank() == 1 {
+                Err(crate::comm::TransportError::InvalidArgument("boom".into()))
+            } else {
+                Ok(c.rank())
+            }
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 exploded")]
+    fn rank_panic_propagates() {
+        run_ranks(3, |c| {
+            if c.rank() == 2 {
+                panic!("rank 2 exploded");
+            }
+        });
+    }
+
+    #[test]
+    fn socket_runner_end_to_end() {
+        let dir = std::env::temp_dir().join("eth-runner-socket-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sums = run_ranks_socket(3, &dir, |c| {
+            allreduce_f64(&c, vec![c.rank() as f64], |a, b| a + b).unwrap()[0]
+        })
+        .unwrap();
+        assert_eq!(sums, vec![3.0, 3.0, 3.0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

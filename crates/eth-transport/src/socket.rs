@@ -1,0 +1,476 @@
+//! TCP socket backend.
+//!
+//! Two shapes, both bootstrapped through the [`crate::layout`] file exactly
+//! as Section III-C describes:
+//!
+//! * [`StreamChannel`] — the paper's sim↔viz pairing: a simulation-proxy
+//!   rank [`listen_as`]s (publishes its address, opens its port and waits);
+//!   a visualization-proxy rank [`connect_to`]s it (polls the layout file,
+//!   waits for the port, connects). Used by internode coupling when the two
+//!   proxies run as separate applications.
+//! * [`SocketFabric`] — a full N-rank mesh over loopback TCP implementing
+//!   [`Communicator`], interchangeable with the in-process backend.
+
+use crate::comm::{Communicator, Result, TrafficCounters, TransportError};
+use crate::layout::LayoutFile;
+use crate::message::{read_frame, write_frame, Frame};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A framed, tag-matched channel to a single peer over TCP.
+///
+/// Debug shows the traffic counters only (the stream itself is opaque).
+pub struct StreamChannel {
+    writer: Mutex<TcpStream>,
+    inbox: Receiver<Frame>,
+    pending: Mutex<Vec<Frame>>,
+    local_rank: u32,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+fn spawn_reader(stream: TcpStream, tx: Sender<Frame>) {
+    thread::spawn(move || {
+        let mut stream = stream;
+        // EOF or a decode error ends the watch; dropping `tx` closes the
+        // channel so blocked receivers see Disconnected.
+        while let Ok(frame) = read_frame(&mut stream) {
+            if tx.send(frame).is_err() {
+                break;
+            }
+        }
+    });
+}
+
+impl Drop for StreamChannel {
+    fn drop(&mut self) {
+        // The reader thread holds a clone of the fd; without an explicit
+        // shutdown the connection would stay open (and the peer would
+        // never see EOF) until the reader unblocks on its own.
+        let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
+    }
+}
+
+impl std::fmt::Debug for StreamChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamChannel")
+            .field("local_rank", &self.local_rank)
+            .field("bytes_sent", &self.bytes_sent())
+            .field("bytes_received", &self.bytes_received())
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamChannel {
+    fn new(stream: TcpStream, local_rank: u32) -> Result<StreamChannel> {
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        let (tx, rx) = unbounded();
+        spawn_reader(reader, tx);
+        Ok(StreamChannel {
+            writer: Mutex::new(stream),
+            inbox: rx,
+            pending: Mutex::new(Vec::new()),
+            local_rank,
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+        })
+    }
+
+    /// Send a tagged payload to the peer.
+    pub fn send(&self, tag: u32, payload: Bytes) -> Result<()> {
+        self.bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let mut w = self.writer.lock();
+        write_frame(&mut *w, self.local_rank, tag, &payload)
+    }
+
+    /// Block until a frame with `tag` arrives.
+    pub fn recv(&self, tag: u32) -> Result<Bytes> {
+        {
+            let mut pending = self.pending.lock();
+            if let Some(pos) = pending.iter().position(|f| f.tag == tag) {
+                let f = pending.remove(pos);
+                self.bytes_received
+                    .fetch_add(f.payload.len() as u64, Ordering::Relaxed);
+                return Ok(f.payload);
+            }
+        }
+        loop {
+            let frame = self
+                .inbox
+                .recv()
+                .map_err(|_| TransportError::Disconnected { peer: 0 })?;
+            if frame.tag == tag {
+                self.bytes_received
+                    .fetch_add(frame.payload.len() as u64, Ordering::Relaxed);
+                return Ok(frame.payload);
+            }
+            self.pending.lock().push(frame);
+        }
+    }
+
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+}
+
+/// Simulation-proxy side: publish an address under `rank`, open the port
+/// and wait for exactly one connection (the paired visualization rank).
+pub fn listen_as(layout: &LayoutFile, rank: usize) -> Result<StreamChannel> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    layout.publish(rank, listener.local_addr()?)?;
+    let (stream, _addr) = listener.accept()?;
+    StreamChannel::new(stream, rank as u32)
+}
+
+/// Visualization-proxy side: poll the layout file for `rank`'s address,
+/// wait for the port to open, connect.
+pub fn connect_to(
+    layout: &LayoutFile,
+    rank: usize,
+    timeout: Duration,
+) -> Result<StreamChannel> {
+    let deadline = Instant::now() + timeout;
+    // Wait for the address to be published.
+    let addr = loop {
+        if let Some(addr) = layout.lookup(rank)? {
+            break addr;
+        }
+        if Instant::now() > deadline {
+            return Err(TransportError::Bootstrap(format!(
+                "rank {rank} never published its address"
+            )));
+        }
+        thread::sleep(Duration::from_millis(5));
+    };
+    // Wait for the port to open.
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return StreamChannel::new(stream, u32::MAX),
+            Err(e) => {
+                if Instant::now() > deadline {
+                    return Err(TransportError::Bootstrap(format!(
+                        "cannot connect to rank {rank} at {addr}: {e}"
+                    )));
+                }
+                thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+type Envelope = (usize, u32, Bytes);
+
+/// Full-mesh TCP communicator over loopback; interchangeable with
+/// [`crate::local::LocalComm`].
+pub struct SocketFabric {
+    rank: usize,
+    size: usize,
+    /// Writer stream per peer (None for self).
+    writers: Vec<Option<Mutex<TcpStream>>>,
+    inbox: Receiver<Envelope>,
+    /// Loopback for self-sends.
+    self_tx: Sender<Envelope>,
+    pending: Mutex<Vec<Envelope>>,
+    messages_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    messages_received: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl SocketFabric {
+    /// Bootstrap rank `rank` of a `size`-rank mesh through `layout`.
+    ///
+    /// All `size` processes must call this concurrently. Rank i accepts
+    /// connections from ranks > i and dials ranks < i; each dialer sends a
+    /// 4-byte rank handshake.
+    pub fn bootstrap(
+        rank: usize,
+        size: usize,
+        layout: &LayoutFile,
+        timeout: Duration,
+    ) -> Result<SocketFabric> {
+        if rank >= size || size == 0 {
+            return Err(TransportError::InvalidArgument(format!(
+                "rank {rank} outside size {size}"
+            )));
+        }
+        let deadline = Instant::now() + timeout;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        layout.publish(rank, listener.local_addr()?)?;
+
+        let (tx, rx) = unbounded::<Envelope>();
+        let mut writers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(size);
+        for _ in 0..size {
+            writers.push(None);
+        }
+
+        // Dial lower ranks.
+        let addrs = layout.wait_for(size, timeout)?;
+        for peer in 0..rank {
+            let stream = loop {
+                match TcpStream::connect(addrs[&peer]) {
+                    Ok(s) => break s,
+                    Err(e) => {
+                        if Instant::now() > deadline {
+                            return Err(TransportError::Bootstrap(format!(
+                                "dial rank {peer}: {e}"
+                            )));
+                        }
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            };
+            stream.set_nodelay(true)?;
+            // handshake: who am I
+            {
+                use std::io::Write as _;
+                let mut s = &stream;
+                s.write_all(&(rank as u32).to_le_bytes())?;
+            }
+            let reader = stream.try_clone()?;
+            let txc = tx.clone();
+            thread::spawn(move || {
+                let mut reader = reader;
+                while let Ok(frame) = read_frame(&mut reader) {
+                    if txc
+                        .send((frame.from as usize, frame.tag, frame.payload))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+            writers[peer] = Some(Mutex::new(stream));
+        }
+
+        // Accept higher ranks.
+        let expected = size - rank - 1;
+        for _ in 0..expected {
+            let (stream, _) = listener.accept()?;
+            stream.set_nodelay(true)?;
+            // read handshake
+            let peer = {
+                use std::io::Read as _;
+                let mut s = &stream;
+                let mut buf = [0u8; 4];
+                s.read_exact(&mut buf)?;
+                u32::from_le_bytes(buf) as usize
+            };
+            if peer >= size {
+                return Err(TransportError::Bootstrap(format!(
+                    "handshake from unknown rank {peer}"
+                )));
+            }
+            let reader = stream.try_clone()?;
+            let txc = tx.clone();
+            thread::spawn(move || {
+                let mut reader = reader;
+                while let Ok(frame) = read_frame(&mut reader) {
+                    if txc
+                        .send((frame.from as usize, frame.tag, frame.payload))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+            writers[peer] = Some(Mutex::new(stream));
+        }
+
+        Ok(SocketFabric {
+            rank,
+            size,
+            writers,
+            inbox: rx,
+            self_tx: tx,
+            pending: Mutex::new(Vec::new()),
+            messages_sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            messages_received: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+        })
+    }
+}
+
+impl Communicator for SocketFabric {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, to: usize, tag: u32, payload: Bytes) -> Result<()> {
+        self.check_peer(to)?;
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        if to == self.rank {
+            self.self_tx
+                .send((self.rank, tag, payload))
+                .map_err(|_| TransportError::Disconnected { peer: to })?;
+            return Ok(());
+        }
+        let writer = self.writers[to]
+            .as_ref()
+            .ok_or(TransportError::Disconnected { peer: to })?;
+        let mut w = writer.lock();
+        write_frame(&mut *w, self.rank as u32, tag, &payload)
+    }
+
+    fn recv(&self, from: usize, tag: u32) -> Result<Bytes> {
+        self.check_peer(from)?;
+        {
+            let mut pending = self.pending.lock();
+            if let Some(pos) = pending
+                .iter()
+                .position(|(f, t, _)| *f == from && *t == tag)
+            {
+                let (_, _, payload) = pending.remove(pos);
+                self.messages_received.fetch_add(1, Ordering::Relaxed);
+                self.bytes_received
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                return Ok(payload);
+            }
+        }
+        loop {
+            let envelope = self
+                .inbox
+                .recv()
+                .map_err(|_| TransportError::Disconnected { peer: from })?;
+            if envelope.0 == from && envelope.1 == tag {
+                self.messages_received.fetch_add(1, Ordering::Relaxed);
+                self.bytes_received
+                    .fetch_add(envelope.2.len() as u64, Ordering::Relaxed);
+                return Ok(envelope.2);
+            }
+            self.pending.lock().push(envelope);
+        }
+    }
+
+    fn traffic(&self) -> TrafficCounters {
+        TrafficCounters {
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            messages_received: self.messages_received.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("eth-socket-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn pair_link_follows_paper_bootstrap() {
+        // sim rank publishes + listens; viz rank polls + connects.
+        let layout = LayoutFile::create(&tmp("pair")).unwrap();
+        let l2 = layout.clone();
+        let sim = thread::spawn(move || {
+            let chan = listen_as(&l2, 0).unwrap();
+            // receive a request, answer with data
+            let req = chan.recv(1).unwrap();
+            assert_eq!(&req[..], b"need step 0");
+            chan.send(2, Bytes::from_static(b"here is step 0")).unwrap();
+            chan.bytes_sent()
+        });
+        let viz = thread::spawn(move || {
+            let chan = connect_to(&layout, 0, Duration::from_secs(10)).unwrap();
+            chan.send(1, Bytes::from_static(b"need step 0")).unwrap();
+            let data = chan.recv(2).unwrap();
+            assert_eq!(&data[..], b"here is step 0");
+        });
+        let sent = sim.join().unwrap();
+        viz.join().unwrap();
+        assert_eq!(sent, 14);
+    }
+
+    #[test]
+    fn pair_link_tag_matching() {
+        let layout = LayoutFile::create(&tmp("tags")).unwrap();
+        let l2 = layout.clone();
+        let a = thread::spawn(move || {
+            let chan = listen_as(&l2, 0).unwrap();
+            chan.send(10, Bytes::from_static(b"ten")).unwrap();
+            chan.send(20, Bytes::from_static(b"twenty")).unwrap();
+        });
+        let chan = connect_to(&layout, 0, Duration::from_secs(10)).unwrap();
+        // ask for tag 20 first
+        assert_eq!(&chan.recv(20).unwrap()[..], b"twenty");
+        assert_eq!(&chan.recv(10).unwrap()[..], b"ten");
+        a.join().unwrap();
+    }
+
+    #[test]
+    fn connect_times_out_without_listener() {
+        let layout = LayoutFile::create(&tmp("timeout")).unwrap();
+        let r = connect_to(&layout, 0, Duration::from_millis(60));
+        assert!(matches!(r.err(), Some(TransportError::Bootstrap(_))));
+    }
+
+    #[test]
+    fn fabric_all_to_all() {
+        let layout = LayoutFile::create(&tmp("fabric")).unwrap();
+        let size = 3;
+        let handles: Vec<_> = (0..size)
+            .map(|rank| {
+                let layout = layout.clone();
+                thread::spawn(move || {
+                    let comm =
+                        SocketFabric::bootstrap(rank, size, &layout, Duration::from_secs(10))
+                            .unwrap();
+                    for to in 0..size {
+                        comm.send(to, 5, Bytes::from(vec![rank as u8])).unwrap();
+                    }
+                    let mut got = Vec::new();
+                    for from in 0..size {
+                        got.push(comm.recv(from, 5).unwrap()[0]);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn fabric_large_payload() {
+        let layout = LayoutFile::create(&tmp("large")).unwrap();
+        let l2 = layout.clone();
+        let a = thread::spawn(move || {
+            let comm = SocketFabric::bootstrap(0, 2, &l2, Duration::from_secs(10)).unwrap();
+            let big = Bytes::from(vec![7u8; 2_000_000]);
+            comm.send(1, 1, big).unwrap();
+        });
+        let b = thread::spawn(move || {
+            let comm = SocketFabric::bootstrap(1, 2, &layout, Duration::from_secs(10)).unwrap();
+            let data = comm.recv(0, 1).unwrap();
+            assert_eq!(data.len(), 2_000_000);
+            assert!(data.iter().all(|&b| b == 7));
+        });
+        a.join().unwrap();
+        b.join().unwrap();
+    }
+}

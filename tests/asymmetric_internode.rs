@@ -1,0 +1,76 @@
+//! Asymmetric internode layouts (Figure 2's "differing numbers of nodes
+//! for each"): a viz side smaller (or larger) than the sim side must
+//! produce the same images — sort-last compositing hides the layout.
+
+use eth::core::config::{Algorithm, Application, Coupling, ExperimentSpec};
+use eth::core::harness::run_native;
+
+fn spec(name: &str, app: Application, alg: Algorithm, viz_ranks: Option<usize>) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder(name)
+        .application(app)
+        .algorithm(alg)
+        .coupling(Coupling::Internode)
+        .ranks(4)
+        .image_size(56, 56);
+    if let Some(v) = viz_ranks {
+        b = b.viz_ranks(v);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn fewer_viz_ranks_same_particle_image() {
+    let app = Application::Hacc { particles: 5_000 };
+    let symmetric = run_native(&spec("sym", app.clone(), Algorithm::GaussianSplat, None)).unwrap();
+    for viz in [1usize, 2, 3] {
+        let asym = run_native(&spec(
+            &format!("asym{viz}"),
+            app.clone(),
+            Algorithm::GaussianSplat,
+            Some(viz),
+        ))
+        .unwrap();
+        let rmse = asym.images[0].rmse(&symmetric.images[0]).unwrap();
+        assert!(
+            rmse < 1e-6,
+            "viz_ranks={viz} changed the image: rmse {rmse}"
+        );
+    }
+}
+
+#[test]
+fn more_viz_ranks_than_sim_ranks() {
+    // Over-provisioned viz side: extra viz ranks serve no sim rank and
+    // contribute empty frames; the image must still match.
+    let app = Application::Hacc { particles: 5_000 };
+    let symmetric = run_native(&spec("m-sym", app.clone(), Algorithm::VtkPoints, None)).unwrap();
+    let asym = run_native(&spec("m-asym", app, Algorithm::VtkPoints, Some(6))).unwrap();
+    let rmse = asym.images[0].rmse(&symmetric.images[0]).unwrap();
+    assert!(rmse < 1e-6, "over-provisioned viz changed the image: {rmse}");
+}
+
+#[test]
+fn asymmetric_grid_pipeline_matches() {
+    let app = Application::Xrage { dims: [18, 14, 12] };
+    let symmetric =
+        run_native(&spec("g-sym", app.clone(), Algorithm::RaycastIsosurface, None)).unwrap();
+    let asym = run_native(&spec("g-asym", app, Algorithm::RaycastIsosurface, Some(2))).unwrap();
+    let rmse = asym.images[0].rmse(&symmetric.images[0]).unwrap();
+    assert!(rmse < 1e-6, "asymmetric grid layout changed the image: {rmse}");
+}
+
+#[test]
+fn viz_ranks_validation() {
+    // zero viz ranks rejected
+    assert!(ExperimentSpec::builder("bad")
+        .coupling(Coupling::Internode)
+        .viz_ranks(0)
+        .build()
+        .is_err());
+    // viz_ranks on a co-located coupling rejected
+    assert!(ExperimentSpec::builder("bad2")
+        .coupling(Coupling::Tight)
+        .viz_ranks(2)
+        .build()
+        .is_err());
+}
