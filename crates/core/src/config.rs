@@ -8,6 +8,7 @@ use eth_data::{DataObject, Vec3};
 use eth_render::geometry::slice::Plane;
 use eth_render::pipeline::RenderAlgorithm;
 use eth_sim::{HaccConfig, XrageConfig};
+use eth_transport::fault::FaultPlan;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
@@ -251,6 +252,13 @@ pub struct ExperimentSpec {
     /// receives the blocks of the sim ranks assigned to it round-robin.
     #[serde(default)]
     pub viz_ranks: Option<usize>,
+    /// Deterministic fault injection on the data path (intercore and
+    /// internode process boundaries; tight coupling has no boundary to
+    /// fault). With a plan set, the harness runs fault-tolerant: missed
+    /// deadlines and disconnects degrade the affected steps instead of
+    /// failing the run, and the outcome reports the degradation.
+    #[serde(default)]
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ExperimentSpec {
@@ -298,6 +306,35 @@ impl ExperimentSpec {
                 self.algorithm.name()
             )));
         }
+        if let Some(plan) = &self.fault_plan {
+            for (name, p) in [
+                ("drop_prob", plan.drop_prob),
+                ("corrupt_prob", plan.corrupt_prob),
+                ("delay_prob", plan.delay_prob),
+            ] {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(CoreError::Config(format!(
+                        "fault plan {name} {p} outside [0, 1]"
+                    )));
+                }
+            }
+            if plan.min_tag >= plan.max_tag {
+                return Err(CoreError::Config(format!(
+                    "fault plan tag window [{:#x}, {:#x}) is empty",
+                    plan.min_tag, plan.max_tag
+                )));
+            }
+            // a plan that can lose messages must bound the waits it causes,
+            // or the run would hang instead of degrading
+            let lossy = plan.drop_prob > 0.0 || plan.disconnect.is_some();
+            if lossy && plan.recv_deadline_ms == 0 {
+                return Err(CoreError::Config(
+                    "fault plan drops or disconnects but sets no recv_deadline_ms; \
+                     receivers would block forever on lost messages"
+                        .into(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -325,6 +362,7 @@ impl ExperimentSpecBuilder {
                 artifact_dir: None,
                 compress_transport: false,
                 viz_ranks: None,
+                fault_plan: None,
             },
         }
     }
@@ -388,6 +426,12 @@ impl ExperimentSpecBuilder {
     /// Internode with an asymmetric rank split (viz side smaller/larger).
     pub fn viz_ranks(mut self, viz_ranks: usize) -> Self {
         self.spec.viz_ranks = Some(viz_ranks);
+        self
+    }
+
+    /// Inject faults on the data path and run fault-tolerant.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.spec.fault_plan = Some(plan);
         self
     }
 
@@ -483,6 +527,24 @@ mod tests {
         }
         assert!(Algorithm::VtkPoints.accepts(&Application::Hacc { particles: 1 }));
         assert!(!Algorithm::VtkPoints.accepts(&app));
+    }
+
+    #[test]
+    fn fault_plan_validation() {
+        // a lossy plan without a recv deadline would hang, so it's rejected
+        let lossy = FaultPlan::default().with_drop(0.5);
+        assert!(ExperimentSpec::builder("t").fault_plan(lossy).build().is_err());
+        // out-of-range probability
+        let silly = FaultPlan::seeded(1).with_drop(1.5);
+        assert!(ExperimentSpec::builder("t").fault_plan(silly).build().is_err());
+        // seeded plans carry a deadline and pass
+        let ok = FaultPlan::seeded(1).with_drop(0.5);
+        let spec = ExperimentSpec::builder("t").fault_plan(ok).build().unwrap();
+        assert!(spec.fault_plan.is_some());
+        // and the plan rides along through serde
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: ExperimentSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(spec, back);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Harness error type: unifies data-model and transport failures.
 
 use eth_data::error::DataError;
-use eth_transport::TransportError;
+use eth_transport::{RankFailure, TransportError};
 use std::fmt;
 
 /// Any failure the harness can produce.
@@ -13,6 +13,8 @@ pub enum CoreError {
     Transport(TransportError),
     /// Invalid experiment configuration.
     Config(String),
+    /// A supervised rank panicked or overran its wall-clock budget.
+    Rank(RankFailure),
 }
 
 impl fmt::Display for CoreError {
@@ -21,6 +23,7 @@ impl fmt::Display for CoreError {
             CoreError::Data(e) => write!(f, "data error: {e}"),
             CoreError::Transport(e) => write!(f, "transport error: {e}"),
             CoreError::Config(m) => write!(f, "configuration error: {m}"),
+            CoreError::Rank(e) => write!(f, "rank failure: {e}"),
         }
     }
 }
@@ -31,7 +34,14 @@ impl std::error::Error for CoreError {
             CoreError::Data(e) => Some(e),
             CoreError::Transport(e) => Some(e),
             CoreError::Config(_) => None,
+            CoreError::Rank(e) => Some(e),
         }
+    }
+}
+
+impl From<RankFailure> for CoreError {
+    fn from(e: RankFailure) -> Self {
+        CoreError::Rank(e)
     }
 }
 
@@ -61,6 +71,12 @@ mod tests {
         assert!(t.to_string().contains("transport error"));
         let c = CoreError::Config("bad".into());
         assert!(c.to_string().contains("bad"));
+        let r: CoreError = RankFailure::Panic {
+            rank: 2,
+            message: "kaboom".into(),
+        }
+        .into();
+        assert!(r.to_string().contains("kaboom"));
         use std::error::Error;
         assert!(d.source().is_some());
         assert!(c.source().is_none());

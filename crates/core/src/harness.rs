@@ -37,13 +37,16 @@ use eth_render::composite::composite_direct;
 use eth_render::framebuffer::Framebuffer;
 use eth_render::pipeline::RenderStats;
 use eth_render::Image;
+use eth_transport::chaos::{ChaosChannel, ChaosComm};
 use eth_transport::collectives::gather;
-use eth_transport::comm::Communicator;
+use eth_transport::comm::{Communicator, TransportError};
 use eth_transport::layout::LayoutFile;
 use eth_data::compress;
+use eth_transport::local::LocalComm;
 use eth_transport::message::{decode_dataset, encode_dataset};
-use eth_transport::runner::run_ranks;
+use eth_transport::runner::{run_ranks, run_ranks_supervised};
 use eth_transport::socket::{connect_to, listen_as};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -65,6 +68,54 @@ impl PhaseTimes {
     }
 }
 
+/// Faults absorbed by a fault-tolerant run, summed over ranks. With no
+/// fault plan this is always all-zero; with one, it is the run's
+/// degradation record (deterministic for a given plan seed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// Steps a visualization rank completed with *no* fresh data (it
+    /// rendered nothing and joined the composite with empty frames).
+    pub dropped_steps: u64,
+    /// Steps completed with partial data (some, not all, blocks arrived).
+    pub degraded_steps: u64,
+    /// Receives that hit their deadline.
+    pub timeouts: u64,
+    /// Uses of a link that was (or became) dead.
+    pub disconnects: u64,
+    /// Payloads that failed integrity or decode checks.
+    pub corrupt_payloads: u64,
+}
+
+impl Degradation {
+    pub fn is_clean(&self) -> bool {
+        *self == Degradation::default()
+    }
+
+    /// Transport faults observed (not derived step counts).
+    fn faults(&self) -> u64 {
+        self.timeouts + self.disconnects + self.corrupt_payloads
+    }
+
+    fn absorb(&mut self, other: &Degradation) {
+        self.dropped_steps += other.dropped_steps;
+        self.degraded_steps += other.degraded_steps;
+        self.timeouts += other.timeouts;
+        self.disconnects += other.disconnects;
+        self.corrupt_payloads += other.corrupt_payloads;
+    }
+
+    /// Classify one transport fault into the matching counter.
+    fn count(&mut self, err: &TransportError) {
+        match err {
+            TransportError::Timeout { .. } => self.timeouts += 1,
+            TransportError::Corrupt { .. } => self.corrupt_payloads += 1,
+            // disconnects, IO errors on a dying socket, everything else
+            // that severs a link
+            _ => self.disconnects += 1,
+        }
+    }
+}
+
 /// Result of one native-mode run.
 pub struct NativeOutcome {
     pub spec: ExperimentSpec,
@@ -77,6 +128,8 @@ pub struct NativeOutcome {
     pub stats: RenderStats,
     /// Bytes moved through the transport layer (all ranks).
     pub bytes_moved: u64,
+    /// Faults absorbed (all-zero unless the spec carries a fault plan).
+    pub degradation: Degradation,
 }
 
 impl NativeOutcome {
@@ -87,7 +140,7 @@ impl NativeOutcome {
 
     /// One-paragraph human-readable summary.
     pub fn report(&self) -> String {
-        format!(
+        let mut base = format!(
             "experiment '{}' [{} | {} | {} | {} ranks | ratio {:.2}]: \
              {} images in {:.3}s (sim {:.3}s, transfer {:.3}s, viz {:.3}s, \
              composite {:.3}s), {} fragments, {} bytes moved",
@@ -105,7 +158,16 @@ impl NativeOutcome {
             self.phases.composite_s,
             self.stats.fragments,
             self.bytes_moved,
-        )
+        );
+        if !self.degradation.is_clean() {
+            let d = &self.degradation;
+            base.push_str(&format!(
+                "; degraded: {} steps dropped, {} partial ({} timeouts, \
+                 {} disconnects, {} corrupt payloads)",
+                d.dropped_steps, d.degraded_steps, d.timeouts, d.disconnects, d.corrupt_payloads
+            ));
+        }
+        base
     }
 }
 
@@ -134,6 +196,28 @@ struct RankOutput {
     stats: RenderStats,
     phases: PhaseTimes,
     bytes_sent: u64,
+    degradation: Degradation,
+}
+
+/// What a rank's data-intake closure hands back for one step: the blocks
+/// that actually arrived plus timing and any faults absorbed getting them.
+struct StepIntake {
+    blocks: Vec<DataObject>,
+    sim_time: Duration,
+    transfer_time: Duration,
+    degradation: Degradation,
+}
+
+impl StepIntake {
+    /// A clean intake (no process boundary, nothing lost).
+    fn clean(blocks: Vec<DataObject>, sim_time: Duration, transfer_time: Duration) -> StepIntake {
+        StepIntake {
+            blocks,
+            sim_time,
+            transfer_time,
+            degradation: Degradation::default(),
+        }
+    }
 }
 
 /// Pre-generated per-step data: blocks[step][rank] plus global bounds and
@@ -205,15 +289,30 @@ fn viz_side(
     comm: &dyn Communicator,
     root: usize,
     staged: &StagedData,
-    mut take_blocks: impl FnMut(usize) -> Result<(Vec<DataObject>, Duration, Duration)>,
+    mut take_blocks: impl FnMut(usize) -> Result<StepIntake>,
 ) -> Result<RankOutput> {
     let mut images = Vec::new();
     let mut stats = RenderStats::default();
     let mut phases = PhaseTimes::default();
+    let mut degradation = Degradation::default();
     for step in 0..spec.steps {
-        let (blocks, sim_time, transfer_time) = take_blocks(step)?;
-        phases.sim_s += sim_time.as_secs_f64();
-        phases.transfer_s += transfer_time.as_secs_f64();
+        let intake = take_blocks(step)?;
+        phases.sim_s += intake.sim_time.as_secs_f64();
+        phases.transfer_s += intake.transfer_time.as_secs_f64();
+        // Classify the step: faults with nothing delivered = a dropped
+        // step (this rank renders stale/empty); faults with partial
+        // delivery = a degraded step. Either way the rank presses on and
+        // joins every composite, so one sick link never deadlocks the run.
+        let mut step_deg = intake.degradation;
+        if step_deg.faults() > 0 {
+            if intake.blocks.is_empty() {
+                step_deg.dropped_steps += 1;
+            } else {
+                step_deg.degraded_steps += 1;
+            }
+        }
+        degradation.absorb(&step_deg);
+        let blocks = intake.blocks;
 
         // Every rank colors through the global transfer-function range.
         let pipeline = pipeline_for_step(spec, staged, step);
@@ -269,6 +368,7 @@ fn viz_side(
         stats,
         phases,
         bytes_sent: comm.traffic().bytes_sent,
+        degradation,
     })
 }
 
@@ -287,6 +387,7 @@ fn merge_outputs(spec: &ExperimentSpec, wall_s: f64, outputs: Vec<RankOutput>) -
     let mut stats = RenderStats::default();
     let mut phases = PhaseTimes::default();
     let mut bytes_moved = 0;
+    let mut degradation = Degradation::default();
     for out in outputs {
         if !out.images.is_empty() {
             images = out.images;
@@ -294,6 +395,7 @@ fn merge_outputs(spec: &ExperimentSpec, wall_s: f64, outputs: Vec<RankOutput>) -
         stats = accumulate(stats, out.stats);
         phases.max_with(&out.phases);
         bytes_moved += out.bytes_sent;
+        degradation.absorb(&out.degradation);
     }
     NativeOutcome {
         spec: spec.clone(),
@@ -302,6 +404,21 @@ fn merge_outputs(spec: &ExperimentSpec, wall_s: f64, outputs: Vec<RankOutput>) -
         images,
         stats,
         bytes_moved,
+        degradation,
+    }
+}
+
+/// Launch local-fabric ranks, supervised when the spec's fault plan sets a
+/// per-rank wall-clock budget: a hung or panicking rank then surfaces as
+/// [`CoreError::Rank`] instead of wedging or aborting the sweep.
+fn run_ranks_maybe_supervised<T, F>(spec: &ExperimentSpec, size: usize, body: F) -> Result<Vec<T>>
+where
+    T: Send + 'static,
+    F: Fn(LocalComm) -> T + Send + Sync + Clone + 'static,
+{
+    match spec.fault_plan.as_ref().and_then(|p| p.rank_timeout()) {
+        Some(budget) => Ok(run_ranks_supervised(size, budget, body)?),
+        None => Ok(run_ranks(size, body)),
     }
 }
 
@@ -319,18 +436,19 @@ pub fn run_native(spec: &ExperimentSpec) -> Result<NativeOutcome> {
 }
 
 fn run_tight(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<RankOutput>> {
-    let spec = spec.clone();
+    let ranks = spec.ranks;
+    let spec_body = spec.clone();
     let staged = staged.clone();
-    let results = run_ranks(spec.ranks, move |comm| {
+    let results = run_ranks_maybe_supervised(spec, ranks, move |comm| {
         let rank = comm.rank();
-        viz_side(&spec, &comm, 0, &staged, |step| {
+        viz_side(&spec_body, &comm, 0, &staged, |step| {
             // "simulation": the proxy presents its block (a copy, as a real
             // proxy's load would be)
             let t = Instant::now();
             let block = staged.blocks[step][rank].clone();
-            Ok((vec![block], t.elapsed(), Duration::ZERO))
+            Ok(StepIntake::clean(vec![block], t.elapsed(), Duration::ZERO))
         })
-    });
+    })?;
     results.into_iter().collect()
 }
 
@@ -338,28 +456,45 @@ const DATA_TAG_BASE: u32 = 0x1000;
 
 fn run_intercore(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<RankOutput>> {
     let r = spec.ranks;
-    let spec = spec.clone();
+    let spec_body = spec.clone();
     let staged = staged.clone();
     // 2R ranks on one fabric: 0..R sim, R..2R viz. Viz ranks composite via
     // a gather rooted at viz rank R (index 0 of the viz side); the sim
     // ranks also participate in the gather with empty payloads so the
     // collective spans the communicator.
-    let results = run_ranks(2 * r, move |comm| -> Result<RankOutput> {
+    let results = run_ranks_maybe_supervised(spec, 2 * r, move |comm| -> Result<RankOutput> {
+        let spec = &spec_body;
         let rank = comm.rank();
+        let tolerant = spec.fault_plan.is_some();
+        // With a fault plan, the whole fabric runs behind the chaos
+        // wrapper; the plan's tag window keeps the composite collectives
+        // fault-free while the data path misbehaves.
+        let comm: Box<dyn Communicator> = match spec.fault_plan.clone() {
+            Some(plan) => Box::new(ChaosComm::new(comm, plan)),
+            None => Box::new(comm),
+        };
+        let comm = comm.as_ref();
         if rank < r {
             // simulation proxy side
             let mut phases = PhaseTimes::default();
+            let mut degradation = Degradation::default();
             for step in 0..spec.steps {
                 let t = Instant::now();
                 let block = staged.blocks[step][rank].clone();
-                let payload = encode_block(&spec, &block);
+                let payload = encode_block(spec, &block);
                 phases.sim_s += t.elapsed().as_secs_f64();
                 let t2 = Instant::now();
-                comm.send(r + rank, DATA_TAG_BASE + step as u32, payload)?;
+                match comm.send(r + rank, DATA_TAG_BASE + step as u32, payload) {
+                    Ok(()) => {}
+                    // a dead viz link must not kill the simulation: note it
+                    // and keep stepping (the paired viz rank degrades)
+                    Err(e) if tolerant => degradation.count(&e),
+                    Err(e) => return Err(e.into()),
+                }
                 phases.transfer_s += t2.elapsed().as_secs_f64();
                 // join the per-image composite gathers with empty payloads
                 for _ in 0..spec.images_per_step {
-                    gather(&comm, r, Bytes::new())?;
+                    gather(comm, r, Bytes::new())?;
                 }
             }
             Ok(RankOutput {
@@ -367,19 +502,41 @@ fn run_intercore(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
                 stats: RenderStats::default(),
                 phases,
                 bytes_sent: comm.traffic().bytes_sent,
+                degradation,
             })
         } else {
             // visualization proxy side
             let sim_rank = rank - r;
-            let out = viz_side(&spec, &comm, r, &staged, |step| {
+            let out = viz_side(spec, comm, r, &staged, |step| {
                 let t = Instant::now();
-                let payload = comm.recv(sim_rank, DATA_TAG_BASE + step as u32)?;
-                let block = decode_block(&spec, payload)?;
-                Ok((vec![block], Duration::ZERO, t.elapsed()))
+                let mut deg = Degradation::default();
+                // the chaos wrapper applies the plan's receive deadline, so
+                // this cannot block forever on a dropped message
+                let blocks = match comm.recv(sim_rank, DATA_TAG_BASE + step as u32) {
+                    Ok(payload) => match decode_block(spec, payload) {
+                        Ok(block) => vec![block],
+                        Err(_) if tolerant => {
+                            deg.corrupt_payloads += 1;
+                            Vec::new()
+                        }
+                        Err(e) => return Err(e),
+                    },
+                    Err(e) if tolerant => {
+                        deg.count(&e);
+                        Vec::new()
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                Ok(StepIntake {
+                    blocks,
+                    sim_time: Duration::ZERO,
+                    transfer_time: t.elapsed(),
+                    degradation: deg,
+                })
             })?;
             Ok(out)
         }
-    });
+    })?;
     results.into_iter().collect()
 }
 
@@ -398,22 +555,37 @@ fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
     let layout = LayoutFile::create(&layout_dir)?;
 
     // Simulation application: each rank publishes, listens, then streams
-    // its blocks to the paired visualization rank.
+    // its blocks to the paired visualization rank. The pair link always
+    // goes through the chaos wrapper; with no plan it is a passthrough.
     let mut sim_handles = Vec::new();
     for rank in 0..r {
         let staged = staged.clone();
         let layout = layout.clone();
         let spec_sim = spec.clone();
         sim_handles.push(thread::spawn(move || -> Result<RankOutput> {
-            let chan = listen_as(&layout, rank)?;
+            let tolerant = spec_sim.fault_plan.is_some();
+            let chan = ChaosChannel::new(
+                listen_as(&layout, rank)?,
+                spec_sim.fault_plan.clone().unwrap_or_default(),
+            );
             let mut phases = PhaseTimes::default();
+            let mut degradation = Degradation::default();
             for step in 0..spec_sim.steps {
                 let t = Instant::now();
                 let block = staged.blocks[step][rank].clone();
                 let payload = encode_block(&spec_sim, &block);
                 phases.sim_s += t.elapsed().as_secs_f64();
                 let t2 = Instant::now();
-                chan.send(DATA_TAG_BASE + step as u32, payload)?;
+                match chan.send(DATA_TAG_BASE + step as u32, payload) {
+                    Ok(()) => {}
+                    Err(e) if tolerant => {
+                        // the viz link is gone: the simulation keeps its
+                        // remaining steps to itself instead of dying
+                        degradation.count(&e);
+                        break;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
                 phases.transfer_s += t2.elapsed().as_secs_f64();
             }
             Ok(RankOutput {
@@ -421,6 +593,7 @@ fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
                 stats: RenderStats::default(),
                 phases,
                 bytes_sent: chan.bytes_sent(),
+                degradation,
             })
         }));
     }
@@ -439,18 +612,39 @@ fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
         let staged = staged.clone();
         let my_sims: Vec<usize> = (0..r).filter(|s| s % viz_count == rank).collect();
         viz_handles.push(thread::spawn(move || -> Result<RankOutput> {
+            let tolerant = spec.fault_plan.is_some();
+            let plan = spec.fault_plan.clone().unwrap_or_default();
             let mut chans = Vec::with_capacity(my_sims.len());
             for &sim_rank in &my_sims {
-                chans.push(connect_to(&layout, sim_rank, Duration::from_secs(30))?);
+                // the viz rank announces its own rank on the pair link, so
+                // frames and errors on both ends carry true identities
+                let chan = connect_to(&layout, sim_rank, rank, Duration::from_secs(30))?;
+                chans.push(ChaosChannel::new(chan, plan.clone()));
             }
             let mut out = viz_side(&spec, &comm, 0, &staged, |step| {
                 let t = Instant::now();
+                let mut deg = Degradation::default();
                 let mut blocks = Vec::with_capacity(chans.len());
                 for chan in &chans {
-                    let payload = chan.recv(DATA_TAG_BASE + step as u32)?;
-                    blocks.push(decode_block(&spec, payload)?);
+                    // the chaos wrapper applies the plan's receive
+                    // deadline: a silent or dead sim rank costs one
+                    // deadline, not the whole run
+                    match chan.recv(DATA_TAG_BASE + step as u32) {
+                        Ok(payload) => match decode_block(&spec, payload) {
+                            Ok(block) => blocks.push(block),
+                            Err(_) if tolerant => deg.corrupt_payloads += 1,
+                            Err(e) => return Err(e),
+                        },
+                        Err(e) if tolerant => deg.count(&e),
+                        Err(e) => return Err(e.into()),
+                    }
                 }
-                Ok((blocks, Duration::ZERO, t.elapsed()))
+                Ok(StepIntake {
+                    blocks,
+                    sim_time: Duration::ZERO,
+                    transfer_time: t.elapsed(),
+                    degradation: deg,
+                })
             })?;
             for chan in &chans {
                 out.bytes_sent += chan.bytes_sent();
@@ -591,6 +785,7 @@ pub fn run_cluster(exp: &ClusterExperiment) -> RunMetrics {
 mod tests {
     use super::*;
     use crate::config::{Algorithm, Application, ExperimentSpec};
+    use eth_transport::fault::FaultPlan;
 
     fn base_spec(name: &str) -> ExperimentSpec {
         ExperimentSpec::builder(name)
@@ -668,6 +863,87 @@ mod tests {
         let rmse = sampled.images[0].rmse(&full.images[0]).unwrap();
         assert!(rmse > 0.0, "sampling must change the image");
         assert!(rmse < 0.5, "sampled image unrecognizable: rmse {rmse}");
+    }
+
+    #[test]
+    fn clean_runs_report_no_degradation() {
+        let out = run_native(&base_spec("clean")).unwrap();
+        assert!(out.degradation.is_clean());
+        assert!(!out.report().contains("degraded"));
+    }
+
+    #[test]
+    fn internode_disconnect_degrades_not_deadlocks() {
+        // Sim rank 1's viz link dies after 2 messages and a quarter of the
+        // remaining data traffic is dropped. The run must complete (inside
+        // the deadline budget, not hang), produce every image slot, and
+        // report the lost steps.
+        let plan = FaultPlan::seeded(5)
+            .with_disconnect(1, 2)
+            .with_drop(0.25)
+            .with_recv_deadline_ms(500);
+        let spec = ExperimentSpec::builder("chaos-internode")
+            .application(Application::Hacc { particles: 2_000 })
+            .algorithm(Algorithm::GaussianSplat)
+            .coupling(Coupling::Internode)
+            .ranks(2)
+            .steps(4)
+            .image_size(32, 32)
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        let t0 = Instant::now();
+        let out = run_native(&spec).unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(30), "run wedged");
+        assert_eq!(out.images.len(), 4, "every image slot must fill");
+        assert!(
+            out.degradation.dropped_steps >= 1,
+            "disconnect lost no steps: {:?}",
+            out.degradation
+        );
+        assert!(out.degradation.disconnects >= 1, "{:?}", out.degradation);
+        assert!(out.report().contains("degraded"));
+    }
+
+    #[test]
+    fn fault_degradation_is_reproducible() {
+        // Same seed, same plan => byte-identical fault schedule => the
+        // same degradation record, run after run.
+        let run = || {
+            let plan = FaultPlan::seeded(77).with_drop(1.0).with_recv_deadline_ms(150);
+            let mut spec = base_spec("chaos-repro");
+            spec.coupling = Coupling::Intercore;
+            spec.fault_plan = Some(plan);
+            run_native(&spec).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.degradation.is_clean(), "total drop must degrade");
+        assert!(a.degradation.dropped_steps > 0);
+        assert_eq!(
+            a.degradation, b.degradation,
+            "same seed degraded differently across runs"
+        );
+        // the composite still ran for every step
+        assert_eq!(a.images.len(), b.images.len());
+    }
+
+    #[test]
+    fn supervised_run_times_out_instead_of_wedging() {
+        // An absurdly small rank budget: the supervisor must convert the
+        // overrun into a structured error, not block.
+        let plan = FaultPlan::seeded(1)
+            .with_rank_timeout_ms(1)
+            .with_recv_deadline_ms(100);
+        let mut spec = base_spec("tiny-budget");
+        spec.fault_plan = Some(plan);
+        match run_native(&spec) {
+            Err(crate::error::CoreError::Rank(f)) => {
+                assert!(f.to_string().contains("did not finish"), "{f}");
+            }
+            Err(other) => panic!("expected a rank failure, got {other}"),
+            Ok(_) => {} // a very fast machine may finish inside 1 ms
+        }
     }
 
     #[test]

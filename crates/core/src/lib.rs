@@ -38,6 +38,6 @@ pub mod sweep;
 
 pub use config::{Algorithm, Application, Coupling, ExperimentSpec};
 pub use error::{CoreError, Result};
-pub use harness::{run_cluster, run_native, ClusterExperiment, NativeOutcome};
+pub use harness::{run_cluster, run_native, ClusterExperiment, Degradation, NativeOutcome};
 pub use results::ResultTable;
 pub use sweep::Sweep;

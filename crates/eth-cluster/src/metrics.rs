@@ -22,6 +22,14 @@ pub struct RunMetrics {
     /// Average dynamic power above the idle floor, kW (the Figure 9b
     /// quantity).
     pub dynamic_power_kw: f64,
+    /// Steps rendered from partial data in a fault-tolerant native run
+    /// (always 0 for cluster-simulated runs).
+    #[serde(default)]
+    pub degraded_steps: u64,
+    /// Steps whose data never arrived in a fault-tolerant native run
+    /// (always 0 for cluster-simulated runs).
+    #[serde(default)]
+    pub dropped_steps: u64,
 }
 
 impl RunMetrics {
@@ -34,6 +42,8 @@ impl RunMetrics {
             // the paper multiplies reported average power by exec time
             energy_kj: profile.sampled_avg_power_kw * trace.makespan,
             dynamic_power_kw: profile.avg_dynamic_power_kw,
+            degraded_steps: 0,
+            dropped_steps: 0,
         }
     }
 
@@ -109,6 +119,8 @@ mod tests {
             avg_power_kw: 0.0,
             energy_kj: 0.0,
             dynamic_power_kw: 0.0,
+            degraded_steps: 0,
+            dropped_steps: 0,
         }), 0.0);
     }
 

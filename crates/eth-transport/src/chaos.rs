@@ -1,0 +1,450 @@
+//! Chaos wrappers: enact a [`FaultPlan`] around a real transport.
+//!
+//! [`ChaosComm`] wraps any [`Communicator`] (the N-rank fabrics);
+//! [`ChaosChannel`] wraps a [`StreamChannel`] (the internode sim↔viz pair
+//! link). Both consult the plan's deterministic decision function per
+//! message, enact the faults, and append every injected fault to a log so
+//! a run's fault schedule can be asserted byte-identical across runs.
+//!
+//! Enactment sides:
+//! * **send** — delay (sleep before the write), drop (the write never
+//!   happens), wire corruption (the payload is mangled before the write,
+//!   so the receiver sees a decode failure, like real bit rot),
+//! * **recv** — injected disconnect (the link is treated as dead from a
+//!   chosen message onward) and integrity failure
+//!   ([`TransportError::Corrupt`]).
+//!
+//! Traffic outside the plan's tag window (collectives, control tags)
+//! passes through untouched — compositing stays reliable while the data
+//! path misbehaves, mirroring how ISAAC-style couplings keep the
+//! simulation healthy when the consumer is not.
+
+use crate::comm::{Communicator, Result, TrafficCounters, TransportError};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultSide, SplitMix64};
+use crate::socket::StreamChannel;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Deterministically mangle a payload (send-side wire corruption). The
+/// first byte always flips, so the result is guaranteed to differ.
+fn mangle(payload: &Bytes, seed: u64, seq: u64) -> Bytes {
+    if payload.is_empty() {
+        return payload.clone();
+    }
+    let mut data = payload.to_vec();
+    let mut rng = SplitMix64::new(seed ^ seq.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    data[0] ^= 0xA5;
+    let flips = (data.len() / 64).clamp(1, 32);
+    for _ in 0..flips {
+        let i = (rng.next_u64() as usize) % data.len();
+        data[i] ^= 0xFF;
+    }
+    Bytes::from(data)
+}
+
+/// A [`Communicator`] that injects seeded, reproducible faults.
+pub struct ChaosComm<C: Communicator> {
+    inner: C,
+    plan: FaultPlan,
+    /// Per-destination count of fault-targeted sends.
+    send_seq: Mutex<Vec<u64>>,
+    /// Per-source count of fault-targeted receives.
+    recv_seq: Mutex<Vec<u64>>,
+    log: Mutex<Vec<FaultEvent>>,
+}
+
+impl<C: Communicator> ChaosComm<C> {
+    pub fn new(inner: C, plan: FaultPlan) -> ChaosComm<C> {
+        let size = inner.size();
+        ChaosComm {
+            inner,
+            plan,
+            send_seq: Mutex::new(vec![0; size]),
+            recv_seq: Mutex::new(vec![0; size]),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    /// Every fault injected so far, in injection order.
+    pub fn fault_log(&self) -> Vec<FaultEvent> {
+        self.log.lock().clone()
+    }
+
+    /// The fault log serialized to JSON — the "schedule" two same-seed
+    /// runs must reproduce byte-for-byte.
+    pub fn schedule_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(&*self.log.lock()).unwrap_or_default()
+    }
+
+    fn note(&self, kind: FaultKind, from: usize, to: usize, tag: u32, seq: u64) {
+        self.log.lock().push(FaultEvent {
+            kind,
+            from,
+            to,
+            tag,
+            seq,
+        });
+    }
+
+    fn recv_faulted(&self, from: usize, tag: u32, deadline: Option<Instant>) -> Result<Bytes> {
+        self.inner.check_peer(from)?;
+        let seq = {
+            let mut s = self.recv_seq.lock();
+            let v = s[from];
+            s[from] += 1;
+            v
+        };
+        if self.plan.disconnects(from, seq) {
+            self.note(FaultKind::Disconnect, from, self.inner.rank(), tag, seq);
+            return Err(TransportError::Disconnected { peer: from });
+        }
+        let payload = match deadline {
+            Some(d) => self.inner.recv_deadline(from, tag, d)?,
+            None => self.inner.recv(from, tag)?,
+        };
+        let decision = self
+            .plan
+            .decide(FaultSide::Recv, from, self.inner.rank(), tag, seq);
+        if decision.corrupt {
+            self.note(FaultKind::Corrupt, from, self.inner.rank(), tag, seq);
+            return Err(TransportError::Corrupt {
+                peer: from,
+                detail: format!("injected integrity failure (seq {seq})"),
+            });
+        }
+        Ok(payload)
+    }
+}
+
+impl<C: Communicator> Communicator for ChaosComm<C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send(&self, to: usize, tag: u32, payload: Bytes) -> Result<()> {
+        if !self.plan.targets(tag) {
+            return self.inner.send(to, tag, payload);
+        }
+        self.inner.check_peer(to)?;
+        let seq = {
+            let mut s = self.send_seq.lock();
+            let v = s[to];
+            s[to] += 1;
+            v
+        };
+        if self.plan.disconnects(to, seq) {
+            self.note(FaultKind::Disconnect, self.inner.rank(), to, tag, seq);
+            return Err(TransportError::Disconnected { peer: to });
+        }
+        let decision = self
+            .plan
+            .decide(FaultSide::Send, self.inner.rank(), to, tag, seq);
+        if decision.delay_ms > 0 {
+            self.note(FaultKind::Delay, self.inner.rank(), to, tag, seq);
+            std::thread::sleep(Duration::from_millis(decision.delay_ms));
+        }
+        if decision.drop {
+            self.note(FaultKind::Drop, self.inner.rank(), to, tag, seq);
+            return Ok(()); // silently lost
+        }
+        let payload = if decision.corrupt {
+            self.note(FaultKind::Corrupt, self.inner.rank(), to, tag, seq);
+            mangle(&payload, self.plan.seed, seq)
+        } else {
+            payload
+        };
+        self.inner.send(to, tag, payload)
+    }
+
+    fn recv(&self, from: usize, tag: u32) -> Result<Bytes> {
+        if !self.plan.targets(tag) {
+            return self.inner.recv(from, tag);
+        }
+        let deadline = self.plan.deadline().map(|d| Instant::now() + d);
+        self.recv_faulted(from, tag, deadline)
+    }
+
+    fn recv_deadline(&self, from: usize, tag: u32, deadline: Instant) -> Result<Bytes> {
+        if !self.plan.targets(tag) {
+            return self.inner.recv_deadline(from, tag, deadline);
+        }
+        self.recv_faulted(from, tag, Some(deadline))
+    }
+
+    fn traffic(&self) -> TrafficCounters {
+        self.inner.traffic()
+    }
+}
+
+/// A [`StreamChannel`] that injects seeded, reproducible faults — the
+/// internode pair-link counterpart of [`ChaosComm`].
+pub struct ChaosChannel {
+    inner: StreamChannel,
+    plan: FaultPlan,
+    send_seq: Mutex<u64>,
+    recv_seq: Mutex<u64>,
+    log: Mutex<Vec<FaultEvent>>,
+}
+
+impl ChaosChannel {
+    pub fn new(inner: StreamChannel, plan: FaultPlan) -> ChaosChannel {
+        ChaosChannel {
+            inner,
+            plan,
+            send_seq: Mutex::new(0),
+            recv_seq: Mutex::new(0),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Wrap with an inert plan: behaves exactly like the bare channel.
+    pub fn passthrough(inner: StreamChannel) -> ChaosChannel {
+        ChaosChannel::new(inner, FaultPlan::default())
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The logical rank on the far side of this link.
+    pub fn peer_rank(&self) -> usize {
+        self.inner.peer_rank()
+    }
+
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.bytes_sent()
+    }
+
+    pub fn bytes_received(&self) -> u64 {
+        self.inner.bytes_received()
+    }
+
+    pub fn fault_log(&self) -> Vec<FaultEvent> {
+        self.log.lock().clone()
+    }
+
+    pub fn schedule_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(&*self.log.lock()).unwrap_or_default()
+    }
+
+    pub fn into_inner(self) -> StreamChannel {
+        self.inner
+    }
+
+    fn note(&self, kind: FaultKind, from: usize, to: usize, tag: u32, seq: u64) {
+        self.log.lock().push(FaultEvent {
+            kind,
+            from,
+            to,
+            tag,
+            seq,
+        });
+    }
+
+    /// Send a tagged payload, subject to the plan.
+    pub fn send(&self, tag: u32, payload: Bytes) -> Result<()> {
+        if !self.plan.targets(tag) {
+            return self.inner.send(tag, payload);
+        }
+        let peer = self.inner.peer_rank();
+        let local = self.inner.local_rank();
+        let seq = {
+            let mut s = self.send_seq.lock();
+            let v = *s;
+            *s += 1;
+            v
+        };
+        if self.plan.disconnects(peer, seq) {
+            self.note(FaultKind::Disconnect, local, peer, tag, seq);
+            return Err(TransportError::Disconnected { peer });
+        }
+        let decision = self.plan.decide(FaultSide::Send, local, peer, tag, seq);
+        if decision.delay_ms > 0 {
+            self.note(FaultKind::Delay, local, peer, tag, seq);
+            std::thread::sleep(Duration::from_millis(decision.delay_ms));
+        }
+        if decision.drop {
+            self.note(FaultKind::Drop, local, peer, tag, seq);
+            return Ok(());
+        }
+        let payload = if decision.corrupt {
+            self.note(FaultKind::Corrupt, local, peer, tag, seq);
+            mangle(&payload, self.plan.seed, seq)
+        } else {
+            payload
+        };
+        self.inner.send(tag, payload)
+    }
+
+    /// Receive a tagged payload, subject to the plan (including its
+    /// deadline: with one configured, this never blocks indefinitely).
+    pub fn recv(&self, tag: u32) -> Result<Bytes> {
+        if !self.plan.targets(tag) {
+            return self.inner.recv(tag);
+        }
+        self.recv_faulted(tag, self.plan.deadline())
+    }
+
+    /// Receive with an explicit timeout (overrides the plan deadline).
+    pub fn recv_timeout(&self, tag: u32, timeout: Duration) -> Result<Bytes> {
+        if !self.plan.targets(tag) {
+            return self.inner.recv_timeout(tag, timeout);
+        }
+        self.recv_faulted(tag, Some(timeout))
+    }
+
+    fn recv_faulted(&self, tag: u32, timeout: Option<Duration>) -> Result<Bytes> {
+        let peer = self.inner.peer_rank();
+        let local = self.inner.local_rank();
+        let seq = {
+            let mut s = self.recv_seq.lock();
+            let v = *s;
+            *s += 1;
+            v
+        };
+        if self.plan.disconnects(peer, seq) {
+            self.note(FaultKind::Disconnect, peer, local, tag, seq);
+            return Err(TransportError::Disconnected { peer });
+        }
+        let payload = match timeout {
+            Some(t) => self.inner.recv_timeout(tag, t)?,
+            None => self.inner.recv(tag)?,
+        };
+        let decision = self.plan.decide(FaultSide::Recv, peer, local, tag, seq);
+        if decision.corrupt {
+            self.note(FaultKind::Corrupt, peer, local, tag, seq);
+            return Err(TransportError::Corrupt {
+                peer,
+                detail: format!("injected integrity failure (seq {seq})"),
+            });
+        }
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalFabric;
+
+    const TAG: u32 = 0x1008;
+
+    #[test]
+    fn passthrough_plan_changes_nothing() {
+        let mut comms = LocalFabric::new(2);
+        let c1 = ChaosComm::new(comms.pop().unwrap(), FaultPlan::default());
+        let c0 = ChaosComm::new(comms.pop().unwrap(), FaultPlan::default());
+        c0.send(1, TAG, Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(&c1.recv(0, TAG).unwrap()[..], b"hello");
+        assert!(c0.fault_log().is_empty());
+        assert!(c1.fault_log().is_empty());
+    }
+
+    #[test]
+    fn dropped_messages_surface_as_timeouts() {
+        let mut comms = LocalFabric::new(2);
+        let plan = FaultPlan::seeded(21)
+            .with_drop(1.0)
+            .with_recv_deadline_ms(50);
+        let c1 = ChaosComm::new(comms.pop().unwrap(), plan.clone());
+        let c0 = ChaosComm::new(comms.pop().unwrap(), plan);
+        c0.send(1, TAG, Bytes::from_static(b"lost")).unwrap();
+        let err = c1.recv(0, TAG).unwrap_err();
+        assert!(matches!(err, TransportError::Timeout { peer: 0, .. }), "{err}");
+        assert_eq!(c0.fault_log().len(), 1);
+        assert_eq!(c0.fault_log()[0].kind, FaultKind::Drop);
+    }
+
+    #[test]
+    fn injected_disconnect_cuts_sends_after_threshold() {
+        let mut comms = LocalFabric::new(2);
+        let plan = FaultPlan::seeded(3).with_disconnect(1, 1);
+        let c0 = ChaosComm::new(comms.remove(0), plan);
+        // first message to peer 1 passes, second hits the injected cut
+        c0.send(1, TAG, Bytes::new()).unwrap();
+        let err = c0.send(1, TAG, Bytes::new()).unwrap_err();
+        assert!(matches!(err, TransportError::Disconnected { peer: 1 }), "{err}");
+    }
+
+    #[test]
+    fn same_seed_same_schedule_bytes() {
+        let run = || {
+            let mut comms = LocalFabric::new(2);
+            let plan = FaultPlan::seeded(99)
+                .with_drop(0.4)
+                .with_corrupt(0.3)
+                .with_recv_deadline_ms(20);
+            let c1 = ChaosComm::new(comms.pop().unwrap(), plan.clone());
+            let c0 = ChaosComm::new(comms.pop().unwrap(), plan);
+            for i in 0..50u32 {
+                c0.send(1, TAG + (i % 3), Bytes::from(vec![i as u8; 8])).unwrap();
+            }
+            for i in 0..50u32 {
+                let _ = c1.recv_timeout(0, TAG + (i % 3), Duration::from_millis(1));
+            }
+            (c0.schedule_bytes(), c1.schedule_bytes())
+        };
+        let (s0a, s1a) = run();
+        let (s0b, s1b) = run();
+        assert!(!s0a.is_empty() && s0a != b"[]", "no faults fired");
+        assert_eq!(s0a, s0b, "sender schedules diverged across runs");
+        assert_eq!(s1a, s1b, "receiver schedules diverged across runs");
+    }
+
+    #[test]
+    fn mangle_always_changes_and_is_deterministic() {
+        let p = Bytes::from(vec![7u8; 256]);
+        let a = mangle(&p, 5, 0);
+        let b = mangle(&p, 5, 0);
+        assert_eq!(a, b);
+        assert_ne!(a, p);
+        assert_eq!(a.len(), p.len());
+        assert_ne!(mangle(&p, 5, 1), a, "seq must vary the mangling");
+        assert!(mangle(&Bytes::new(), 5, 0).is_empty());
+    }
+
+    #[test]
+    fn collective_tags_pass_untouched() {
+        let mut comms = LocalFabric::new(2);
+        let plan = FaultPlan::seeded(1).with_drop(1.0);
+        let c1 = ChaosComm::new(comms.pop().unwrap(), plan.clone());
+        let c0 = ChaosComm::new(comms.pop().unwrap(), plan);
+        let tag = crate::collectives::COLLECTIVE_TAG_BASE + 1;
+        c0.send(1, tag, Bytes::from_static(b"safe")).unwrap();
+        assert_eq!(&c1.recv(0, tag).unwrap()[..], b"safe");
+        assert!(c0.fault_log().is_empty());
+    }
+
+    #[test]
+    fn collectives_survive_total_data_drop() {
+        // barrier + gather run over chaos comms that drop ALL data traffic
+        use crate::collectives::{barrier, gather};
+        use crate::runner::run_ranks;
+        let totals = run_ranks(3, |c| {
+            let plan = FaultPlan::seeded(8).with_drop(1.0).with_recv_deadline_ms(100);
+            let c = ChaosComm::new(c, plan);
+            barrier(&c).unwrap();
+            let g = gather(&c, 0, Bytes::from(vec![c.rank() as u8])).unwrap();
+            barrier(&c).unwrap();
+            g.map(|parts| parts.len()).unwrap_or(0)
+        });
+        assert_eq!(totals, vec![3, 0, 0]);
+    }
+}

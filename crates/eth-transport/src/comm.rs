@@ -2,6 +2,7 @@
 
 use bytes::Bytes;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Errors from the transport layer.
 #[derive(Debug)]
@@ -10,6 +11,11 @@ pub enum TransportError {
     Io(std::io::Error),
     /// A peer disconnected or its channel closed.
     Disconnected { peer: usize },
+    /// A deadline expired while waiting for a message from `peer`.
+    Timeout { peer: usize, elapsed: Duration },
+    /// A payload from `peer` failed an integrity check (chaos injection or
+    /// a mangled wire frame).
+    Corrupt { peer: usize, detail: String },
     /// Rank/tag arguments out of range.
     InvalidArgument(String),
     /// Bootstrap (layout file) failure.
@@ -23,6 +29,14 @@ impl fmt::Display for TransportError {
         match self {
             TransportError::Io(e) => write!(f, "transport io error: {e}"),
             TransportError::Disconnected { peer } => write!(f, "peer rank {peer} disconnected"),
+            TransportError::Timeout { peer, elapsed } => write!(
+                f,
+                "timed out after {:.3}s waiting for peer rank {peer}",
+                elapsed.as_secs_f64()
+            ),
+            TransportError::Corrupt { peer, detail } => {
+                write!(f, "corrupt payload from peer rank {peer}: {detail}")
+            }
             TransportError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             TransportError::Bootstrap(m) => write!(f, "bootstrap failure: {m}"),
             TransportError::Decode(m) => write!(f, "decode failure: {m}"),
@@ -77,6 +91,17 @@ pub trait Communicator: Send {
     /// Block until a message from `from` with `tag` arrives.
     fn recv(&self, from: usize, tag: u32) -> Result<Bytes>;
 
+    /// Like [`Communicator::recv`] but give up at `deadline` with
+    /// [`TransportError::Timeout`]. This is the primitive every backend
+    /// must provide so no public receive path has to block forever.
+    fn recv_deadline(&self, from: usize, tag: u32, deadline: Instant) -> Result<Bytes>;
+
+    /// Like [`Communicator::recv`] but give up after `timeout` with
+    /// [`TransportError::Timeout`].
+    fn recv_timeout(&self, from: usize, tag: u32, timeout: Duration) -> Result<Bytes> {
+        self.recv_deadline(from, tag, Instant::now() + timeout)
+    }
+
     /// Snapshot of this rank's traffic counters.
     fn traffic(&self) -> TrafficCounters;
 
@@ -104,5 +129,15 @@ mod tests {
         assert!(TransportError::Bootstrap("x".into()).to_string().contains('x'));
         let io: TransportError = std::io::Error::other("y").into();
         assert!(io.to_string().contains('y'));
+        let t = TransportError::Timeout {
+            peer: 7,
+            elapsed: Duration::from_millis(1500),
+        };
+        assert!(t.to_string().contains('7') && t.to_string().contains("1.500"));
+        let c = TransportError::Corrupt {
+            peer: 2,
+            detail: "bit flip".into(),
+        };
+        assert!(c.to_string().contains("bit flip"));
     }
 }

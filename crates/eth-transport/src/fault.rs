@@ -1,0 +1,442 @@
+//! Deterministic fault plans: the experiment axis for chaos testing.
+//!
+//! A [`FaultPlan`] describes *which* faults to inject (drop, corruption,
+//! latency, peer disconnect) as a pure function of the message key
+//! `(from, to, tag, sequence)` and a seed — never of wall-clock time or a
+//! shared mutable RNG — so the same plan produces the *same* fault
+//! schedule on every run. That makes fault scenarios sweepable experiment
+//! parameters exactly like sampling ratio or coupling: serialize the plan
+//! into the experiment spec, vary the seed or the probabilities, and the
+//! observed degradation is reproducible.
+//!
+//! The plan only *describes* faults; [`crate::chaos::ChaosComm`] and
+//! [`crate::chaos::ChaosChannel`] enact them around a real communicator.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Default data-tag window: faults apply to harness data traffic
+/// (tags `>= 0x1000`) but never to collective tags
+/// (`>= `[`crate::collectives::COLLECTIVE_TAG_BASE`]), so compositing
+/// barriers and gathers stay reliable while the data path misbehaves.
+pub const DATA_TAG_MIN: u32 = 0x1000;
+
+/// splitmix64: tiny, statistically solid, dependency-free PRNG. Used for
+/// fault decisions and backoff jitter; NOT for cryptography.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Which side of a channel a decision is made on. Send-side decisions
+/// (drop, delay, wire corruption) and receive-side decisions (integrity
+/// failure) draw from independent streams so wrapping both endpoints of a
+/// link with the same plan never double-applies a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultSide {
+    Send,
+    Recv,
+}
+
+/// The faults that apply to one message, decided deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultDecision {
+    /// Injected latency before the operation proceeds.
+    pub delay_ms: u64,
+    /// Message is silently lost.
+    pub drop: bool,
+    /// Payload is mangled (send side) or fails integrity (recv side).
+    pub corrupt: bool,
+}
+
+impl FaultDecision {
+    pub fn is_clean(&self) -> bool {
+        self.delay_ms == 0 && !self.drop && !self.corrupt
+    }
+}
+
+/// Kill the link to `peer` once `after_messages` messages have crossed it
+/// (in the direction of the endpoint evaluating the plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisconnectSpec {
+    pub peer: usize,
+    pub after_messages: u64,
+}
+
+/// A complete, serializable fault scenario.
+///
+/// The default plan is inert: zero probabilities, no disconnect, no
+/// deadline — wrapping a communicator with it changes nothing. Use
+/// [`FaultPlan::seeded`] for a chaos-ready baseline (2 s receive deadline,
+/// 30 s rank supervision) and the `with_*` builders to add faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for every fault decision in this plan.
+    #[serde(default)]
+    pub seed: u64,
+    /// Probability a message is silently dropped (send side).
+    #[serde(default)]
+    pub drop_prob: f64,
+    /// Probability a payload is corrupted.
+    #[serde(default)]
+    pub corrupt_prob: f64,
+    /// Probability a message is delayed by `delay_ms`.
+    #[serde(default)]
+    pub delay_prob: f64,
+    /// Injected latency when a delay fault fires, milliseconds.
+    #[serde(default)]
+    pub delay_ms: u64,
+    /// Kill one peer's link mid-run.
+    #[serde(default)]
+    pub disconnect: Option<DisconnectSpec>,
+    /// Faults (and receive deadlines) apply only to tags in
+    /// `[min_tag, max_tag)`.
+    #[serde(default = "default_min_tag")]
+    pub min_tag: u32,
+    #[serde(default = "default_max_tag")]
+    pub max_tag: u32,
+    /// Receive deadline on fault-targeted tags, milliseconds; 0 = none.
+    /// When set, no receive on the data path can block indefinitely.
+    #[serde(default)]
+    pub recv_deadline_ms: u64,
+    /// Per-rank wall-clock budget for supervised runs, milliseconds;
+    /// 0 = unsupervised.
+    #[serde(default)]
+    pub rank_timeout_ms: u64,
+}
+
+fn default_min_tag() -> u32 {
+    DATA_TAG_MIN
+}
+
+fn default_max_tag() -> u32 {
+    crate::collectives::COLLECTIVE_TAG_BASE
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            delay_prob: 0.0,
+            delay_ms: 0,
+            disconnect: None,
+            min_tag: default_min_tag(),
+            max_tag: default_max_tag(),
+            recv_deadline_ms: 0,
+            rank_timeout_ms: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A chaos-ready baseline: no faults yet, but a 2 s receive deadline
+    /// and a 30 s per-rank supervision budget so injected faults degrade
+    /// runs instead of hanging them.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            recv_deadline_ms: 2_000,
+            rank_timeout_ms: 30_000,
+            ..FaultPlan::default()
+        }
+    }
+
+    pub fn with_drop(mut self, prob: f64) -> Self {
+        self.drop_prob = prob;
+        self
+    }
+
+    pub fn with_corrupt(mut self, prob: f64) -> Self {
+        self.corrupt_prob = prob;
+        self
+    }
+
+    pub fn with_delay(mut self, prob: f64, delay_ms: u64) -> Self {
+        self.delay_prob = prob;
+        self.delay_ms = delay_ms;
+        self
+    }
+
+    pub fn with_disconnect(mut self, peer: usize, after_messages: u64) -> Self {
+        self.disconnect = Some(DisconnectSpec {
+            peer,
+            after_messages,
+        });
+        self
+    }
+
+    pub fn with_recv_deadline_ms(mut self, ms: u64) -> Self {
+        self.recv_deadline_ms = ms;
+        self
+    }
+
+    pub fn with_rank_timeout_ms(mut self, ms: u64) -> Self {
+        self.rank_timeout_ms = ms;
+        self
+    }
+
+    /// Does the plan apply to this tag?
+    pub fn targets(&self, tag: u32) -> bool {
+        tag >= self.min_tag && tag < self.max_tag
+    }
+
+    /// Any fault configured at all? (An inert plan wraps transparently.)
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.corrupt_prob > 0.0
+            || self.delay_prob > 0.0
+            || self.disconnect.is_some()
+    }
+
+    /// The receive deadline, if one is configured.
+    pub fn deadline(&self) -> Option<Duration> {
+        (self.recv_deadline_ms > 0).then(|| Duration::from_millis(self.recv_deadline_ms))
+    }
+
+    /// The per-rank supervision budget, if one is configured.
+    pub fn rank_timeout(&self) -> Option<Duration> {
+        (self.rank_timeout_ms > 0).then(|| Duration::from_millis(self.rank_timeout_ms))
+    }
+
+    /// Has the link to `peer` been severed by the time message
+    /// `seq` (0-based) crosses it?
+    pub fn disconnects(&self, peer: usize, seq: u64) -> bool {
+        matches!(self.disconnect, Some(d) if d.peer == peer && seq >= d.after_messages)
+    }
+
+    /// Decide the faults for one message: a pure function of the plan and
+    /// the message key, so the schedule is identical on every run.
+    pub fn decide(&self, side: FaultSide, from: usize, to: usize, tag: u32, seq: u64) -> FaultDecision {
+        if !self.targets(tag) || !self.is_active() {
+            return FaultDecision::default();
+        }
+        // distinct stream per side so wrapping both endpoints of one link
+        // never double-applies a fault
+        let salt: u64 = match side {
+            FaultSide::Send => 0x5EBD,
+            FaultSide::Recv => 0x2ECF,
+        };
+        let key = (self.seed ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+            .wrapping_add((from as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((to as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+            .wrapping_add((tag as u64).wrapping_mul(0x1656_67B1_9E37_79F9))
+            .wrapping_add(seq.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let mut rng = SplitMix64::new(key);
+        FaultDecision {
+            drop: rng.next_f64() < self.drop_prob,
+            corrupt: rng.next_f64() < self.corrupt_prob,
+            delay_ms: if rng.next_f64() < self.delay_prob {
+                self.delay_ms
+            } else {
+                0
+            },
+        }
+    }
+}
+
+/// One injected fault, for the reproducibility log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    pub kind: FaultKind,
+    pub from: usize,
+    pub to: usize,
+    pub tag: u32,
+    pub seq: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    Delay,
+    Drop,
+    Corrupt,
+    Disconnect,
+}
+
+/// Exponential backoff with deterministic jitter and an attempt budget,
+/// replacing fixed-interval spin loops during bootstrap. Jitter draws from
+/// a seeded [`SplitMix64`], so retry timing is reproducible per rank while
+/// still decorrelated across ranks (no thundering herd on the listener).
+#[derive(Debug)]
+pub struct Backoff {
+    attempt: u32,
+    budget: u32,
+    base: Duration,
+    cap: Duration,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    /// Default shape: 1 ms doubling to a 100 ms cap, 1000-attempt budget.
+    pub fn new(seed: u64) -> Backoff {
+        Backoff::with_shape(seed, Duration::from_millis(1), Duration::from_millis(100), 1000)
+    }
+
+    pub fn with_shape(seed: u64, base: Duration, cap: Duration, budget: u32) -> Backoff {
+        Backoff {
+            attempt: 0,
+            budget,
+            base,
+            cap,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next sleep interval, or `None` when the retry budget is spent.
+    /// The interval is `base * 2^attempt` (capped) jittered uniformly into
+    /// `[0.5x, 1.5x)`.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= self.budget {
+            return None;
+        }
+        let exp = self.attempt.min(20);
+        let raw = self
+            .base
+            .saturating_mul(1u32 << exp)
+            .min(self.cap)
+            .max(Duration::from_micros(100));
+        let nanos = raw.as_nanos() as u64;
+        let jittered = nanos / 2 + self.rng.next_u64() % nanos.max(1);
+        self.attempt += 1;
+        Some(Duration::from_nanos(jittered))
+    }
+
+    /// Sleep for the next interval; `false` when the budget is spent.
+    pub fn snooze(&mut self) -> bool {
+        match self.next_delay() {
+            Some(d) => {
+                std::thread::sleep(d);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniform_ish() {
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mean: f64 = (0..1000).map(|_| a.next_f64()).sum::<f64>() / 1000.0;
+        assert!((0.4..0.6).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_the_key() {
+        let plan = FaultPlan::seeded(7).with_drop(0.3).with_corrupt(0.2);
+        for seq in 0..100 {
+            let a = plan.decide(FaultSide::Send, 0, 1, 0x1001, seq);
+            let b = plan.decide(FaultSide::Send, 0, 1, 0x1001, seq);
+            assert_eq!(a, b);
+        }
+        // different seeds give different schedules
+        let other = FaultPlan::seeded(8).with_drop(0.3).with_corrupt(0.2);
+        let differs = (0..100).any(|seq| {
+            plan.decide(FaultSide::Send, 0, 1, 0x1001, seq)
+                != other.decide(FaultSide::Send, 0, 1, 0x1001, seq)
+        });
+        assert!(differs, "seed change did not change the schedule");
+    }
+
+    #[test]
+    fn probabilities_are_roughly_honored() {
+        let plan = FaultPlan::seeded(42).with_drop(0.5);
+        let drops = (0..1000)
+            .filter(|&seq| plan.decide(FaultSide::Send, 0, 1, 0x1001, seq).drop)
+            .count();
+        assert!((350..650).contains(&drops), "drops {drops}");
+    }
+
+    #[test]
+    fn collective_tags_are_never_faulted() {
+        let plan = FaultPlan::seeded(1).with_drop(1.0).with_corrupt(1.0);
+        let d = plan.decide(
+            FaultSide::Send,
+            0,
+            1,
+            crate::collectives::COLLECTIVE_TAG_BASE + 5,
+            0,
+        );
+        assert!(d.is_clean());
+        // tags below the data window are also exempt
+        assert!(plan.decide(FaultSide::Send, 0, 1, 5, 0).is_clean());
+    }
+
+    #[test]
+    fn disconnect_threshold() {
+        let plan = FaultPlan::seeded(3).with_disconnect(2, 5);
+        assert!(!plan.disconnects(2, 4));
+        assert!(plan.disconnects(2, 5));
+        assert!(plan.disconnects(2, 99));
+        assert!(!plan.disconnects(1, 99));
+    }
+
+    #[test]
+    fn plan_roundtrips_through_serde() {
+        let plan = FaultPlan::seeded(11)
+            .with_drop(0.25)
+            .with_delay(0.1, 15)
+            .with_disconnect(1, 3);
+        let text = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&text).unwrap();
+        assert_eq!(plan, back);
+        // defaults fill in for an empty plan
+        let empty: FaultPlan = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, FaultPlan::default());
+        assert!(!empty.is_active());
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_budgets() {
+        let mut b = Backoff::with_shape(
+            5,
+            Duration::from_millis(1),
+            Duration::from_millis(16),
+            6,
+        );
+        let delays: Vec<Duration> = std::iter::from_fn(|| b.next_delay()).collect();
+        assert_eq!(delays.len(), 6, "budget not enforced");
+        // jitter keeps every delay within [0.5x, 1.5x) of the capped ideal
+        for (i, d) in delays.iter().enumerate() {
+            let ideal = Duration::from_millis((1u64 << i).min(16));
+            assert!(*d >= ideal / 2, "attempt {i}: {d:?} under jitter floor");
+            assert!(*d < ideal * 3 / 2 + Duration::from_millis(1), "attempt {i}: {d:?} over");
+        }
+        // deterministic per seed
+        let mut b1 = Backoff::new(77);
+        let mut b2 = Backoff::new(77);
+        assert_eq!(b1.next_delay(), b2.next_delay());
+    }
+}

@@ -16,16 +16,24 @@
 //! * [`collectives`] — barrier / broadcast / gather / reduce built on
 //!   point-to-point (binomial trees), used by compositing and the harness,
 //! * [`runner`] — the `mpirun` equivalent: spawn N ranks as threads over a
-//!   fabric and join them.
+//!   fabric and join them (optionally supervised with per-rank timeouts),
+//! * [`fault`] — deterministic, serializable fault plans (drop / corrupt /
+//!   delay / disconnect as pure functions of a seed and the message key),
+//! * [`chaos`] — wrappers that enact a fault plan around a real
+//!   communicator or stream channel.
 
+pub mod chaos;
 pub mod collectives;
 pub mod comm;
+pub mod fault;
 pub mod layout;
 pub mod local;
 pub mod message;
 pub mod runner;
 pub mod socket;
 
+pub use chaos::{ChaosChannel, ChaosComm};
 pub use comm::{Communicator, TransportError};
+pub use fault::{Backoff, FaultPlan};
 pub use local::LocalFabric;
-pub use runner::run_ranks;
+pub use runner::{run_ranks, run_ranks_supervised, RankFailure};

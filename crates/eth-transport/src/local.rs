@@ -4,10 +4,11 @@
 
 use crate::comm::{Communicator, Result, TrafficCounters, TransportError};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 type Envelope = (usize, u32, Bytes); // (from, tag, payload)
 
@@ -62,6 +63,63 @@ impl LocalFabric {
     }
 }
 
+impl LocalComm {
+    /// Shared receive path: match from `pending`, then pull from the
+    /// channel (bounded by `deadline` when given) buffering non-matches.
+    fn recv_inner(&self, from: usize, tag: u32, deadline: Option<Instant>) -> Result<Bytes> {
+        self.check_peer(from)?;
+        let started = Instant::now();
+        // Check messages already pulled off the channel.
+        {
+            let mut pending = self.pending.lock();
+            if let Some(pos) = pending
+                .iter()
+                .position(|(f, t, _)| *f == from && *t == tag)
+            {
+                let (_, _, payload) = pending.remove(pos);
+                self.counters
+                    .messages_received
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .bytes_received
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                return Ok(payload);
+            }
+        }
+        // Pull from the channel until a match appears; buffer the rest.
+        loop {
+            let envelope = match deadline {
+                None => self
+                    .inbox
+                    .recv()
+                    .map_err(|_| TransportError::Disconnected { peer: from })?,
+                Some(d) => match self.inbox.recv_deadline(d) {
+                    Ok(e) => e,
+                    Err(RecvTimeoutError::Timeout) => {
+                        return Err(TransportError::Timeout {
+                            peer: from,
+                            elapsed: started.elapsed(),
+                        })
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(TransportError::Disconnected { peer: from })
+                    }
+                },
+            };
+            if envelope.0 == from && envelope.1 == tag {
+                self.counters
+                    .messages_received
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .bytes_received
+                    .fetch_add(envelope.2.len() as u64, Ordering::Relaxed);
+                return Ok(envelope.2);
+            }
+            self.pending.lock().push(envelope);
+        }
+    }
+}
+
 impl Communicator for LocalComm {
     fn rank(&self) -> usize {
         self.rank
@@ -83,41 +141,11 @@ impl Communicator for LocalComm {
     }
 
     fn recv(&self, from: usize, tag: u32) -> Result<Bytes> {
-        self.check_peer(from)?;
-        // Check messages already pulled off the channel.
-        {
-            let mut pending = self.pending.lock();
-            if let Some(pos) = pending
-                .iter()
-                .position(|(f, t, _)| *f == from && *t == tag)
-            {
-                let (_, _, payload) = pending.remove(pos);
-                self.counters
-                    .messages_received
-                    .fetch_add(1, Ordering::Relaxed);
-                self.counters
-                    .bytes_received
-                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
-                return Ok(payload);
-            }
-        }
-        // Pull from the channel until a match appears; buffer the rest.
-        loop {
-            let envelope = self
-                .inbox
-                .recv()
-                .map_err(|_| TransportError::Disconnected { peer: from })?;
-            if envelope.0 == from && envelope.1 == tag {
-                self.counters
-                    .messages_received
-                    .fetch_add(1, Ordering::Relaxed);
-                self.counters
-                    .bytes_received
-                    .fetch_add(envelope.2.len() as u64, Ordering::Relaxed);
-                return Ok(envelope.2);
-            }
-            self.pending.lock().push(envelope);
-        }
+        self.recv_inner(from, tag, None)
+    }
+
+    fn recv_deadline(&self, from: usize, tag: u32, deadline: Instant) -> Result<Bytes> {
+        self.recv_inner(from, tag, Some(deadline))
     }
 
     fn traffic(&self) -> TrafficCounters {
@@ -200,6 +228,37 @@ mod tests {
         let c0 = comms.pop().unwrap();
         c0.send(0, 3, Bytes::from_static(b"me")).unwrap();
         assert_eq!(&c0.recv(0, 3).unwrap()[..], b"me");
+    }
+
+    #[test]
+    fn recv_timeout_fires_when_peer_silent() {
+        let mut comms = LocalFabric::new(2);
+        let _c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        let start = std::time::Instant::now();
+        let err = c0
+            .recv_timeout(1, 9, std::time::Duration::from_millis(40))
+            .unwrap_err();
+        match err {
+            TransportError::Timeout { peer, elapsed } => {
+                assert_eq!(peer, 1);
+                assert!(elapsed >= std::time::Duration::from_millis(40));
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn recv_timeout_still_delivers_matches() {
+        let mut comms = LocalFabric::new(2);
+        let c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        c0.send(1, 4, Bytes::from_static(b"on time")).unwrap();
+        let got = c1
+            .recv_timeout(0, 4, std::time::Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(&got[..], b"on time");
     }
 
     #[test]

@@ -11,9 +11,10 @@ use crate::comm::{Communicator, Result};
 use crate::layout::LayoutFile;
 use crate::local::{LocalComm, LocalFabric};
 use crate::socket::SocketFabric;
+use crossbeam::channel::unbounded;
 use std::path::Path;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Spawn `size` ranks over an in-process fabric, run `body` on each, and
 /// join. Returns per-rank results (indexed by rank).
@@ -98,6 +99,110 @@ where
     Ok(results)
 }
 
+/// How a supervised run failed: a rank panicked, or a rank failed to
+/// finish within its wall-clock budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankFailure {
+    /// A rank's body panicked; `message` is the panic payload when it was
+    /// a string.
+    Panic { rank: usize, message: String },
+    /// A rank did not finish within the budget. The rank reported is one
+    /// that had not completed when the budget expired.
+    Hang { rank: usize, waited: Duration },
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RankFailure::Panic { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            RankFailure::Hang { rank, waited } => write!(
+                f,
+                "rank {rank} did not finish within {:.3}s",
+                waited.as_secs_f64()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RankFailure {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Like [`run_ranks`], but supervised: each rank gets `rank_timeout` of
+/// wall clock to finish, and a panic in any rank is converted into a
+/// structured [`RankFailure`] instead of being re-thrown.
+///
+/// On failure, ranks still running are *detached*, not killed (Rust
+/// threads cannot be cancelled): they keep running until they finish on
+/// their own or the process exits, and their results are discarded. The
+/// supervisor itself never blocks past the budget — the point is that a
+/// deadlocked or wedged experiment surfaces as an error the sweep driver
+/// can record and move past, instead of wedging the whole campaign.
+pub fn run_ranks_supervised<T, F>(
+    size: usize,
+    rank_timeout: Duration,
+    body: F,
+) -> std::result::Result<Vec<T>, RankFailure>
+where
+    T: Send + 'static,
+    F: Fn(LocalComm) -> T + Send + Sync + Clone + 'static,
+{
+    let comms = LocalFabric::new(size);
+    let (tx, rx) = unbounded::<(usize, thread::Result<T>)>();
+    for comm in comms {
+        let body = body.clone();
+        let tx = tx.clone();
+        thread::Builder::new()
+            .name(format!("eth-rank-{}", comm.rank()))
+            .spawn(move || {
+                let rank = comm.rank();
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(comm)));
+                let _ = tx.send((rank, result));
+            })
+            .expect("spawn rank thread");
+    }
+    drop(tx);
+    let deadline = Instant::now() + rank_timeout;
+    let mut slots: Vec<Option<T>> = (0..size).map(|_| None).collect();
+    let mut finished = 0;
+    while finished < size {
+        match rx.recv_deadline(deadline) {
+            Ok((rank, Ok(value))) => {
+                slots[rank] = Some(value);
+                finished += 1;
+            }
+            Ok((rank, Err(payload))) => {
+                return Err(RankFailure::Panic {
+                    rank,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+            Err(_) => {
+                let rank = slots
+                    .iter()
+                    .position(|s| s.is_none())
+                    .expect("timeout with all ranks finished");
+                return Err(RankFailure::Hang {
+                    rank,
+                    waited: rank_timeout,
+                });
+            }
+        }
+    }
+    Ok(slots.into_iter().map(|s| s.expect("all slots filled")).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +263,50 @@ mod tests {
                 panic!("rank 2 exploded");
             }
         });
+    }
+
+    #[test]
+    fn supervised_clean_run_matches_unsupervised() {
+        let sq = run_ranks_supervised(5, Duration::from_secs(30), |c| c.rank() * c.rank())
+            .unwrap();
+        assert_eq!(sq, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn supervised_panic_becomes_structured_failure() {
+        let err = run_ranks_supervised(3, Duration::from_secs(30), |c| {
+            if c.rank() == 1 {
+                panic!("rank 1 exploded");
+            }
+            c.rank()
+        })
+        .unwrap_err();
+        match err {
+            RankFailure::Panic { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("exploded"), "{message}");
+            }
+            other => panic!("expected Panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervised_hang_becomes_structured_failure() {
+        let start = Instant::now();
+        let err = run_ranks_supervised(2, Duration::from_millis(100), |c| {
+            if c.rank() == 1 {
+                // a wedged rank: sleeps far past the budget
+                thread::sleep(Duration::from_secs(5));
+            }
+            c.rank()
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, RankFailure::Hang { rank: 1, .. }),
+            "{err:?}"
+        );
+        // the supervisor must give up at the budget, not wait out the hang
+        assert!(start.elapsed() < Duration::from_secs(4));
     }
 
     #[test]

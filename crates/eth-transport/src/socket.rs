@@ -6,17 +6,28 @@
 //! * [`StreamChannel`] — the paper's sim↔viz pairing: a simulation-proxy
 //!   rank [`listen_as`]s (publishes its address, opens its port and waits);
 //!   a visualization-proxy rank [`connect_to`]s it (polls the layout file,
-//!   waits for the port, connects). Used by internode coupling when the two
-//!   proxies run as separate applications.
+//!   waits for the port, connects, and announces its own rank in a 4-byte
+//!   handshake so both ends know who they are talking to). Used by
+//!   internode coupling when the two proxies run as separate applications.
 //! * [`SocketFabric`] — a full N-rank mesh over loopback TCP implementing
 //!   [`Communicator`], interchangeable with the in-process backend.
+//!
+//! Robustness properties (the fault-tolerance subsystem relies on these):
+//! * every receive has a deadline-bounded variant, and disconnects carry
+//!   the *actual* peer rank,
+//! * bootstrap dialing retries with seeded exponential backoff + jitter
+//!   and a bounded retry budget instead of a fixed-interval spin,
+//! * a dead peer surfaces as [`TransportError::Disconnected`] on the next
+//!   matching receive, never as an indefinite hang.
 
 use crate::comm::{Communicator, Result, TrafficCounters, TransportError};
+use crate::fault::Backoff;
 use crate::layout::LayoutFile;
 use crate::message::{read_frame, write_frame, Frame};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
@@ -30,6 +41,11 @@ pub struct StreamChannel {
     inbox: Receiver<Frame>,
     pending: Mutex<Vec<Frame>>,
     local_rank: u32,
+    /// The peer's logical rank, learned from the bootstrap handshake.
+    peer: usize,
+    /// When set, plain [`StreamChannel::recv`] applies this timeout, so no
+    /// receive on this channel can block indefinitely.
+    default_deadline: Mutex<Option<Duration>>,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
 }
@@ -60,6 +76,7 @@ impl std::fmt::Debug for StreamChannel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StreamChannel")
             .field("local_rank", &self.local_rank)
+            .field("peer", &self.peer)
             .field("bytes_sent", &self.bytes_sent())
             .field("bytes_received", &self.bytes_received())
             .finish_non_exhaustive()
@@ -67,7 +84,7 @@ impl std::fmt::Debug for StreamChannel {
 }
 
 impl StreamChannel {
-    fn new(stream: TcpStream, local_rank: u32) -> Result<StreamChannel> {
+    fn new(stream: TcpStream, local_rank: u32, peer: usize) -> Result<StreamChannel> {
         stream.set_nodelay(true)?;
         let reader = stream.try_clone()?;
         let (tx, rx) = unbounded();
@@ -77,9 +94,28 @@ impl StreamChannel {
             inbox: rx,
             pending: Mutex::new(Vec::new()),
             local_rank,
+            peer,
+            default_deadline: Mutex::new(None),
             bytes_sent: AtomicU64::new(0),
             bytes_received: AtomicU64::new(0),
         })
+    }
+
+    /// This endpoint's logical rank (stamped into outgoing frames).
+    pub fn local_rank(&self) -> usize {
+        self.local_rank as usize
+    }
+
+    /// The logical rank on the far side of this link.
+    pub fn peer_rank(&self) -> usize {
+        self.peer
+    }
+
+    /// Configure a default receive deadline: once set, plain
+    /// [`StreamChannel::recv`] gives up after this long with
+    /// [`TransportError::Timeout`] instead of blocking forever.
+    pub fn set_recv_deadline(&self, deadline: Option<Duration>) {
+        *self.default_deadline.lock() = deadline;
     }
 
     /// Send a tagged payload to the peer.
@@ -90,8 +126,28 @@ impl StreamChannel {
         write_frame(&mut *w, self.local_rank, tag, &payload)
     }
 
-    /// Block until a frame with `tag` arrives.
+    /// Block until a frame with `tag` arrives (bounded by the configured
+    /// default deadline, if any).
     pub fn recv(&self, tag: u32) -> Result<Bytes> {
+        let timeout = *self.default_deadline.lock();
+        match timeout {
+            Some(t) => self.recv_inner(tag, Some(Instant::now() + t)),
+            None => self.recv_inner(tag, None),
+        }
+    }
+
+    /// Receive with an explicit timeout.
+    pub fn recv_timeout(&self, tag: u32, timeout: Duration) -> Result<Bytes> {
+        self.recv_inner(tag, Some(Instant::now() + timeout))
+    }
+
+    /// Receive, giving up at `deadline`.
+    pub fn recv_deadline(&self, tag: u32, deadline: Instant) -> Result<Bytes> {
+        self.recv_inner(tag, Some(deadline))
+    }
+
+    fn recv_inner(&self, tag: u32, deadline: Option<Instant>) -> Result<Bytes> {
+        let started = Instant::now();
         {
             let mut pending = self.pending.lock();
             if let Some(pos) = pending.iter().position(|f| f.tag == tag) {
@@ -102,10 +158,24 @@ impl StreamChannel {
             }
         }
         loop {
-            let frame = self
-                .inbox
-                .recv()
-                .map_err(|_| TransportError::Disconnected { peer: 0 })?;
+            let frame = match deadline {
+                None => self
+                    .inbox
+                    .recv()
+                    .map_err(|_| TransportError::Disconnected { peer: self.peer })?,
+                Some(d) => match self.inbox.recv_deadline(d) {
+                    Ok(f) => f,
+                    Err(RecvTimeoutError::Timeout) => {
+                        return Err(TransportError::Timeout {
+                            peer: self.peer,
+                            elapsed: started.elapsed(),
+                        })
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(TransportError::Disconnected { peer: self.peer })
+                    }
+                },
+            };
             if frame.tag == tag {
                 self.bytes_received
                     .fetch_add(frame.payload.len() as u64, Ordering::Relaxed);
@@ -125,51 +195,113 @@ impl StreamChannel {
 }
 
 /// Simulation-proxy side: publish an address under `rank`, open the port
-/// and wait for exactly one connection (the paired visualization rank).
+/// and wait for exactly one connection (the paired visualization rank,
+/// which announces its own rank in a 4-byte handshake).
 pub fn listen_as(layout: &LayoutFile, rank: usize) -> Result<StreamChannel> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
     layout.publish(rank, listener.local_addr()?)?;
     let (stream, _addr) = listener.accept()?;
-    StreamChannel::new(stream, rank as u32)
+    let peer = {
+        use std::io::Read as _;
+        let mut s = &stream;
+        let mut buf = [0u8; 4];
+        s.read_exact(&mut buf)?;
+        u32::from_le_bytes(buf) as usize
+    };
+    StreamChannel::new(stream, rank as u32, peer)
 }
 
 /// Visualization-proxy side: poll the layout file for `rank`'s address,
-/// wait for the port to open, connect.
+/// wait for the port to open, connect, and announce `local_rank` (the
+/// caller's real rank — it is stamped into every outgoing frame's `from`
+/// field and reported to the listener through the handshake).
+///
+/// Both waits retry with seeded exponential backoff + jitter under a
+/// bounded attempt budget, instead of spinning at a fixed interval.
 pub fn connect_to(
     layout: &LayoutFile,
     rank: usize,
+    local_rank: usize,
     timeout: Duration,
 ) -> Result<StreamChannel> {
     let deadline = Instant::now() + timeout;
+    let seed = ((local_rank as u64) << 32) ^ rank as u64;
     // Wait for the address to be published.
+    let mut backoff = Backoff::new(seed);
     let addr = loop {
         if let Some(addr) = layout.lookup(rank)? {
             break addr;
         }
         if Instant::now() > deadline {
             return Err(TransportError::Bootstrap(format!(
-                "rank {rank} never published its address"
+                "rank {rank} never published its address \
+                 (gave up after {} poll attempts)",
+                backoff.attempts()
             )));
         }
-        thread::sleep(Duration::from_millis(5));
+        if !backoff.snooze() {
+            return Err(TransportError::Bootstrap(format!(
+                "rank {rank} never published its address \
+                 (retry budget of {} attempts exhausted)",
+                backoff.attempts()
+            )));
+        }
     };
     // Wait for the port to open.
+    let mut backoff = Backoff::new(seed ^ 0xD1A1);
     loop {
         match TcpStream::connect(addr) {
-            Ok(stream) => return StreamChannel::new(stream, u32::MAX),
+            Ok(stream) => {
+                {
+                    use std::io::Write as _;
+                    let mut s = &stream;
+                    s.write_all(&(local_rank as u32).to_le_bytes())?;
+                }
+                return StreamChannel::new(stream, local_rank as u32, rank);
+            }
             Err(e) => {
                 if Instant::now() > deadline {
                     return Err(TransportError::Bootstrap(format!(
-                        "cannot connect to rank {rank} at {addr}: {e}"
+                        "cannot connect to rank {rank} at {addr}: {e} \
+                         (gave up after {} dial attempts)",
+                        backoff.attempts()
                     )));
                 }
-                thread::sleep(Duration::from_millis(5));
+                if !backoff.snooze() {
+                    return Err(TransportError::Bootstrap(format!(
+                        "cannot connect to rank {rank} at {addr}: {e} \
+                         (retry budget of {} attempts exhausted)",
+                        backoff.attempts()
+                    )));
+                }
             }
         }
     }
 }
 
 type Envelope = (usize, u32, Bytes);
+
+/// What the fabric's reader threads feed into the shared inbox: a decoded
+/// frame, or notice that a peer's connection ended (EOF or decode error).
+enum Event {
+    Frame(Envelope),
+    Gone(usize),
+}
+
+fn spawn_fabric_reader(stream: TcpStream, peer: usize, tx: Sender<Event>) {
+    thread::spawn(move || {
+        let mut reader = stream;
+        while let Ok(frame) = read_frame(&mut reader) {
+            if tx
+                .send(Event::Frame((frame.from as usize, frame.tag, frame.payload)))
+                .is_err()
+            {
+                return; // fabric itself is gone
+            }
+        }
+        let _ = tx.send(Event::Gone(peer));
+    });
+}
 
 /// Full-mesh TCP communicator over loopback; interchangeable with
 /// [`crate::local::LocalComm`].
@@ -178,14 +310,27 @@ pub struct SocketFabric {
     size: usize,
     /// Writer stream per peer (None for self).
     writers: Vec<Option<Mutex<TcpStream>>>,
-    inbox: Receiver<Envelope>,
+    inbox: Receiver<Event>,
     /// Loopback for self-sends.
-    self_tx: Sender<Envelope>,
+    self_tx: Sender<Event>,
     pending: Mutex<Vec<Envelope>>,
+    /// Peers whose connection has ended.
+    dead: Mutex<HashSet<usize>>,
     messages_sent: AtomicU64,
     bytes_sent: AtomicU64,
     messages_received: AtomicU64,
     bytes_received: AtomicU64,
+}
+
+impl Drop for SocketFabric {
+    fn drop(&mut self) {
+        // Reader threads hold fd clones; without an explicit shutdown the
+        // connections would never send FIN and peers would never observe
+        // this rank's death.
+        for w in self.writers.iter().flatten() {
+            let _ = w.lock().shutdown(std::net::Shutdown::Both);
+        }
+    }
 }
 
 impl SocketFabric {
@@ -193,7 +338,8 @@ impl SocketFabric {
     ///
     /// All `size` processes must call this concurrently. Rank i accepts
     /// connections from ranks > i and dials ranks < i; each dialer sends a
-    /// 4-byte rank handshake.
+    /// 4-byte rank handshake. Dialing retries with exponential backoff +
+    /// jitter under `timeout`.
     pub fn bootstrap(
         rank: usize,
         size: usize,
@@ -209,7 +355,7 @@ impl SocketFabric {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         layout.publish(rank, listener.local_addr()?)?;
 
-        let (tx, rx) = unbounded::<Envelope>();
+        let (tx, rx) = unbounded::<Event>();
         let mut writers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(size);
         for _ in 0..size {
             writers.push(None);
@@ -218,16 +364,24 @@ impl SocketFabric {
         // Dial lower ranks.
         let addrs = layout.wait_for(size, timeout)?;
         for peer in 0..rank {
+            let mut backoff = Backoff::new(((rank as u64) << 32) | peer as u64);
             let stream = loop {
                 match TcpStream::connect(addrs[&peer]) {
                     Ok(s) => break s,
                     Err(e) => {
                         if Instant::now() > deadline {
                             return Err(TransportError::Bootstrap(format!(
-                                "dial rank {peer}: {e}"
+                                "dial rank {peer}: {e} (gave up after {} attempts)",
+                                backoff.attempts()
                             )));
                         }
-                        thread::sleep(Duration::from_millis(5));
+                        if !backoff.snooze() {
+                            return Err(TransportError::Bootstrap(format!(
+                                "dial rank {peer}: {e} \
+                                 (retry budget of {} attempts exhausted)",
+                                backoff.attempts()
+                            )));
+                        }
                     }
                 }
             };
@@ -238,19 +392,7 @@ impl SocketFabric {
                 let mut s = &stream;
                 s.write_all(&(rank as u32).to_le_bytes())?;
             }
-            let reader = stream.try_clone()?;
-            let txc = tx.clone();
-            thread::spawn(move || {
-                let mut reader = reader;
-                while let Ok(frame) = read_frame(&mut reader) {
-                    if txc
-                        .send((frame.from as usize, frame.tag, frame.payload))
-                        .is_err()
-                    {
-                        break;
-                    }
-                }
-            });
+            spawn_fabric_reader(stream.try_clone()?, peer, tx.clone());
             writers[peer] = Some(Mutex::new(stream));
         }
 
@@ -272,19 +414,7 @@ impl SocketFabric {
                     "handshake from unknown rank {peer}"
                 )));
             }
-            let reader = stream.try_clone()?;
-            let txc = tx.clone();
-            thread::spawn(move || {
-                let mut reader = reader;
-                while let Ok(frame) = read_frame(&mut reader) {
-                    if txc
-                        .send((frame.from as usize, frame.tag, frame.payload))
-                        .is_err()
-                    {
-                        break;
-                    }
-                }
-            });
+            spawn_fabric_reader(stream.try_clone()?, peer, tx.clone());
             writers[peer] = Some(Mutex::new(stream));
         }
 
@@ -295,11 +425,72 @@ impl SocketFabric {
             inbox: rx,
             self_tx: tx,
             pending: Mutex::new(Vec::new()),
+            dead: Mutex::new(HashSet::new()),
             messages_sent: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
             messages_received: AtomicU64::new(0),
             bytes_received: AtomicU64::new(0),
         })
+    }
+
+    fn recv_inner(&self, from: usize, tag: u32, deadline: Option<Instant>) -> Result<Bytes> {
+        self.check_peer(from)?;
+        let started = Instant::now();
+        {
+            let mut pending = self.pending.lock();
+            if let Some(pos) = pending
+                .iter()
+                .position(|(f, t, _)| *f == from && *t == tag)
+            {
+                let (_, _, payload) = pending.remove(pos);
+                self.messages_received.fetch_add(1, Ordering::Relaxed);
+                self.bytes_received
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                return Ok(payload);
+            }
+        }
+        // Buffered messages from a now-dead peer (checked above) are still
+        // delivered; with none left, a dead peer is an immediate error.
+        if self.dead.lock().contains(&from) {
+            return Err(TransportError::Disconnected { peer: from });
+        }
+        loop {
+            let event = match deadline {
+                None => self
+                    .inbox
+                    .recv()
+                    .map_err(|_| TransportError::Disconnected { peer: from })?,
+                Some(d) => match self.inbox.recv_deadline(d) {
+                    Ok(e) => e,
+                    Err(RecvTimeoutError::Timeout) => {
+                        return Err(TransportError::Timeout {
+                            peer: from,
+                            elapsed: started.elapsed(),
+                        })
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(TransportError::Disconnected { peer: from })
+                    }
+                },
+            };
+            match event {
+                Event::Frame(envelope) => {
+                    if envelope.0 == from && envelope.1 == tag {
+                        self.messages_received.fetch_add(1, Ordering::Relaxed);
+                        self.bytes_received
+                            .fetch_add(envelope.2.len() as u64, Ordering::Relaxed);
+                        return Ok(envelope.2);
+                    }
+                    self.pending.lock().push(envelope);
+                }
+                Event::Gone(peer) => {
+                    self.dead.lock().insert(peer);
+                    if peer == from {
+                        return Err(TransportError::Disconnected { peer: from });
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -314,12 +505,15 @@ impl Communicator for SocketFabric {
 
     fn send(&self, to: usize, tag: u32, payload: Bytes) -> Result<()> {
         self.check_peer(to)?;
+        if to != self.rank && self.dead.lock().contains(&to) {
+            return Err(TransportError::Disconnected { peer: to });
+        }
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
         if to == self.rank {
             self.self_tx
-                .send((self.rank, tag, payload))
+                .send(Event::Frame((self.rank, tag, payload)))
                 .map_err(|_| TransportError::Disconnected { peer: to })?;
             return Ok(());
         }
@@ -331,33 +525,11 @@ impl Communicator for SocketFabric {
     }
 
     fn recv(&self, from: usize, tag: u32) -> Result<Bytes> {
-        self.check_peer(from)?;
-        {
-            let mut pending = self.pending.lock();
-            if let Some(pos) = pending
-                .iter()
-                .position(|(f, t, _)| *f == from && *t == tag)
-            {
-                let (_, _, payload) = pending.remove(pos);
-                self.messages_received.fetch_add(1, Ordering::Relaxed);
-                self.bytes_received
-                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
-                return Ok(payload);
-            }
-        }
-        loop {
-            let envelope = self
-                .inbox
-                .recv()
-                .map_err(|_| TransportError::Disconnected { peer: from })?;
-            if envelope.0 == from && envelope.1 == tag {
-                self.messages_received.fetch_add(1, Ordering::Relaxed);
-                self.bytes_received
-                    .fetch_add(envelope.2.len() as u64, Ordering::Relaxed);
-                return Ok(envelope.2);
-            }
-            self.pending.lock().push(envelope);
-        }
+        self.recv_inner(from, tag, None)
+    }
+
+    fn recv_deadline(&self, from: usize, tag: u32, deadline: Instant) -> Result<Bytes> {
+        self.recv_inner(from, tag, Some(deadline))
     }
 
     fn traffic(&self) -> TrafficCounters {
@@ -395,7 +567,7 @@ mod tests {
             chan.bytes_sent()
         });
         let viz = thread::spawn(move || {
-            let chan = connect_to(&layout, 0, Duration::from_secs(10)).unwrap();
+            let chan = connect_to(&layout, 0, 1, Duration::from_secs(10)).unwrap();
             chan.send(1, Bytes::from_static(b"need step 0")).unwrap();
             let data = chan.recv(2).unwrap();
             assert_eq!(&data[..], b"here is step 0");
@@ -403,6 +575,23 @@ mod tests {
         let sent = sim.join().unwrap();
         viz.join().unwrap();
         assert_eq!(sent, 14);
+    }
+
+    #[test]
+    fn pair_link_knows_true_peer_ranks() {
+        let layout = LayoutFile::create(&tmp("peers")).unwrap();
+        let l2 = layout.clone();
+        let sim = thread::spawn(move || {
+            let chan = listen_as(&l2, 4).unwrap();
+            chan.recv(1).unwrap();
+            (chan.local_rank(), chan.peer_rank())
+        });
+        let chan = connect_to(&layout, 4, 9, Duration::from_secs(10)).unwrap();
+        assert_eq!(chan.local_rank(), 9);
+        assert_eq!(chan.peer_rank(), 4);
+        chan.send(1, Bytes::from_static(b"hi")).unwrap();
+        // the handshake (not a sentinel) tells the listener who dialed
+        assert_eq!(sim.join().unwrap(), (4, 9));
     }
 
     #[test]
@@ -414,7 +603,7 @@ mod tests {
             chan.send(10, Bytes::from_static(b"ten")).unwrap();
             chan.send(20, Bytes::from_static(b"twenty")).unwrap();
         });
-        let chan = connect_to(&layout, 0, Duration::from_secs(10)).unwrap();
+        let chan = connect_to(&layout, 0, 1, Duration::from_secs(10)).unwrap();
         // ask for tag 20 first
         assert_eq!(&chan.recv(20).unwrap()[..], b"twenty");
         assert_eq!(&chan.recv(10).unwrap()[..], b"ten");
@@ -422,9 +611,37 @@ mod tests {
     }
 
     #[test]
+    fn stream_recv_timeout_fires() {
+        let layout = LayoutFile::create(&tmp("srt")).unwrap();
+        let l2 = layout.clone();
+        let sim = thread::spawn(move || {
+            let chan = listen_as(&l2, 0).unwrap();
+            // hold the connection open but never send tag 9
+            chan.recv(1).unwrap();
+        });
+        let chan = connect_to(&layout, 0, 1, Duration::from_secs(10)).unwrap();
+        let err = chan.recv_timeout(9, Duration::from_millis(60)).unwrap_err();
+        match err {
+            TransportError::Timeout { peer, elapsed } => {
+                assert_eq!(peer, 0);
+                assert!(elapsed >= Duration::from_millis(60));
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        // default deadline makes plain recv bounded too
+        chan.set_recv_deadline(Some(Duration::from_millis(40)));
+        assert!(matches!(
+            chan.recv(9),
+            Err(TransportError::Timeout { peer: 0, .. })
+        ));
+        chan.send(1, Bytes::from_static(b"done")).unwrap();
+        sim.join().unwrap();
+    }
+
+    #[test]
     fn connect_times_out_without_listener() {
         let layout = LayoutFile::create(&tmp("timeout")).unwrap();
-        let r = connect_to(&layout, 0, Duration::from_millis(60));
+        let r = connect_to(&layout, 0, 1, Duration::from_millis(60));
         assert!(matches!(r.err(), Some(TransportError::Bootstrap(_))));
     }
 
@@ -472,5 +689,42 @@ mod tests {
         });
         a.join().unwrap();
         b.join().unwrap();
+    }
+
+    #[test]
+    fn fabric_recv_timeout_names_the_silent_peer() {
+        let layout = LayoutFile::create(&tmp("ftimeout")).unwrap();
+        let l2 = layout.clone();
+        let a = thread::spawn(move || {
+            let comm = SocketFabric::bootstrap(0, 2, &l2, Duration::from_secs(10)).unwrap();
+            // never send; just wait for the release message
+            comm.recv(1, 2).unwrap();
+        });
+        let comm = SocketFabric::bootstrap(1, 2, &layout, Duration::from_secs(10)).unwrap();
+        let err = comm
+            .recv_timeout(0, 1, Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Timeout { peer: 0, .. }), "{err}");
+        comm.send(0, 2, Bytes::new()).unwrap();
+        a.join().unwrap();
+    }
+
+    #[test]
+    fn fabric_disconnect_names_the_dead_peer() {
+        let layout = LayoutFile::create(&tmp("fdead")).unwrap();
+        let l2 = layout.clone();
+        let a = thread::spawn(move || {
+            let comm = SocketFabric::bootstrap(0, 2, &l2, Duration::from_secs(10)).unwrap();
+            comm.send(1, 1, Bytes::from_static(b"last words")).unwrap();
+            // then the rank "dies": fabric dropped, sockets shut down
+            drop(comm);
+        });
+        let comm = SocketFabric::bootstrap(1, 2, &layout, Duration::from_secs(10)).unwrap();
+        // the buffered message still arrives…
+        assert_eq!(&comm.recv(0, 1).unwrap()[..], b"last words");
+        a.join().unwrap();
+        // …then the death surfaces with the true peer rank, not a hang
+        let err = comm.recv(0, 1).unwrap_err();
+        assert!(matches!(err, TransportError::Disconnected { peer: 0 }), "{err}");
     }
 }

@@ -41,12 +41,13 @@ fn socket_peer_disconnect_surfaces_as_error() {
         chan.send(1, Bytes::from_static(b"bye")).unwrap();
         drop(chan);
     });
-    let chan = connect_to(&layout, 0, Duration::from_secs(10)).unwrap();
+    let chan = connect_to(&layout, 0, 1, Duration::from_secs(10)).unwrap();
     assert_eq!(&chan.recv(1).unwrap()[..], b"bye");
     listener.join().unwrap();
-    // the peer is gone: further recv must error (not hang)
+    // the peer is gone: further recv must error (not hang) and must name
+    // the actual peer rank, not a placeholder
     let err = chan.recv(2).unwrap_err();
-    assert!(matches!(err, TransportError::Disconnected { .. }), "{err}");
+    assert!(matches!(err, TransportError::Disconnected { peer: 0 }), "{err}");
 }
 
 #[test]
@@ -57,7 +58,7 @@ fn send_to_dead_socket_peer_eventually_errors() {
         let _chan = listen_as(&l2, 0).unwrap();
         // drop immediately
     });
-    let chan = connect_to(&layout, 0, Duration::from_secs(10)).unwrap();
+    let chan = connect_to(&layout, 0, 1, Duration::from_secs(10)).unwrap();
     listener.join().unwrap();
     // TCP may buffer the first sends; repeated sends must surface an error
     // within a bounded number of attempts, and must never panic.
@@ -76,7 +77,7 @@ fn corrupt_layout_entry_fails_bootstrap() {
     let dir = tmp("corrupt");
     let layout = LayoutFile::create(&dir).unwrap();
     std::fs::write(dir.join("rank_0000.addr"), "999.999.999.999:not-a-port").unwrap();
-    let err = connect_to(&layout, 0, Duration::from_millis(200)).unwrap_err();
+    let err = connect_to(&layout, 0, 1, Duration::from_millis(200)).unwrap_err();
     assert!(matches!(err, TransportError::Bootstrap(_)), "{err}");
 }
 
@@ -84,7 +85,7 @@ fn corrupt_layout_entry_fails_bootstrap() {
 fn connect_to_never_published_rank_times_out_quickly() {
     let layout = LayoutFile::create(&tmp("absent")).unwrap();
     let start = std::time::Instant::now();
-    let err = connect_to(&layout, 3, Duration::from_millis(150)).unwrap_err();
+    let err = connect_to(&layout, 3, 1, Duration::from_millis(150)).unwrap_err();
     assert!(matches!(err, TransportError::Bootstrap(_)));
     assert!(start.elapsed() < Duration::from_secs(5), "timeout not honored");
 }
@@ -100,8 +101,10 @@ fn malformed_frame_kills_connection_not_process() {
     layout.publish(0, addr).unwrap();
     let garbler = thread::spawn(move || {
         let (mut s, _) = listener.accept().unwrap();
-        // frame header claiming a 17 GB payload (over MAX_PAYLOAD)
+        // full 20-byte header with a wrong magic word and a 17 GB length
+        // claim: the reader must reject it, never allocate the payload
         let mut junk = Vec::new();
+        junk.extend_from_slice(&0xBAAD_F00Du32.to_le_bytes());
         junk.extend_from_slice(&0u32.to_le_bytes());
         junk.extend_from_slice(&1u32.to_le_bytes());
         junk.extend_from_slice(&(1u64 << 35).to_le_bytes());
@@ -110,9 +113,34 @@ fn malformed_frame_kills_connection_not_process() {
         // keep the socket open briefly so the reader sees the header
         thread::sleep(Duration::from_millis(100));
     });
-    let chan = connect_to(&layout, 0, Duration::from_secs(10)).unwrap();
+    let chan = connect_to(&layout, 0, 1, Duration::from_secs(10)).unwrap();
     let err = chan.recv(1).unwrap_err();
     assert!(matches!(err, TransportError::Disconnected { .. }), "{err}");
     garbler.join().unwrap();
     let _ = TcpStream::connect(addr); // tidy: unblock any lingering accept
+}
+
+#[test]
+fn bootstrap_backoff_rides_out_a_delayed_listener() {
+    // The listener comes up well after the dialer starts: the dialer's
+    // backoff loop must keep polling the layout file (not give up, not
+    // busy-spin) and connect once the address appears.
+    let layout = LayoutFile::create(&tmp("latecomer")).unwrap();
+    let l2 = layout.clone();
+    let delay = Duration::from_millis(150);
+    let listener = thread::spawn(move || {
+        thread::sleep(delay);
+        let chan = listen_as(&l2, 0).unwrap();
+        let msg = chan.recv(1).unwrap();
+        assert_eq!(&msg[..], b"patience pays");
+        chan.peer_rank()
+    });
+    let start = std::time::Instant::now();
+    let chan = connect_to(&layout, 0, 7, Duration::from_secs(10)).unwrap();
+    assert!(
+        start.elapsed() >= delay,
+        "connected before the listener existed?"
+    );
+    chan.send(1, Bytes::from_static(b"patience pays")).unwrap();
+    assert_eq!(listener.join().unwrap(), 7);
 }

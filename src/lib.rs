@@ -48,4 +48,5 @@ pub mod prelude {
     pub use eth_data::{Aabb, DataObject, PointCloud, UniformGrid, Vec3};
     pub use eth_render::camera::Camera;
     pub use eth_render::image::Image;
+    pub use eth_transport::fault::FaultPlan;
 }
