@@ -1,0 +1,37 @@
+//! Campaign scheduler vs sequential execution on the 12-point sweep
+//! behind `reproduce bench` (smoke-sized data so the bench stays quick).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eth_bench::campaign::campaign_specs;
+use eth_core::{run_native, Campaign};
+
+fn bench(c: &mut Criterion) {
+    let specs = campaign_specs(true).unwrap();
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.throughput(Throughput::Elements(specs.len() as u64));
+
+    group.bench_function(BenchmarkId::from_parameter("sequential"), |b| {
+        b.iter(|| {
+            specs
+                .iter()
+                .map(|s| run_native(s).unwrap().images.len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("campaign"), |b| {
+        let campaign = Campaign::new();
+        b.iter(|| {
+            let out = campaign.run(&specs);
+            assert_eq!(out.failures(), 0);
+            out.results.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

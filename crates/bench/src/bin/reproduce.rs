@@ -1,16 +1,64 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce                # print all artifacts as markdown
-//! reproduce table1 fig15   # print a subset
-//! reproduce --csv out/     # also write one CSV per artifact
+//! reproduce                      # print all artifacts as markdown
+//! reproduce table1 fig15         # print a subset
+//! reproduce --csv out/           # also write one CSV per artifact
+//! reproduce bench                # campaign-throughput benchmark
+//! reproduce bench --smoke        # CI-sized benchmark
+//! reproduce bench --out FILE     # where to write the JSON report
 //! ```
 
-use eth_bench::runs;
+use eth_bench::{campaign, runs};
 use std::path::PathBuf;
+
+/// `reproduce bench [--smoke] [--out PATH]`: run the campaign-throughput
+/// benchmark and write `BENCH_campaign.json`.
+fn run_bench(args: &[String]) {
+    let mut smoke = false;
+    let mut out_path = PathBuf::from("BENCH_campaign.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a file argument");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown bench option '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = match campaign::run_campaign_bench(smoke) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign bench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.summary());
+    if !report.images_byte_identical {
+        eprintln!("campaign images diverged from sequential execution");
+        std::process::exit(1);
+    }
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out_path, json + "\n") {
+        eprintln!("failed to write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", out_path.display());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        run_bench(&args[1..]);
+        return;
+    }
     let mut csv_dir: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -24,7 +72,10 @@ fn main() {
                 csv_dir = Some(PathBuf::from(dir));
             }
             "--help" | "-h" => {
-                eprintln!("usage: reproduce [--csv DIR] [table1 table2 fig8 .. fig15]");
+                eprintln!(
+                    "usage: reproduce [--csv DIR] [table1 table2 fig8 .. fig15]\n\
+                     \x20      reproduce bench [--smoke] [--out FILE]"
+                );
                 return;
             }
             other => wanted.push(other.to_string()),

@@ -7,4 +7,5 @@
 //! criterion benches under `benches/` time the corresponding *native*
 //! kernels on this machine.
 
+pub mod campaign;
 pub mod runs;

@@ -47,7 +47,9 @@ use eth_transport::message::{decode_dataset, encode_dataset};
 use eth_transport::runner::{run_ranks, run_ranks_supervised};
 use eth_transport::socket::{connect_to, listen_as};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Wall time spent in each phase, summed over steps, max'd over ranks.
@@ -275,6 +277,167 @@ fn stage_data(spec: &ExperimentSpec) -> Result<StagedData> {
     })
 }
 
+/// Cache hit/miss counters for a [`RunCaches`] instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    pub staging_hits: u64,
+    pub staging_misses: u64,
+    pub baseline_hits: u64,
+    pub baseline_misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of staging lookups served from cache (0 when unused).
+    pub fn staging_hit_rate(&self) -> f64 {
+        let total = self.staging_hits + self.staging_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.staging_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Staging content key: everything [`stage_data`] depends on. The
+/// application's `Debug` form carries its identity *and* size (particle
+/// count / grid dims), so two points share staged data exactly when the
+/// generator and partitioner would produce identical blocks.
+type StageKey = (String, u64, usize, usize);
+
+fn stage_key(spec: &ExperimentSpec) -> StageKey {
+    (
+        format!("{:?}", spec.application),
+        spec.seed,
+        spec.steps,
+        spec.ranks,
+    )
+}
+
+/// A memo slot: the per-key mutex serializes the *first* computation so
+/// concurrent same-key requesters block on the one staging pass instead of
+/// racing to duplicate it. A failed computation leaves the slot empty and
+/// the next requester retries.
+struct MemoSlot<T>(Mutex<Option<Arc<T>>>);
+
+impl<T> Default for MemoSlot<T> {
+    fn default() -> Self {
+        MemoSlot(Mutex::new(None))
+    }
+}
+
+fn memoize<T, K, F>(
+    map: &Mutex<HashMap<K, Arc<MemoSlot<T>>>>,
+    key: K,
+    compute: F,
+) -> Result<(Arc<T>, bool)>
+where
+    K: std::hash::Hash + Eq,
+    F: FnOnce() -> Result<T>,
+{
+    let slot = map.lock().unwrap().entry(key).or_default().clone();
+    let mut guard = slot.0.lock().unwrap();
+    if let Some(cached) = guard.as_ref() {
+        return Ok((cached.clone(), true));
+    }
+    let fresh = Arc::new(compute()?);
+    *guard = Some(fresh.clone());
+    Ok((fresh, false))
+}
+
+/// Memoization shared across the runs of a campaign (or any repeated
+/// native runs):
+///
+/// * **staging** — [`stage_data`] results, keyed by
+///   `(application, seed, steps, ranks)`. Design points that differ only
+///   on the algorithm / sampling-ratio / coupling axes share one staging
+///   pass; the staged blocks are deterministic in the key, so cached and
+///   uncached runs are byte-identical.
+/// * **baselines** — full-fidelity (sampling ratio 1.0) reference renders
+///   for RMSE comparisons, keyed by everything that shapes the image
+///   except the sampling ratio and the coupling (couplings produce
+///   identical images; the baseline renders tight, the cheapest). A ratio
+///   sweep thus renders its baseline once, not once per ratio point.
+///
+/// All methods are `&self` and thread-safe; a first-comer computing an
+/// entry blocks same-key requesters rather than letting them duplicate
+/// the work, so a campaign over n same-data points always does exactly
+/// one staging pass (hit rate (n-1)/n).
+#[derive(Default)]
+pub struct RunCaches {
+    staging: Mutex<HashMap<StageKey, Arc<MemoSlot<StagedData>>>>,
+    baselines: Mutex<HashMap<String, Arc<MemoSlot<Vec<Image>>>>>,
+    stats: Mutex<CacheStats>,
+}
+
+impl RunCaches {
+    pub fn new() -> RunCaches {
+        RunCaches::default()
+    }
+
+    /// Counters so far (snapshot).
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock().unwrap()
+    }
+
+    fn staged(&self, spec: &ExperimentSpec) -> Result<Arc<StagedData>> {
+        let (data, hit) = memoize(&self.staging, stage_key(spec), || stage_data(spec))?;
+        let mut stats = self.stats.lock().unwrap();
+        if hit {
+            stats.staging_hits += 1;
+        } else {
+            stats.staging_misses += 1;
+        }
+        Ok(data)
+    }
+
+    /// The design point's full-fidelity reference images (sampling ratio
+    /// 1.0), for RMSE against sampled renders. Memoized; the underlying
+    /// render goes through the staging cache too.
+    pub fn baseline_images(&self, spec: &ExperimentSpec) -> Result<Arc<Vec<Image>>> {
+        let key = format!(
+            "{:?}|{:?}|r{}|s{}|i{}|{}x{}|seed{}",
+            spec.application,
+            spec.algorithm,
+            spec.ranks,
+            spec.steps,
+            spec.images_per_step,
+            spec.width,
+            spec.height,
+            spec.seed
+        );
+        let (images, hit) = memoize(&self.baselines, key, || {
+            let base = baseline_spec(spec);
+            base.validate()?;
+            Ok(run_staged(&base, self.staged(&base)?)?.images)
+        })?;
+        let mut stats = self.stats.lock().unwrap();
+        if hit {
+            stats.baseline_hits += 1;
+        } else {
+            stats.baseline_misses += 1;
+        }
+        Ok(images)
+    }
+}
+
+/// The full-fidelity reference configuration for `spec`: sampling ratio
+/// 1.0, tight coupling (coupling does not change pixels, tight is the
+/// cheapest), no compression, faults, or viz split. RMSE sweeps compare
+/// every sampled point against this spec's images; [`RunCaches::
+/// baseline_images`] renders it once per `(application, algorithm, ranks,
+/// image size, seed)`.
+pub fn baseline_spec(spec: &ExperimentSpec) -> ExperimentSpec {
+    let mut base = spec.clone();
+    base.name = format!("{}-baseline", spec.name);
+    base.sampling_ratio = 1.0;
+    base.coupling = Coupling::Tight;
+    base.compress_transport = false;
+    base.viz_ranks = None;
+    base.fault_plan = None;
+    base.artifact_dir = None;
+    base
+}
+
 /// Render + composite for one rank across all steps, gathering to `root`
 /// over `comm`. Returns the rank's output (root holds the images).
 ///
@@ -425,7 +588,20 @@ where
 /// Run an experiment natively (see module docs).
 pub fn run_native(spec: &ExperimentSpec) -> Result<NativeOutcome> {
     spec.validate()?;
-    let staged = Arc::new(stage_data(spec)?);
+    run_staged(spec, Arc::new(stage_data(spec)?))
+}
+
+/// [`run_native`], but staging goes through `caches` so repeated runs over
+/// the same data (a campaign's algorithm/ratio/coupling axes) share one
+/// staging pass. Byte-identical to the uncached path: the staged blocks
+/// are a pure function of the cache key.
+pub fn run_native_cached(spec: &ExperimentSpec, caches: &RunCaches) -> Result<NativeOutcome> {
+    spec.validate()?;
+    run_staged(spec, caches.staged(spec)?)
+}
+
+/// The post-staging body shared by the cached and uncached entry points.
+fn run_staged(spec: &ExperimentSpec, staged: Arc<StagedData>) -> Result<NativeOutcome> {
     let t0 = Instant::now();
     let outputs = match spec.coupling {
         Coupling::Tight => run_tight(spec, &staged)?,
@@ -545,11 +721,15 @@ fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
     use std::thread;
 
     let r = spec.ranks;
-    // Layout file in a fresh temp dir per run.
+    // Layout file in a fresh temp dir per run. The counter keeps dirs
+    // distinct when a campaign runs same-named internode points
+    // concurrently in one process.
+    static LAYOUT_RUN: AtomicU64 = AtomicU64::new(0);
     let layout_dir = std::env::temp_dir().join(format!(
-        "eth-layout-{}-{:x}",
+        "eth-layout-{}-{:x}-{}",
         spec.name.replace('/', "_"),
-        std::process::id()
+        std::process::id(),
+        LAYOUT_RUN.fetch_add(1, Ordering::Relaxed)
     ));
     let _ = std::fs::remove_dir_all(&layout_dir);
     let layout = LayoutFile::create(&layout_dir)?;
@@ -944,6 +1124,39 @@ mod tests {
             Err(other) => panic!("expected a rank failure, got {other}"),
             Ok(_) => {} // a very fast machine may finish inside 1 ms
         }
+    }
+
+    #[test]
+    fn cached_run_is_byte_identical_to_fresh() {
+        let spec = base_spec("cache-eq");
+        let fresh = run_native(&spec).unwrap();
+        let caches = RunCaches::new();
+        let cold = run_native_cached(&spec, &caches).unwrap();
+        let warm = run_native_cached(&spec, &caches).unwrap();
+        assert_eq!(fresh.images, cold.images, "cold cache changed the image");
+        assert_eq!(fresh.images, warm.images, "warm cache changed the image");
+        let stats = caches.stats();
+        assert_eq!(stats.staging_misses, 1);
+        assert_eq!(stats.staging_hits, 1);
+        assert!((stats.staging_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_renders_once_across_ratio_and_coupling_axes() {
+        let caches = RunCaches::new();
+        let mut spec = base_spec("base");
+        spec.sampling_ratio = 0.5;
+        let b1 = caches.baseline_images(&spec).unwrap();
+        spec.sampling_ratio = 0.25;
+        spec.coupling = Coupling::Intercore;
+        let b2 = caches.baseline_images(&spec).unwrap();
+        assert!(Arc::ptr_eq(&b1, &b2), "second lookup must reuse the render");
+        let stats = caches.stats();
+        assert_eq!(stats.baseline_misses, 1);
+        assert_eq!(stats.baseline_hits, 1);
+        // The cached baseline is exactly the full-fidelity run's output.
+        let full = run_native(&base_spec("base")).unwrap();
+        assert_eq!(*b1, full.images);
     }
 
     #[test]

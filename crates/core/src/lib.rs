@@ -38,6 +38,9 @@ pub mod sweep;
 
 pub use config::{Algorithm, Application, Coupling, ExperimentSpec};
 pub use error::{CoreError, Result};
-pub use harness::{run_cluster, run_native, ClusterExperiment, Degradation, NativeOutcome};
+pub use harness::{
+    run_cluster, run_native, run_native_cached, CacheStats, ClusterExperiment, Degradation,
+    NativeOutcome, RunCaches,
+};
 pub use results::ResultTable;
-pub use sweep::Sweep;
+pub use sweep::{Campaign, CampaignOutcome, PointResult, Sweep};

@@ -1,12 +1,23 @@
-//! Cartesian parameter sweeps over the design space.
+//! Cartesian parameter sweeps over the design space, and the campaign
+//! engine that executes them with high throughput.
 //!
 //! "Our experience … strongly indicate\[s\] the need for a light-weight
 //! mechanism to quickly explore large parameter spaces" (Section VIII).
 //! A [`Sweep`] takes a base experiment and axes to vary; iterating yields
-//! one fully-validated [`ExperimentSpec`] per design point.
+//! one fully-validated [`ExperimentSpec`] per design point. A [`Campaign`]
+//! takes the materialized points and runs them concurrently on a bounded
+//! scheduler, sharing staged data between points that differ only on the
+//! algorithm / sampling-ratio / coupling axes (see
+//! [`crate::harness::RunCaches`]).
 
 use crate::config::{Algorithm, Coupling, ExperimentSpec};
-use crate::error::Result;
+use crate::error::{CoreError, Result};
+use crate::harness::{run_native_cached, CacheStats, NativeOutcome, RunCaches};
+use eth_transport::RankFailure;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
 
 /// A sweep: the cartesian product of the provided axes applied to a base
 /// spec. Empty axes keep the base value.
@@ -59,8 +70,13 @@ impl Sweep {
             * f(self.rank_counts.len())
     }
 
+    /// Always `false`: a sweep with no axes set still yields the base
+    /// spec, and every set axis contributes at least one value to the
+    /// product, so [`Sweep::specs`] never materializes zero points. (The
+    /// previous `len() == 0` form was unreachable — `len()` floors every
+    /// axis at 1 — and read as if empty sweeps existed.)
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        false
     }
 
     /// Materialize every design point, validating each.
@@ -114,6 +130,200 @@ fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
     }
 }
 
+/// Result of one design point inside a campaign: the native outcome, or
+/// the failure that point produced (other points are unaffected).
+pub type PointResult = std::result::Result<NativeOutcome, CoreError>;
+
+/// Result of a [`Campaign`] run.
+pub struct CampaignOutcome {
+    /// One entry per input spec, **in input order** regardless of the
+    /// order points actually finished in.
+    pub results: Vec<PointResult>,
+    /// End-to-end wall time for the whole campaign.
+    pub wall_s: f64,
+    /// Staging/baseline cache counters accumulated across all points.
+    pub cache: CacheStats,
+}
+
+impl CampaignOutcome {
+    /// Number of points that failed.
+    pub fn failures(&self) -> usize {
+        self.results.iter().filter(|r| r.is_err()).count()
+    }
+
+    /// The successful outcomes, still in input order.
+    pub fn outcomes(&self) -> impl Iterator<Item = &NativeOutcome> {
+        self.results.iter().filter_map(|r| r.as_ref().ok())
+    }
+
+    /// Throughput in design points per second (all points, even failed).
+    pub fn points_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.results.len() as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Executes independent design points concurrently on a bounded scheduler.
+///
+/// Admission accounts for each point's concurrency appetite: a native run
+/// spawns one OS thread per rank (tight), two per rank (intercore: sim +
+/// viz sides), or `ranks + viz_ranks` threads (internode), so an 8-rank
+/// internode point takes 16 of the campaign's slots while a 1-rank tight
+/// point takes one. Points are admitted strictly in input order (FIFO), so
+/// a wide point cannot be starved by a stream of narrow ones; results are
+/// returned in input order no matter when each point finishes.
+///
+/// Each point runs through [`run_native_cached`] against a shared
+/// [`RunCaches`], so points differing only on the algorithm / ratio /
+/// coupling axes share a single staging pass. Determinism: staged data and
+/// rendering are pure functions of the spec, so a campaign's images are
+/// byte-identical to running each spec alone, sequentially.
+///
+/// A failing point — including one whose supervised ranks panic or hang
+/// (see [`RankFailure`]) — records its error in its result slot and the
+/// campaign keeps going.
+pub struct Campaign {
+    capacity: usize,
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Campaign::new()
+    }
+}
+
+impl Campaign {
+    /// Scheduler sized to this host's available parallelism.
+    pub fn new() -> Campaign {
+        let slots = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Campaign::with_capacity(slots)
+    }
+
+    /// Scheduler with an explicit slot budget (minimum 1). One slot
+    /// roughly corresponds to one runnable rank thread.
+    pub fn with_capacity(slots: usize) -> Campaign {
+        Campaign {
+            capacity: slots.max(1),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slots one design point occupies while running: its total rank
+    /// thread count, clamped to the campaign capacity so an over-wide
+    /// point still admits (alone) instead of deadlocking.
+    pub fn point_cost(&self, spec: &ExperimentSpec) -> usize {
+        let ranks = spec.ranks.max(1);
+        let threads = match spec.coupling {
+            Coupling::Tight => ranks,
+            Coupling::Intercore => 2 * ranks,
+            Coupling::Internode => ranks + spec.viz_ranks.unwrap_or(ranks),
+        };
+        threads.clamp(1, self.capacity)
+    }
+
+    /// Run every spec with a fresh cache set.
+    pub fn run(&self, specs: &[ExperimentSpec]) -> CampaignOutcome {
+        self.run_with(specs, &RunCaches::new())
+    }
+
+    /// Materialize and run a sweep.
+    pub fn run_sweep(&self, sweep: &Sweep) -> Result<CampaignOutcome> {
+        Ok(self.run(&sweep.specs()?))
+    }
+
+    /// Run every spec against a caller-provided cache set (use this to
+    /// share staging across several campaigns over the same data).
+    pub fn run_with(&self, specs: &[ExperimentSpec], caches: &RunCaches) -> CampaignOutcome {
+        let t0 = Instant::now();
+        let sem = WeightedSemaphore::new(self.capacity);
+        let mut slots: Vec<Option<PointResult>> = specs.iter().map(|_| None).collect();
+        thread::scope(|s| {
+            for (ticket, (spec, slot)) in specs.iter().zip(slots.iter_mut()).enumerate() {
+                let sem = &sem;
+                let cost = self.point_cost(spec);
+                s.spawn(move || {
+                    sem.acquire(ticket, cost);
+                    let result = catch_unwind(AssertUnwindSafe(|| run_native_cached(spec, caches)));
+                    sem.release(cost);
+                    // A panic that escapes the harness (i.e. outside any
+                    // rank supervision) is contained here: it becomes this
+                    // point's failure instead of poisoning the campaign.
+                    *slot = Some(result.unwrap_or_else(|payload| {
+                        Err(CoreError::Rank(RankFailure::Panic {
+                            rank: ticket,
+                            message: panic_message(payload),
+                        }))
+                    }));
+                });
+            }
+        });
+        CampaignOutcome {
+            results: slots
+                .into_iter()
+                .map(|s| s.expect("every point thread writes its slot before exiting"))
+                .collect(),
+            wall_s: t0.elapsed().as_secs_f64(),
+            cache: caches.stats(),
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// Counting semaphore with weighted, strictly-FIFO admission.
+struct WeightedSemaphore {
+    state: Mutex<SemState>,
+    ready: Condvar,
+}
+
+struct SemState {
+    available: usize,
+    now_serving: usize,
+}
+
+impl WeightedSemaphore {
+    fn new(capacity: usize) -> WeightedSemaphore {
+        WeightedSemaphore {
+            state: Mutex::new(SemState {
+                available: capacity,
+                now_serving: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Block until ticket `ticket` is at the head of the line **and**
+    /// `cost` slots are free. Tickets must be acquired exactly once each,
+    /// numbered densely from 0 — the campaign uses the point index.
+    fn acquire(&self, ticket: usize, cost: usize) {
+        let mut st = self.state.lock().unwrap();
+        while st.now_serving != ticket || st.available < cost {
+            st = self.ready.wait(st).unwrap();
+        }
+        st.available -= cost;
+        st.now_serving += 1;
+        self.ready.notify_all();
+    }
+
+    fn release(&self, cost: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.available += cost;
+        self.ready.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +372,85 @@ mod tests {
         // grid algorithm against a particle base application
         let sweep = Sweep::over(base()).algorithms(&[Algorithm::VtkIsosurface]);
         assert!(sweep.specs().is_err());
+    }
+
+    #[test]
+    fn is_empty_is_honest_and_len_matches_specs() {
+        // A sweep is never empty: the base point always survives.
+        let bare = Sweep::over(base());
+        assert!(!bare.is_empty());
+        assert_eq!(bare.len(), bare.specs().unwrap().len());
+        // ...including when axes are explicitly set to empty slices
+        // (which means "keep the base value", not "zero points").
+        let degenerate = Sweep::over(base()).algorithms(&[]).sampling_ratios(&[]);
+        assert!(!degenerate.is_empty());
+        assert_eq!(degenerate.len(), 1);
+        assert_eq!(degenerate.len(), degenerate.specs().unwrap().len());
+        // and len() tracks specs() on real products too
+        let product = Sweep::over(base())
+            .algorithms(&Algorithm::particle_algorithms())
+            .sampling_ratios(&[1.0, 0.5])
+            .rank_counts(&[1, 2]);
+        assert!(!product.is_empty());
+        assert_eq!(product.len(), 12);
+        assert_eq!(product.len(), product.specs().unwrap().len());
+    }
+
+    #[test]
+    fn point_cost_accounts_for_coupling_threads() {
+        let c = Campaign::with_capacity(16);
+        let mut spec = base();
+        spec.ranks = 4;
+        spec.coupling = Coupling::Tight;
+        assert_eq!(c.point_cost(&spec), 4);
+        spec.coupling = Coupling::Intercore;
+        assert_eq!(c.point_cost(&spec), 8);
+        spec.coupling = Coupling::Internode;
+        assert_eq!(c.point_cost(&spec), 8); // 4 sim + 4 paired viz
+        spec.viz_ranks = Some(1);
+        assert_eq!(c.point_cost(&spec), 5); // 4 sim + 1 viz
+        // an over-wide point clamps to capacity instead of deadlocking
+        let tiny = Campaign::with_capacity(2);
+        spec.viz_ranks = None;
+        assert_eq!(tiny.point_cost(&spec), 2);
+    }
+
+    #[test]
+    fn campaign_isolates_failing_points() {
+        let mut good = base();
+        good.ranks = 1;
+        good.application = Application::Hacc { particles: 800 };
+        good.width = 24;
+        good.height = 24;
+        // an invalid point: zero sampling ratio fails validation inside
+        // run_native_cached, not up front in specs()
+        let mut bad = good.clone();
+        bad.sampling_ratio = 0.0;
+        let out = Campaign::with_capacity(4).run(&[good.clone(), bad, good]);
+        assert_eq!(out.results.len(), 3);
+        assert_eq!(out.failures(), 1);
+        assert!(out.results[0].is_ok());
+        assert!(out.results[1].is_err(), "invalid point must fail in place");
+        assert!(out.results[2].is_ok(), "failure must not poison later points");
+        assert_eq!(out.outcomes().count(), 2);
+        assert!(out.wall_s > 0.0);
+        assert!(out.points_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn campaign_shares_staging_across_axes() {
+        let specs = Sweep::over(base())
+            .algorithms(&Algorithm::particle_algorithms())
+            .sampling_ratios(&[1.0, 0.5])
+            .specs()
+            .unwrap();
+        let out = Campaign::with_capacity(8).run(&specs);
+        assert_eq!(out.failures(), 0);
+        // every point shares one (application, seed, steps, ranks) key:
+        // exactly one staging pass, all the rest hits
+        assert_eq!(out.cache.staging_misses, 1);
+        assert_eq!(out.cache.staging_hits, specs.len() as u64 - 1);
+        assert!(out.cache.staging_hit_rate() >= (specs.len() - 1) as f64 / specs.len() as f64);
     }
 
     #[test]

@@ -96,10 +96,47 @@ fn need(buf: &Bytes, n: usize, what: &str) -> Result<()> {
     }
 }
 
-fn get_attributes(buf: &mut Bytes, expected_len: usize) -> Result<AttributeSet> {
+/// Split `len * stride` bytes off the front of `buf` without copying.
+/// `Bytes::split_to` shares the allocation, so the payload slice views the
+/// wire buffer directly; the element conversion below is the only copy.
+fn take(buf: &mut Bytes, len: usize, stride: usize, what: &str) -> Result<Bytes> {
+    let bytes = len
+        .checked_mul(stride)
+        .ok_or_else(|| DataError::Format(format!("{what} length overflow")))?;
+    need(buf, bytes, what)?;
+    Ok(buf.split_to(bytes))
+}
+
+fn f32s_from(raw: &[u8]) -> Vec<f32> {
+    raw.chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+fn vec3s_from(raw: &[u8]) -> Vec<Vec3> {
+    raw.chunks_exact(12)
+        .map(|c| {
+            Vec3::new(
+                f32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                f32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+                f32::from_le_bytes([c[8], c[9], c[10], c[11]]),
+            )
+        })
+        .collect()
+}
+
+fn u64s_from(raw: &[u8]) -> Vec<u64> {
+    raw.chunks_exact(8)
+        .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect()
+}
+
+/// Decode the attribute section. Returns owned `(name, attribute)` pairs so
+/// the caller can move them into the dataset instead of cloning.
+fn get_attributes(buf: &mut Bytes) -> Result<Vec<(String, Attribute)>> {
     need(buf, 4, "attribute count")?;
     let n_attr = buf.get_u32_le() as usize;
-    let mut attrs = AttributeSet::new();
+    let mut attrs = Vec::with_capacity(n_attr);
     for _ in 0..n_attr {
         need(buf, 4, "attribute name length")?;
         let name_len = buf.get_u32_le() as usize;
@@ -112,42 +149,47 @@ fn get_attributes(buf: &mut Bytes, expected_len: usize) -> Result<AttributeSet> 
         let ty = buf.get_u8();
         let len = buf.get_u64_le() as usize;
         let attr = match ty {
-            ATTR_SCALAR => {
-                need(buf, len * 4, "scalar payload")?;
-                let mut v = Vec::with_capacity(len);
-                for _ in 0..len {
-                    v.push(buf.get_f32_le());
-                }
-                Attribute::Scalar(v)
-            }
-            ATTR_VECTOR => {
-                need(buf, len * 12, "vector payload")?;
-                let mut v = Vec::with_capacity(len);
-                for _ in 0..len {
-                    v.push(get_vec3(buf)?);
-                }
-                Attribute::Vector(v)
-            }
-            ATTR_ID => {
-                need(buf, len * 8, "id payload")?;
-                let mut v = Vec::with_capacity(len);
-                for _ in 0..len {
-                    v.push(buf.get_u64_le());
-                }
-                Attribute::Id(v)
-            }
+            ATTR_SCALAR => Attribute::Scalar(f32s_from(&take(buf, len, 4, "scalar payload")?)),
+            ATTR_VECTOR => Attribute::Vector(vec3s_from(&take(buf, len, 12, "vector payload")?)),
+            ATTR_ID => Attribute::Id(u64s_from(&take(buf, len, 8, "id payload")?)),
             other => {
                 return Err(DataError::Format(format!("unknown attribute type {other}")))
             }
         };
-        attrs.insert(&name, attr, expected_len)?;
+        attrs.push((name, attr));
     }
     Ok(attrs)
 }
 
+fn attributes_encoded_len(attrs: &AttributeSet) -> usize {
+    4 + attrs
+        .iter()
+        .map(|(name, attr)| {
+            4 + name.len()
+                + 9
+                + match attr {
+                    Attribute::Scalar(v) => v.len() * 4,
+                    Attribute::Vector(v) => v.len() * 12,
+                    Attribute::Id(v) => v.len() * 8,
+                }
+        })
+        .sum::<usize>()
+}
+
+/// Exact size of [`encode`]'s output for `obj`, from the format layout in
+/// the module docs. Lets the encoder allocate once with no slack and no
+/// mid-encode growth copies.
+pub fn encoded_len(obj: &DataObject) -> usize {
+    5 + match obj {
+        DataObject::Points(p) => 8 + p.len() * 12 + attributes_encoded_len(p.attributes()),
+        DataObject::Grid(g) => 24 + 24 + attributes_encoded_len(g.attributes()),
+    }
+}
+
 /// Encode a dataset into a fresh byte buffer.
 pub fn encode(obj: &DataObject) -> Bytes {
-    let mut buf = BytesMut::with_capacity(obj.payload_bytes() + 256);
+    let exact = encoded_len(obj);
+    let mut buf = BytesMut::with_capacity(exact);
     buf.put_slice(MAGIC);
     match obj {
         DataObject::Points(p) => {
@@ -168,6 +210,7 @@ pub fn encode(obj: &DataObject) -> Bytes {
             put_attributes(&mut buf, g.attributes());
         }
     }
+    debug_assert_eq!(buf.len(), exact, "encoded_len out of sync with encode");
     buf.freeze()
 }
 
@@ -185,15 +228,10 @@ pub fn decode(mut buf: Bytes) -> Result<DataObject> {
         KIND_POINTS => {
             need(&buf, 8, "point count")?;
             let count = buf.get_u64_le() as usize;
-            need(&buf, count * 12, "positions")?;
-            let mut pos = Vec::with_capacity(count);
-            for _ in 0..count {
-                pos.push(get_vec3(&mut buf)?);
-            }
+            let pos = vec3s_from(&take(&mut buf, count, 12, "positions")?);
             let mut cloud = PointCloud::from_positions(pos);
-            let attrs = get_attributes(&mut buf, count)?;
-            for (name, attr) in attrs.iter() {
-                cloud.set_attribute(name, attr.clone())?;
+            for (name, attr) in get_attributes(&mut buf)? {
+                cloud.set_attribute(&name, attr)?;
             }
             Ok(DataObject::Points(cloud))
         }
@@ -207,9 +245,8 @@ pub fn decode(mut buf: Bytes) -> Result<DataObject> {
             let origin = get_vec3(&mut buf)?;
             let spacing = get_vec3(&mut buf)?;
             let mut grid = UniformGrid::new(dims, origin, spacing)?;
-            let attrs = get_attributes(&mut buf, grid.num_vertices())?;
-            for (name, attr) in attrs.iter() {
-                grid.set_attribute(name, attr.clone())?;
+            for (name, attr) in get_attributes(&mut buf)? {
+                grid.set_attribute(&name, attr)?;
             }
             Ok(DataObject::Grid(grid))
         }
@@ -287,6 +324,31 @@ mod tests {
         let back = read_file(&path).unwrap();
         assert_eq!(obj, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        for obj in [
+            sample_points(),
+            sample_grid(),
+            DataObject::Points(PointCloud::new()),
+        ] {
+            assert_eq!(encode(&obj).len(), encoded_len(&obj));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_attribute_length() {
+        // Corrupt a scalar attribute's length field: decode must reject the
+        // mismatch (the dataset enforces attribute length on insert).
+        let obj = sample_points();
+        let raw = encode(&obj).to_vec();
+        // The first attribute ("mass") starts after magic(4) + kind(1) +
+        // count(8) + 2 positions(24) + n_attr(4) = 41; its header is
+        // name_len(4) + "mass"(4) + type(1), then len: u64 at offset 50.
+        let mut bad = raw.clone();
+        bad[50] = 1; // claim 1 element instead of 2
+        assert!(decode(Bytes::from(bad)).is_err());
     }
 
     #[test]

@@ -29,11 +29,29 @@ fn framebuffer_bytes(fb: &Framebuffer) -> u64 {
     (fb.width() * fb.height()) as u64 * 16
 }
 
+/// Reject empty or mixed-size inputs before any merging, so a mismatch
+/// cannot charge partial `merge_ops`/`bytes_exchanged` (or mutate buffers)
+/// on the way to the panic.
+fn validate_uniform(buffers: &[Framebuffer]) {
+    assert!(!buffers.is_empty(), "nothing to composite");
+    let (w, h) = (buffers[0].width(), buffers[0].height());
+    for (i, fb) in buffers.iter().enumerate() {
+        assert!(
+            fb.width() == w && fb.height() == h,
+            "framebuffer {i} is {}x{} but buffer 0 is {w}x{h}: \
+             all composited buffers must share one image size",
+            fb.width(),
+            fb.height(),
+        );
+    }
+}
+
 /// Fold all buffers into the first (direct-send / gather-to-root schedule).
 ///
-/// Panics if `buffers` is empty or sizes mismatch.
+/// Panics if `buffers` is empty or sizes mismatch (checked up front,
+/// before any stats are charged).
 pub fn composite_direct(mut buffers: Vec<Framebuffer>) -> (Framebuffer, CompositeStats) {
-    assert!(!buffers.is_empty(), "nothing to composite");
+    validate_uniform(&buffers);
     let mut acc = buffers.remove(0);
     let mut stats = CompositeStats::default();
     for fb in &buffers {
@@ -53,7 +71,7 @@ pub fn composite_direct(mut buffers: Vec<Framebuffer>) -> (Framebuffer, Composit
 /// Non-power-of-two rank counts are handled by folding the stragglers in
 /// directly first, as practical implementations do.
 pub fn composite_binary_swap(buffers: Vec<Framebuffer>) -> (Framebuffer, CompositeStats) {
-    assert!(!buffers.is_empty(), "nothing to composite");
+    validate_uniform(&buffers);
     let mut stats = CompositeStats::default();
     let mut bufs = buffers;
 
@@ -177,5 +195,32 @@ mod tests {
     #[should_panic]
     fn empty_input_panics() {
         composite_direct(vec![]);
+    }
+
+    #[test]
+    fn size_mismatch_panics_up_front_with_clear_message() {
+        // The bad buffer sits last; validation must still fire before any
+        // merging, and the message must name the offender and both sizes.
+        let bufs = vec![
+            Framebuffer::new(8, 8, Vec3::ZERO),
+            Framebuffer::new(8, 8, Vec3::ZERO),
+            Framebuffer::new(4, 8, Vec3::ZERO),
+        ];
+        let err = std::panic::catch_unwind(|| composite_direct(bufs)).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("framebuffer 2"), "{msg}");
+        assert!(msg.contains("4x8") && msg.contains("8x8"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "share one image size")]
+    fn binary_swap_rejects_size_mismatch() {
+        composite_binary_swap(vec![
+            Framebuffer::new(8, 8, Vec3::ZERO),
+            Framebuffer::new(8, 4, Vec3::ZERO),
+        ]);
     }
 }

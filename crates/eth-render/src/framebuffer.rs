@@ -90,16 +90,14 @@ impl Framebuffer {
     }
 
     /// Merge another buffer into this one pixel-by-pixel, keeping the nearer
-    /// fragment (sort-last depth compositing kernel).
+    /// fragment (sort-last depth compositing kernel). Large buffers merge
+    /// their halves on parallel threads; each pixel's outcome depends only
+    /// on that pixel in the two inputs, so the result is identical to the
+    /// serial fold at any split.
     pub fn composite_in(&mut self, other: &Framebuffer) {
         assert_eq!(self.width, other.width, "framebuffer width mismatch");
         assert_eq!(self.height, other.height, "framebuffer height mismatch");
-        for i in 0..self.color.len() {
-            if other.depth[i] < self.depth[i] {
-                self.depth[i] = other.depth[i];
-                self.color[i] = other.color[i];
-            }
-        }
+        merge_nearest(&mut self.color, &mut self.depth, &other.color, &other.depth);
     }
 
     /// Number of pixels something was drawn into.
@@ -168,6 +166,34 @@ impl Framebuffer {
             depth,
             background,
         })
+    }
+}
+
+/// Below this pixel count the split/join overhead outweighs the merge
+/// itself, so small (preview-sized) buffers stay on one thread.
+const PAR_COMPOSITE_MIN: usize = 32 * 1024;
+
+/// Keep-nearest merge over parallel halves. `color`/`depth` are this
+/// buffer's pixels; `oc`/`od` the other's. All four slices stay aligned
+/// because every split uses the same midpoint.
+fn merge_nearest(color: &mut [Vec3], depth: &mut [f32], oc: &[Vec3], od: &[f32]) {
+    if depth.len() >= PAR_COMPOSITE_MIN {
+        let mid = depth.len() / 2;
+        let (c0, c1) = color.split_at_mut(mid);
+        let (d0, d1) = depth.split_at_mut(mid);
+        let (oc0, oc1) = oc.split_at(mid);
+        let (od0, od1) = od.split_at(mid);
+        rayon::join(
+            || merge_nearest(c0, d0, oc0, od0),
+            || merge_nearest(c1, d1, oc1, od1),
+        );
+        return;
+    }
+    for i in 0..depth.len() {
+        if od[i] < depth[i] {
+            depth[i] = od[i];
+            color[i] = oc[i];
+        }
     }
 }
 
@@ -255,6 +281,40 @@ mod tests {
         bogus[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
         bogus[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(Framebuffer::from_bytes(&bogus).is_none());
+    }
+
+    #[test]
+    fn parallel_composite_matches_serial_reference() {
+        // 256x256 = 65536 pixels, comfortably above PAR_COMPOSITE_MIN, so
+        // composite_in takes the rayon::join path; the serial reference is
+        // the plain pixel loop. They must agree bit-for-bit.
+        let n = 256usize;
+        let mut a = Framebuffer::new(n, n, Vec3::ZERO);
+        let mut b = Framebuffer::new(n, n, Vec3::ZERO);
+        let mut h = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            h ^= h << 13;
+            h ^= h >> 7;
+            h ^= h << 17;
+            (h % 1000) as f32 * 0.01
+        };
+        for y in 0..n {
+            for x in 0..n {
+                a.write(x, y, next(), Vec3::splat(next()));
+                b.write(x, y, next(), Vec3::splat(next()));
+            }
+        }
+        let mut want_color = a.color.clone();
+        let mut want_depth = a.depth.clone();
+        for i in 0..want_color.len() {
+            if b.depth[i] < want_depth[i] {
+                want_depth[i] = b.depth[i];
+                want_color[i] = b.color[i];
+            }
+        }
+        a.composite_in(&b);
+        assert_eq!(a.color, want_color);
+        assert_eq!(a.depth, want_depth);
     }
 
     #[test]

@@ -9,12 +9,18 @@
 //! ranges over a reordered primitive array), giving a balanced tree in
 //! O(N log N); traversal is an iterative stack walk with near-child-first
 //! ordering and t-max pruning.
+//!
+//! Large builds recurse in parallel: the node count of every subtree is a
+//! pure function of its primitive count, so each recursion writes into a
+//! precomputed disjoint slice of the flattened node array with absolute
+//! child offsets known up front — the parallel build produces the exact
+//! node layout (DFS pre-order) the serial build does, with no fixup pass.
 
 use crate::camera::Ray;
 use eth_data::{Aabb, Vec3};
 
 /// Flattened BVH node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Node {
     bounds: Aabb,
     /// Interior: index of the right child (left child is `self + 1`).
@@ -58,80 +64,161 @@ pub struct SphereHit {
 
 const LEAF_SIZE: usize = 8;
 
+/// Subtrees below this many primitives build on one thread: at the top of
+/// a large tree both children clear the bar and fork, toward the leaves
+/// the recursion goes serial and avoids per-node join overhead.
+const PAR_BUILD_MIN: usize = 8192;
+
+/// Nodes a subtree over `count` primitives flattens to. A pure function of
+/// the count (the split point is always `count / 2`), which is what lets
+/// parallel builders write absolute child offsets into disjoint slices.
+fn subtree_node_count(count: usize) -> usize {
+    if count <= LEAF_SIZE {
+        1
+    } else {
+        let left = count / 2;
+        1 + subtree_node_count(left) + subtree_node_count(count - left)
+    }
+}
+
+/// Build the subtree over `centers`/`prims` into `nodes` (exactly
+/// `subtree_node_count(centers.len())` entries, root at `nodes[0]` whose
+/// absolute index is `node_base`). `prim_base` is the absolute offset of
+/// this range in the reordered primitive arrays. Returns the
+/// primitive-visit op count. Children whose primitive count reaches
+/// `par_min` build on parallel threads.
+fn build_subtree(
+    nodes: &mut [Node],
+    node_base: usize,
+    centers: &mut [Vec3],
+    prims: &mut [u32],
+    prim_base: usize,
+    radius: f32,
+    par_min: usize,
+) -> u64 {
+    let count = centers.len();
+    let mut bounds = Aabb::empty();
+    for &c in centers.iter() {
+        bounds.expand_point(c);
+    }
+    let bounds = bounds.padded(radius);
+    let mut ops = count as u64;
+
+    if count <= LEAF_SIZE {
+        nodes[0] = Node {
+            bounds,
+            payload: prim_base as u32,
+            count: count as u16,
+            axis: 0,
+        };
+        return ops;
+    }
+    let axis = bounds.longest_axis();
+    let mid = count / 2;
+    // Median split: O(n) selection per level -> O(N log N) total.
+    {
+        // co-sort centers and prim indices around the median
+        let mut order: Vec<usize> = (0..count).collect();
+        order.select_nth_unstable_by(mid, |&a, &b| {
+            centers[a][axis]
+                .partial_cmp(&centers[b][axis])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let reordered_c: Vec<Vec3> = order.iter().map(|&i| centers[i]).collect();
+        let reordered_p: Vec<u32> = order.iter().map(|&i| prims[i]).collect();
+        centers.copy_from_slice(&reordered_c);
+        prims.copy_from_slice(&reordered_p);
+    }
+    let left_nodes = subtree_node_count(mid);
+    nodes[0] = Node {
+        bounds,
+        payload: (node_base + 1 + left_nodes) as u32,
+        count: 0,
+        axis: axis as u8,
+    };
+    let (_, children) = nodes.split_at_mut(1);
+    let (left_n, right_n) = children.split_at_mut(left_nodes);
+    let (left_c, right_c) = centers.split_at_mut(mid);
+    let (left_p, right_p) = prims.split_at_mut(mid);
+    if count >= par_min {
+        let (left_ops, right_ops) = rayon::join(
+            || build_subtree(left_n, node_base + 1, left_c, left_p, prim_base, radius, par_min),
+            || {
+                build_subtree(
+                    right_n,
+                    node_base + 1 + left_nodes,
+                    right_c,
+                    right_p,
+                    prim_base + mid,
+                    radius,
+                    par_min,
+                )
+            },
+        );
+        ops + left_ops + right_ops
+    } else {
+        ops += build_subtree(left_n, node_base + 1, left_c, left_p, prim_base, radius, par_min);
+        ops += build_subtree(
+            right_n,
+            node_base + 1 + left_nodes,
+            right_c,
+            right_p,
+            prim_base + mid,
+            radius,
+            par_min,
+        );
+        ops
+    }
+}
+
 impl SphereBvh {
     /// Build over `centers` with the given world-space sphere radius.
+    /// Large inputs build subtrees in parallel; the resulting tree is
+    /// byte-identical to a single-threaded build.
     pub fn build(centers: &[Vec3], radius: f32) -> SphereBvh {
+        SphereBvh::build_impl(centers, radius, PAR_BUILD_MIN)
+    }
+
+    /// [`SphereBvh::build`] with the parallel-recursion threshold exposed so
+    /// tests can pin the build fully serial (`usize::MAX`) or maximally
+    /// parallel (`1`) and compare the results.
+    fn build_impl(centers: &[Vec3], radius: f32, par_min: usize) -> SphereBvh {
         assert!(radius > 0.0, "sphere radius must be positive");
         let n = centers.len();
-        let mut bvh = SphereBvh {
-            nodes: Vec::with_capacity((2 * n).max(1)),
-            centers: centers.to_vec(),
-            prim_index: (0..n as u32).collect(),
-            radius,
-            build_ops: 0,
-        };
         if n == 0 {
-            bvh.nodes.push(Node {
+            return SphereBvh {
+                nodes: vec![Node {
+                    bounds: Aabb::empty(),
+                    payload: 0,
+                    count: 0,
+                    axis: 0,
+                }],
+                centers: Vec::new(),
+                prim_index: Vec::new(),
+                radius,
+                build_ops: 0,
+            };
+        }
+        let mut centers = centers.to_vec();
+        let mut prim_index: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = vec![
+            Node {
                 bounds: Aabb::empty(),
                 payload: 0,
                 count: 0,
                 axis: 0,
-            });
-            return bvh;
+            };
+            subtree_node_count(n)
+        ];
+        let build_ops =
+            build_subtree(&mut nodes, 0, &mut centers, &mut prim_index, 0, radius, par_min);
+        SphereBvh {
+            nodes,
+            centers,
+            prim_index,
+            radius,
+            build_ops,
         }
-        bvh.build_range(0, n);
-        bvh
-    }
-
-    /// Recursively build `[start, end)`; returns the node index.
-    fn build_range(&mut self, start: usize, end: usize) -> usize {
-        let mut bounds = Aabb::empty();
-        for &c in &self.centers[start..end] {
-            bounds.expand_point(c);
-        }
-        let bounds = bounds.padded(self.radius);
-        self.build_ops += (end - start) as u64;
-
-        let node_index = self.nodes.len();
-        let count = end - start;
-        if count <= LEAF_SIZE {
-            self.nodes.push(Node {
-                bounds,
-                payload: start as u32,
-                count: count as u16,
-                axis: 0,
-            });
-            return node_index;
-        }
-        let axis = bounds.longest_axis();
-        let mid = start + count / 2;
-        // Median split: O(n) selection per level -> O(N log N) total.
-        {
-            let slice = &mut self.centers[start..end];
-            let prims = &mut self.prim_index[start..end];
-            // co-sort centers and prim indices around the median
-            let mut order: Vec<usize> = (0..slice.len()).collect();
-            order.select_nth_unstable_by((mid - start).min(slice.len() - 1), |&a, &b| {
-                slice[a][axis]
-                    .partial_cmp(&slice[b][axis])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            let reordered_c: Vec<Vec3> = order.iter().map(|&i| slice[i]).collect();
-            let reordered_p: Vec<u32> = order.iter().map(|&i| prims[i]).collect();
-            slice.copy_from_slice(&reordered_c);
-            prims.copy_from_slice(&reordered_p);
-        }
-        // Placeholder; patched after children are built.
-        self.nodes.push(Node {
-            bounds,
-            payload: 0,
-            count: 0,
-            axis: axis as u8,
-        });
-        let _left = self.build_range(start, mid);
-        let right = self.build_range(mid, end);
-        self.nodes[node_index].payload = right as u32;
-        node_index
     }
 
     pub fn num_primitives(&self) -> usize {
@@ -394,6 +481,34 @@ mod tests {
         let mut steps = 0;
         let hit = bvh.intersect(&r, f32::MAX, &mut steps).unwrap();
         assert!((hit.t - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial() {
+        // Serial (threshold never reached) vs maximally parallel (every
+        // interior node forks): the flattened tree, the reordered
+        // primitive arrays, and the op count must all match exactly.
+        let centers = scatter(20_000);
+        let serial = SphereBvh::build_impl(&centers, 0.05, usize::MAX);
+        let parallel = SphereBvh::build_impl(&centers, 0.05, 1);
+        assert_eq!(serial.nodes, parallel.nodes);
+        assert_eq!(serial.centers, parallel.centers);
+        assert_eq!(serial.prim_index, parallel.prim_index);
+        assert_eq!(serial.build_ops, parallel.build_ops);
+        // and the public entry point (default threshold) agrees too
+        let public = SphereBvh::build(&centers, 0.05);
+        assert_eq!(public.nodes, serial.nodes);
+        assert_eq!(public.prim_index, serial.prim_index);
+    }
+
+    #[test]
+    fn node_layout_is_exact_preorder() {
+        // The node array is sized by subtree_node_count up front; nothing
+        // is pushed, so the count must match the prediction exactly.
+        for n in [1usize, 8, 9, 100, 1000] {
+            let bvh = SphereBvh::build(&scatter(n), 0.05);
+            assert_eq!(bvh.num_nodes(), subtree_node_count(n), "n={n}");
+        }
     }
 
     #[test]

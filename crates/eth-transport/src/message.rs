@@ -95,9 +95,17 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
     read_frame_limited(r, MAX_PAYLOAD)
 }
 
-/// Encode a dataset for shipping.
+/// Encode a dataset for shipping. The encoder preallocates the exact
+/// encoded size ([`encoded_dataset_len`]), so building the payload is a
+/// single allocation with no growth copies.
 pub fn encode_dataset(obj: &DataObject) -> Bytes {
     binary::encode(obj)
+}
+
+/// Exact byte length [`encode_dataset`] produces for `obj`, without
+/// encoding — lets senders size frames or budgets up front.
+pub fn encoded_dataset_len(obj: &DataObject) -> usize {
+    binary::encoded_len(obj)
 }
 
 /// Decode a dataset payload.
@@ -198,6 +206,16 @@ mod tests {
         let payload = encode_dataset(&obj);
         let back = decode_dataset(payload).unwrap();
         assert_eq!(obj, back);
+    }
+
+    #[test]
+    fn encoded_dataset_len_matches_encode() {
+        let mut cloud = PointCloud::from_positions(vec![Vec3::ONE, Vec3::ZERO, Vec3::ONE]);
+        cloud
+            .set_attribute("rho", eth_data::Attribute::Scalar(vec![1.0, 2.0, 3.0]))
+            .unwrap();
+        let obj = DataObject::Points(cloud);
+        assert_eq!(encode_dataset(&obj).len(), encoded_dataset_len(&obj));
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Minimal `rayon` stand-in built on `std::thread::scope`.
+//!
+//! The execution model is deliberately simple and *order-preserving*: a
+//! pipeline materializes its input items, splits them into contiguous
+//! chunks (one per available core), maps each chunk on its own scoped
+//! thread, and re-concatenates chunk outputs in input order. `reduce` then
+//! folds the mapped results sequentially, left to right, starting from
+//! `identity()`.
+//!
+//! That makes every `map`/`collect`/`reduce` in this workspace bitwise
+//! deterministic and identical to serial execution whenever the reduce
+//! operator is associative — which the render/composite call sites are.
+//! Real rayon only promises this for `collect`; do not port code here that
+//! relies on rayon's work-stealing reduction shapes.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Number of worker threads a parallel region will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run both closures, potentially in parallel, and return both results.
+/// Panics from either closure propagate to the caller.
+pub fn join<A, RA, B, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let b = s.spawn(oper_b);
+        let ra = oper_a();
+        match b.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// Map `f` over `items` on scoped threads, preserving item order.
+fn execute<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let mut out: Vec<Option<Vec<U>>> = (0..chunks.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (slot, chunk) in out.iter_mut().zip(chunks) {
+            s.spawn(move || {
+                *slot = Some(chunk.into_iter().map(f).collect());
+            });
+        }
+    });
+    out.into_iter().flatten().flatten().collect()
+}
+
+/// A materialized parallel iterator: items are collected up front, the
+/// heavy lifting happens at the `map`/`collect`/`reduce` boundary.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn map<U, F>(self, f: F) -> ParMap<T, U, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A parallel iterator with a pending map stage.
+pub struct ParMap<T, U, F> {
+    items: Vec<T>,
+    f: F,
+    _marker: PhantomData<fn() -> U>,
+}
+
+impl<T, U, F> ParMap<T, U, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    pub fn map<V, G>(self, g: G) -> ParMap<T, V, impl Fn(T) -> V + Sync>
+    where
+        V: Send,
+        G: Fn(U) -> V + Sync,
+    {
+        let f = self.f;
+        ParMap {
+            items: self.items,
+            f: move |t| g(f(t)),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        execute(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Map in parallel, then fold the results sequentially in input order
+    /// starting from `identity()`. Deterministic for any operator; equal to
+    /// rayon's result when the operator is associative.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        ID: Fn() -> U + Sync + Send,
+        OP: Fn(U, U) -> U + Sync + Send,
+    {
+        let mapped = execute(self.items, &self.f);
+        mapped.into_iter().fold(identity(), op)
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<U>,
+    {
+        execute(self.items, &self.f).into_iter().sum()
+    }
+}
+
+/// `par_iter`/`par_chunks` on slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "par_chunks requires chunk_size > 0");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// `into_par_iter` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_matches_serial() {
+        let v = [10, 20, 30, 40];
+        let out: Vec<(usize, i32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(out, vec![(0, 10), (1, 20), (2, 30), (3, 40)]);
+    }
+
+    #[test]
+    fn chunked_reduce_is_in_order() {
+        // A deliberately non-commutative operator: string concatenation.
+        let v: Vec<usize> = (0..100).collect();
+        let s = v
+            .par_chunks(7)
+            .map(|c| c.iter().map(|x| format!("{x},")).collect::<String>())
+            .reduce(String::new, |a, b| a + &b);
+        let want: String = (0..100).map(|x| format!("{x},")).collect();
+        assert_eq!(s, want);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let rows: Vec<usize> = (0..64usize).into_par_iter().map(|r| r * r).collect();
+        assert_eq!(rows[63], 63 * 63);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = crate::join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn join_propagates_panic() {
+        let r = std::panic::catch_unwind(|| {
+            crate::join(|| 1, || panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,390 @@
+//! Minimal `serde` stand-in.
+//!
+//! Instead of serde's visitor architecture, serialization goes through an
+//! owned JSON-like [`Value`] tree: `Serialize` produces a `Value`,
+//! `Deserialize` consumes one. `serde_json` (the shim) renders and parses
+//! that tree. This is enough because nothing outside this repository
+//! consumes the JSON — only round-trip fidelity matters.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::path::PathBuf;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered map (JSON object).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Look up a key in an object's field list (helper for derive-generated
+/// code; linear scan is fine at config-struct sizes).
+pub fn field<'v>(fields: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ----------------------------------------------------
+
+macro_rules! ser_de_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$ty>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_de_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of i64 range")))?,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$ty>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::F64(f) => Ok(*f as $ty),
+                    Value::U64(n) => Ok(*n as $ty),
+                    Value::I64(n) => Ok(*n as $ty),
+                    other => Err(DeError::custom(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for PathBuf {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for PathBuf {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(PathBuf::from(s)),
+            other => Err(DeError::custom(format!("expected path string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::custom(format!("expected duration object, got {v:?}")))?;
+        let secs = field(fields, "secs")
+            .map(u64::deserialize_value)
+            .transpose()?
+            .unwrap_or(0);
+        let nanos = field(fields, "nanos")
+            .map(u32::deserialize_value)
+            .transpose()?
+            .unwrap_or(0);
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::custom(format!("expected array of {N}, got {v:?}")))?;
+        if items.len() != N {
+            return Err(DeError::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let vec: Vec<T> = items.iter().map(T::deserialize_value).collect::<Result<_, _>>()?;
+        vec.try_into()
+            .map_err(|_| DeError::custom("array length mismatch"))
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+) with $len:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| DeError::custom(format!("expected tuple array, got {v:?}")))?;
+                if items.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {}, got {}", $len, items.len()
+                    )));
+                }
+                Ok(($($name::deserialize_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (A: 0) with 1;
+    (A: 0, B: 1) with 2;
+    (A: 0, B: 1, C: 2) with 3;
+    (A: 0, B: 1, C: 2, D: 3) with 4;
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        // Sort keys so serialized output is deterministic.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Object(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::custom(format!("expected object map, got {v:?}")))?;
+        fields
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::deserialize_value(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::custom(format!("expected object map, got {v:?}")))?;
+        fields
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::deserialize_value(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

@@ -43,8 +43,9 @@ pub mod prelude {
     pub use eth_cluster::metrics::RunMetrics;
     pub use eth_core::config::{Algorithm, Application, Coupling, ExperimentSpec};
     pub use eth_core::harness;
+    pub use eth_core::harness::{run_native, run_native_cached, RunCaches};
     pub use eth_core::results::ResultTable;
-    pub use eth_core::sweep::Sweep;
+    pub use eth_core::sweep::{Campaign, CampaignOutcome, Sweep};
     pub use eth_data::{Aabb, DataObject, PointCloud, UniformGrid, Vec3};
     pub use eth_render::camera::Camera;
     pub use eth_render::image::Image;
