@@ -4,12 +4,16 @@
 //! reproduce                      # print all artifacts as markdown
 //! reproduce table1 fig15         # print a subset
 //! reproduce --csv out/           # also write one CSV per artifact
+//! reproduce table2 --journal d/  # durable: journal table2's campaign to d/
+//! reproduce table2 --journal d/ --resume   # restore completed points
+//! reproduce chaos-campaign       # lossy campaign demo with retries
+//! reproduce chaos-campaign --seed 42
 //! reproduce bench                # campaign-throughput benchmark
 //! reproduce bench --smoke        # CI-sized benchmark
 //! reproduce bench --out FILE     # where to write the JSON report
 //! ```
 
-use eth_bench::{campaign, runs};
+use eth_bench::{campaign, chaos, runs};
 use std::path::PathBuf;
 
 /// `reproduce bench [--smoke] [--out PATH]`: run the campaign-throughput
@@ -53,13 +57,58 @@ fn run_bench(args: &[String]) {
     println!("wrote {}", out_path.display());
 }
 
+/// `reproduce chaos-campaign [--seed N]`: run the lossy retry/quarantine
+/// demo campaign and print its report.
+fn run_chaos(args: &[String]) {
+    let mut seed = 7u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer argument");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("unknown chaos-campaign option '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (table, outcome) = match chaos::chaos_campaign(seed) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("chaos campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", table.to_markdown());
+    println!(
+        "campaign: {} points, {} attempts total, {} quarantined, {:.2}s",
+        outcome.results.len(),
+        outcome.attempts.iter().sum::<u32>(),
+        outcome.quarantined.len(),
+        outcome.wall_s,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench") {
         run_bench(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("chaos-campaign") {
+        run_chaos(&args[1..]);
+        return;
+    }
     let mut csv_dir: Option<PathBuf> = None;
+    let mut journal_dir: Option<PathBuf> = None;
+    let mut resume = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -71,9 +120,19 @@ fn main() {
                 });
                 csv_dir = Some(PathBuf::from(dir));
             }
+            "--journal" => {
+                let dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--journal needs a directory argument");
+                    std::process::exit(2);
+                });
+                journal_dir = Some(PathBuf::from(dir));
+            }
+            "--resume" => resume = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [--csv DIR] [table1 table2 fig8 .. fig15]\n\
+                    "usage: reproduce [--csv DIR] [--journal DIR [--resume]] \
+                     [table1 table2 fig8 .. fig15]\n\
+                     \x20      reproduce chaos-campaign [--seed N]\n\
                      \x20      reproduce bench [--smoke] [--out FILE]"
                 );
                 return;
@@ -81,6 +140,41 @@ fn main() {
             other => wanted.push(other.to_string()),
         }
     }
+    if resume && journal_dir.is_none() {
+        eprintln!("--resume needs --journal DIR");
+        std::process::exit(2);
+    }
+    if let Some(dir) = &journal_dir {
+        if resume && !dir.join("journal.jsonl").exists() {
+            eprintln!("--resume: no journal at {}", dir.display());
+            std::process::exit(2);
+        }
+        // The journaled path covers the native-render campaign, table2.
+        if !(wanted.is_empty() || wanted.iter().any(|w| w == "table2")) {
+            eprintln!("--journal only applies to table2");
+            std::process::exit(2);
+        }
+        let (table, outcome) = match runs::table2_journaled(dir) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("journaled reproduction failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("{}", table.to_markdown());
+        println!(
+            "campaign: {} points ({} restored from journal, {} ran, {} quarantined)",
+            outcome.results.len(),
+            outcome.restored.len(),
+            outcome.results.len() - outcome.restored.len(),
+            outcome.quarantined.len(),
+        );
+        if !wanted.is_empty() && wanted.iter().all(|w| w == "table2") {
+            return; // only table2 requested: done
+        }
+        wanted.retain(|w| w != "table2");
+    }
+    let table2_done = journal_dir.is_some();
 
     let all = match runs::all() {
         Ok(v) => v,
@@ -98,6 +192,9 @@ fn main() {
     }
 
     for (id, table) in &all {
+        if table2_done && *id == "table2" {
+            continue; // already printed from the journaled campaign
+        }
         if !wanted.is_empty() && !wanted.iter().any(|w| w == id) {
             continue;
         }

@@ -8,4 +8,5 @@
 //! kernels on this machine.
 
 pub mod campaign;
+pub mod chaos;
 pub mod runs;

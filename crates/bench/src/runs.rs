@@ -12,7 +12,8 @@ use eth_cluster::metrics::RunMetrics;
 use eth_core::config::{Algorithm, Application, ExperimentSpec};
 use eth_core::harness::{run_cluster, run_native_cached, ClusterExperiment, RunCaches};
 use eth_core::results::{fmt_kw, fmt_pct, fmt_s, ResultTable};
-use eth_core::Result;
+use eth_core::{Campaign, CampaignOutcome, CoreError, Result};
+use std::path::Path;
 
 /// HACC paper-scale particle counts ("full" = 1B, then 750M/500M/250M).
 pub const HACC_SIZES: [u64; 4] = [250_000_000, 500_000_000, 750_000_000, 1_000_000_000];
@@ -51,36 +52,40 @@ pub fn table1() -> ResultTable {
     t
 }
 
-/// **Table II** — accuracy (real rendered RMSE on this machine) vs energy
-/// saved (cluster model) per sampling ratio and algorithm.
-pub fn table2() -> Result<ResultTable> {
+/// Table II's (native algorithm, cluster-model class) pairs, row order.
+const TABLE2_PAIRS: [(Algorithm, AlgorithmClass); 3] = [
+    (Algorithm::RaycastSpheres, AlgorithmClass::RaycastSpheres),
+    (Algorithm::GaussianSplat, AlgorithmClass::GaussianSplat),
+    (Algorithm::VtkPoints, AlgorithmClass::VtkPoints),
+];
+
+/// Table II's sampled ratios (the 1.0 baseline is rendered separately).
+const TABLE2_RATIOS: [f64; 3] = [0.75, 0.5, 0.25];
+
+/// The native spec behind one Table II cell.
+fn table2_spec(alg: Algorithm, ratio: f64) -> Result<ExperimentSpec> {
+    ExperimentSpec::builder(&format!("t2-{}-{ratio}", alg.name()))
+        .application(Application::Hacc { particles: 40_000 })
+        .algorithm(alg)
+        .ranks(2)
+        .image_size(192, 192)
+        .sampling_ratio(ratio)
+        .build()
+}
+
+/// Assemble the Table II rows from the nine rendered point images (row
+/// order: algorithm-major, then ratio as in [`TABLE2_RATIOS`]).
+fn table2_from_images(caches: &RunCaches, images: &[eth_render::Image]) -> Result<ResultTable> {
     let mut t = ResultTable::new(
         "Table II: Trade-off between accuracy and energy for HACC",
         &["Algorithm", "Sampling Ratio", "RMSE", "Energy Saved"],
     );
-    let pairs = [
-        (Algorithm::RaycastSpheres, AlgorithmClass::RaycastSpheres),
-        (Algorithm::GaussianSplat, AlgorithmClass::GaussianSplat),
-        (Algorithm::VtkPoints, AlgorithmClass::VtkPoints),
-    ];
-    // One cache for the whole table: HACC stages once (the staging key
-    // ignores algorithm and ratio) and each algorithm's full-fidelity
-    // baseline renders once instead of once per ratio row.
-    let caches = RunCaches::new();
-    for (alg, class) in pairs {
-        let spec_at = |ratio: f64| -> Result<ExperimentSpec> {
-            ExperimentSpec::builder(&format!("t2-{}-{ratio}", alg.name()))
-                .application(Application::Hacc { particles: 40_000 })
-                .algorithm(alg)
-                .ranks(2)
-                .image_size(192, 192)
-                .sampling_ratio(ratio)
-                .build()
-        };
-        let baseline_img = caches.baseline_images(&spec_at(1.0)?)?[0].clone();
+    let mut point = images.iter();
+    for (alg, class) in TABLE2_PAIRS {
+        let baseline_img = caches.baseline_images(&table2_spec(alg, 1.0)?)?[0].clone();
         let baseline = hacc_run(class, 400, 1_000_000_000);
-        for ratio in [0.75, 0.5, 0.25] {
-            let img = run_native_cached(&spec_at(ratio)?, &caches)?.images.remove(0);
+        for ratio in TABLE2_RATIOS {
+            let img = point.next().expect("nine point images");
             let rmse = img.rmse(&baseline_img)?;
             let m = run_cluster(
                 &ClusterExperiment::hacc(class, 400, 1_000_000_000).with_sampling(ratio),
@@ -94,6 +99,56 @@ pub fn table2() -> Result<ResultTable> {
         }
     }
     Ok(t)
+}
+
+/// **Table II** — accuracy (real rendered RMSE on this machine) vs energy
+/// saved (cluster model) per sampling ratio and algorithm.
+pub fn table2() -> Result<ResultTable> {
+    // One cache for the whole table: HACC stages once (the staging key
+    // ignores algorithm and ratio) and each algorithm's full-fidelity
+    // baseline renders once instead of once per ratio row.
+    let caches = RunCaches::new();
+    let mut images = Vec::new();
+    for (alg, _) in TABLE2_PAIRS {
+        for ratio in TABLE2_RATIOS {
+            images.push(
+                run_native_cached(&table2_spec(alg, ratio)?, &caches)?
+                    .images
+                    .remove(0),
+            );
+        }
+    }
+    table2_from_images(&caches, &images)
+}
+
+/// [`table2`] as a durable campaign: the nine render points go through
+/// [`Campaign::run_journaled`] against `dir`, so a run killed partway can
+/// be re-invoked with the same directory and restores every completed
+/// point from the journal instead of re-rendering it. The table itself is
+/// byte-identical to [`table2`]'s.
+pub fn table2_journaled(dir: &Path) -> Result<(ResultTable, CampaignOutcome)> {
+    let mut specs = Vec::new();
+    for (alg, _) in TABLE2_PAIRS {
+        for ratio in TABLE2_RATIOS {
+            specs.push(table2_spec(alg, ratio)?);
+        }
+    }
+    let caches = RunCaches::new();
+    let outcome = Campaign::new().run_journaled(&specs, &caches, dir)?;
+    let mut images = Vec::new();
+    for (i, result) in outcome.results.iter().enumerate() {
+        match result {
+            Ok(native) => images.push(native.images[0].clone()),
+            Err(e) => {
+                return Err(CoreError::Config(format!(
+                    "table2 campaign point {i} ({}) failed: {e}",
+                    specs[i].name
+                )))
+            }
+        }
+    }
+    let table = table2_from_images(&caches, &images)?;
+    Ok((table, outcome))
 }
 
 /// **Figure 8** — normalized execution time vs data size (fixed 400

@@ -307,33 +307,9 @@ impl ExperimentSpec {
             )));
         }
         if let Some(plan) = &self.fault_plan {
-            for (name, p) in [
-                ("drop_prob", plan.drop_prob),
-                ("corrupt_prob", plan.corrupt_prob),
-                ("delay_prob", plan.delay_prob),
-            ] {
-                if !(0.0..=1.0).contains(&p) {
-                    return Err(CoreError::Config(format!(
-                        "fault plan {name} {p} outside [0, 1]"
-                    )));
-                }
-            }
-            if plan.min_tag >= plan.max_tag {
-                return Err(CoreError::Config(format!(
-                    "fault plan tag window [{:#x}, {:#x}) is empty",
-                    plan.min_tag, plan.max_tag
-                )));
-            }
-            // a plan that can lose messages must bound the waits it causes,
-            // or the run would hang instead of degrading
-            let lossy = plan.drop_prob > 0.0 || plan.disconnect.is_some();
-            if lossy && plan.recv_deadline_ms == 0 {
-                return Err(CoreError::Config(
-                    "fault plan drops or disconnects but sets no recv_deadline_ms; \
-                     receivers would block forever on lost messages"
-                        .into(),
-                ));
-            }
+            // domain checks (probabilities in [0, 1], non-empty tag window,
+            // lossy plans must carry a deadline) live with the plan itself
+            plan.validate().map_err(CoreError::Config)?;
         }
         Ok(())
     }
@@ -534,8 +510,15 @@ mod tests {
         // a lossy plan without a recv deadline would hang, so it's rejected
         let lossy = FaultPlan::default().with_drop(0.5);
         assert!(ExperimentSpec::builder("t").fault_plan(lossy).build().is_err());
-        // out-of-range probability
+        // out-of-range probabilities, with the field named in the error
         let silly = FaultPlan::seeded(1).with_drop(1.5);
+        let err = ExperimentSpec::builder("t").fault_plan(silly).build().unwrap_err();
+        assert!(err.to_string().contains("drop_prob"), "{err}");
+        let silly = FaultPlan::seeded(1).with_corrupt(-0.01);
+        let err = ExperimentSpec::builder("t").fault_plan(silly).build().unwrap_err();
+        assert!(err.to_string().contains("corrupt_prob"), "{err}");
+        // a delay fault that injects no latency is a misconfiguration
+        let silly = FaultPlan::seeded(1).with_delay(0.5, 0);
         assert!(ExperimentSpec::builder("t").fault_plan(silly).build().is_err());
         // seeded plans carry a deadline and pass
         let ok = FaultPlan::seeded(1).with_drop(0.5);

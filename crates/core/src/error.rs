@@ -15,6 +15,14 @@ pub enum CoreError {
     Config(String),
     /// A supervised rank panicked or overran its wall-clock budget.
     Rank(RankFailure),
+    /// A campaign point exhausted its retry budget and was set aside so
+    /// the rest of the sweep could proceed.
+    Quarantined {
+        /// Attempts consumed, including the first.
+        attempts: u32,
+        /// The failure observed on the final attempt.
+        last_error: Box<CoreError>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -24,6 +32,10 @@ impl fmt::Display for CoreError {
             CoreError::Transport(e) => write!(f, "transport error: {e}"),
             CoreError::Config(m) => write!(f, "configuration error: {m}"),
             CoreError::Rank(e) => write!(f, "rank failure: {e}"),
+            CoreError::Quarantined { attempts, last_error } => write!(
+                f,
+                "quarantined after {attempts} attempts; last error: {last_error}"
+            ),
         }
     }
 }
@@ -35,6 +47,7 @@ impl std::error::Error for CoreError {
             CoreError::Transport(e) => Some(e),
             CoreError::Config(_) => None,
             CoreError::Rank(e) => Some(e),
+            CoreError::Quarantined { last_error, .. } => Some(last_error.as_ref()),
         }
     }
 }
@@ -54,6 +67,12 @@ impl From<DataError> for CoreError {
 impl From<TransportError> for CoreError {
     fn from(e: TransportError) -> Self {
         CoreError::Transport(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Data(DataError::Io(e))
     }
 }
 

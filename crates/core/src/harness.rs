@@ -43,7 +43,7 @@ use eth_transport::comm::{Communicator, TransportError};
 use eth_transport::layout::LayoutFile;
 use eth_data::compress;
 use eth_transport::local::LocalComm;
-use eth_transport::message::{decode_dataset, encode_dataset};
+use eth_transport::message::{decode_dataset_from, encode_dataset};
 use eth_transport::runner::{run_ranks, run_ranks_supervised};
 use eth_transport::socket::{connect_to, listen_as};
 use serde::{Deserialize, Serialize};
@@ -53,7 +53,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Wall time spent in each phase, summed over steps, max'd over ranks.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct PhaseTimes {
     pub sim_s: f64,
     pub transfer_s: f64,
@@ -110,7 +110,11 @@ impl Degradation {
     fn count(&mut self, err: &TransportError) {
         match err {
             TransportError::Timeout { .. } => self.timeouts += 1,
-            TransportError::Corrupt { .. } => self.corrupt_payloads += 1,
+            // integrity failures detected by the codec (checksum trailer)
+            // and payloads too mangled to frame at all
+            TransportError::Corrupt { .. } | TransportError::Decode(_) => {
+                self.corrupt_payloads += 1
+            }
             // disconnects, IO errors on a dying socket, everything else
             // that severs a link
             _ => self.disconnects += 1,
@@ -183,12 +187,15 @@ fn encode_block(spec: &ExperimentSpec, block: &DataObject) -> Bytes {
     }
 }
 
-/// Inverse of [`encode_block`].
-fn decode_block(spec: &ExperimentSpec, payload: Bytes) -> Result<DataObject> {
+/// Inverse of [`encode_block`]. `from` is the sending rank: uncompressed
+/// payloads verify their checksum trailer here, so in-flight corruption
+/// surfaces as [`TransportError::Corrupt`] attributed to the sender — the
+/// codec detects it, the chaos layer's own bookkeeping is not consulted.
+fn decode_block(spec: &ExperimentSpec, from: usize, payload: Bytes) -> Result<DataObject> {
     if spec.compress_transport {
         Ok(compress::decompress(payload)?)
     } else {
-        Ok(decode_dataset(payload)?)
+        Ok(decode_dataset_from(from, payload)?)
     }
 }
 
@@ -689,7 +696,7 @@ fn run_intercore(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
                 // the chaos wrapper applies the plan's receive deadline, so
                 // this cannot block forever on a dropped message
                 let blocks = match comm.recv(sim_rank, DATA_TAG_BASE + step as u32) {
-                    Ok(payload) => match decode_block(spec, payload) {
+                    Ok(payload) => match decode_block(spec, sim_rank, payload) {
                         Ok(block) => vec![block],
                         Err(_) if tolerant => {
                             deg.corrupt_payloads += 1;
@@ -805,12 +812,12 @@ fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
                 let t = Instant::now();
                 let mut deg = Degradation::default();
                 let mut blocks = Vec::with_capacity(chans.len());
-                for chan in &chans {
+                for (chan, &sim_rank) in chans.iter().zip(&my_sims) {
                     // the chaos wrapper applies the plan's receive
                     // deadline: a silent or dead sim rank costs one
                     // deadline, not the whole run
                     match chan.recv(DATA_TAG_BASE + step as u32) {
-                        Ok(payload) => match decode_block(&spec, payload) {
+                        Ok(payload) => match decode_block(&spec, sim_rank, payload) {
                             Ok(block) => blocks.push(block),
                             Err(_) if tolerant => deg.corrupt_payloads += 1,
                             Err(e) => return Err(e),
@@ -1083,6 +1090,45 @@ mod tests {
         );
         assert!(out.degradation.disconnects >= 1, "{:?}", out.degradation);
         assert!(out.report().contains("degraded"));
+    }
+
+    #[test]
+    fn internode_payload_corruption_is_detected_at_the_codec() {
+        // Send-side corruption mangles real payload bytes; the checksum
+        // trailer must catch every one of them at decode time, so the
+        // corrupt counter reflects *detected* corruption, not merely the
+        // injector's bookkeeping.
+        let plan = FaultPlan::seeded(9).with_corrupt(0.6).with_recv_deadline_ms(500);
+        let mut spec = base_spec("chaos-corrupt");
+        spec.coupling = Coupling::Internode;
+        spec.fault_plan = Some(plan);
+        let out = run_native(&spec).unwrap();
+        assert!(
+            out.degradation.corrupt_payloads > 0,
+            "no corruption detected: {:?}",
+            out.degradation
+        );
+        // the run still fills every image slot (degraded, not dead)
+        assert_eq!(out.images.len(), 4);
+    }
+
+    #[test]
+    fn failed_compute_leaves_memo_slot_retryable() {
+        // A compute that errors must leave the slot empty so a retry can
+        // populate it — this is what lets a campaign retry hit RunCaches
+        // instead of poisoning the key for the rest of the sweep.
+        let map: Mutex<HashMap<u32, Arc<MemoSlot<u64>>>> = Mutex::new(HashMap::new());
+        let first = memoize(&map, 1, || Err(CoreError::Config("injected".into())));
+        assert!(first.is_err());
+        // retry succeeds and populates the slot (a miss, not a hit)
+        let (v, hit) = memoize(&map, 1, || Ok(41)).unwrap();
+        assert_eq!((*v, hit), (41, false));
+        // and the third requester is served from cache
+        let (v, hit) = memoize::<u64, _, _>(&map, 1, || {
+            panic!("slot was not populated")
+        })
+        .unwrap();
+        assert_eq!((*v, hit), (41, true));
     }
 
     #[test]

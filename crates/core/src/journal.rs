@@ -1,0 +1,539 @@
+//! Crash-safe campaign journal: an append-only write-ahead log plus
+//! per-point result files, scoped to a campaign directory.
+//!
+//! Layout of a campaign directory:
+//!
+//! ```text
+//! <dir>/journal.jsonl        append-only WAL, one framed record per line
+//! <dir>/manifest.json        campaign manifest (written temp-then-rename)
+//! <dir>/results/point_NNNN.bin   verified binary result per finished point
+//! ```
+//!
+//! **WAL framing.** Each line is `{len:08x} {crc:08x} {json}\n` — the JSON
+//! byte length and its CRC-32 ([`eth_data::crc`]) prefix the record, so a
+//! reader can tell a torn or truncated tail (the crash case) from a valid
+//! record. Replay stops at the first bad line and discards the rest: a
+//! crash can only ever cost the in-flight suffix, never the completed
+//! prefix, and is never fatal. Appends are flushed and `sync_data`'d, so a
+//! record that replay returns was durably on disk before its point was
+//! reported done.
+//!
+//! **Spec hashing.** Records carry a hash of the design point's full spec
+//! ([`spec_hash`]). On resume the hash is checked against the *current*
+//! sweep: editing one point's spec invalidates exactly that point's
+//! journal history, nobody else's.
+//!
+//! **Result files.** A finished point's images and metrics are persisted
+//! raw (`f32` pixels, not the lossy 8-bit PPM artifact path) with a CRC-32
+//! trailer, so a resumed campaign restores byte-identical results or —
+//! if the file is missing, torn, or from a different spec — silently
+//! re-runs the point. Journal and result writes are best-effort from the
+//! scheduler's perspective: losing one costs re-execution on resume,
+//! never a wrong result.
+
+use crate::config::ExperimentSpec;
+use crate::error::{CoreError, Result};
+use crate::harness::{Degradation, NativeOutcome, PhaseTimes};
+use eth_data::crc::crc32;
+use eth_render::pipeline::RenderStats;
+use eth_render::Image;
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// WAL file name inside a campaign directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+/// Manifest file name inside a campaign directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+/// Subdirectory holding per-point result files.
+pub const RESULTS_DIR: &str = "results";
+
+/// One journal record. `Started` is appended before a point's attempt
+/// runs; `Finished` after it completes (either way). The last `Finished`
+/// for an index wins on replay; a `Started` without a matching `Finished`
+/// marks an attempt that was in flight when the process died.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    Started {
+        index: usize,
+        spec_hash: u64,
+        attempt: u32,
+    },
+    Finished {
+        index: usize,
+        spec_hash: u64,
+        attempt: u32,
+        elapsed_s: f64,
+        outcome: RecordedOutcome,
+    },
+}
+
+/// How an attempt ended, as recorded in the WAL.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RecordedOutcome {
+    Ok,
+    Err { error: String, quarantined: bool },
+}
+
+/// Campaign manifest: the point list this directory was journaled
+/// against, for inspection and sanity checks. Always written atomically
+/// (temp file + rename), never updated in place.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignManifest {
+    pub points: Vec<ManifestPoint>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestPoint {
+    pub index: usize,
+    pub name: String,
+    pub spec_hash: u64,
+}
+
+/// FNV-1a 64 over the spec's canonical JSON form. Any observable change
+/// to a design point changes its hash, which is what invalidates that
+/// point's journal history on resume.
+pub fn spec_hash(spec: &ExperimentSpec) -> u64 {
+    let text = serde_json::to_string(spec).unwrap_or_else(|_| format!("{spec:?}"));
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// An open campaign journal: appends are serialized through a mutex,
+/// flushed, and fsync'd, so the WAL on disk is always a valid prefix of
+/// the records appended.
+pub struct Journal {
+    dir: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Open (or create) the journal in `dir`, creating the campaign
+    /// directory layout as needed. Appends go to the end of any existing
+    /// WAL — resuming extends the same history.
+    pub fn open(dir: &Path) -> Result<Journal> {
+        fs::create_dir_all(dir.join(RESULTS_DIR))?;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(JOURNAL_FILE))?;
+        Ok(Journal {
+            dir: dir.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The campaign directory this journal lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Append one record: framed, flushed, fsync'd.
+    pub fn append(&self, record: &JournalRecord) -> Result<()> {
+        let json = serde_json::to_string(record)
+            .map_err(|e| CoreError::Config(format!("unserializable journal record: {e}")))?;
+        let line = format!("{:08x} {:08x} {}\n", json.len(), crc32(json.as_bytes()), json);
+        let mut file = self.file.lock().unwrap();
+        file.write_all(line.as_bytes())?;
+        file.flush()?;
+        file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Replay the WAL in `dir`. A missing file is an empty history; a torn or
+/// truncated tail (bad length, bad checksum, malformed JSON, unterminated
+/// last line) ends the replay at the last valid record — never an error.
+pub fn replay(dir: &Path) -> Result<Vec<JournalRecord>> {
+    let bytes = match fs::read(dir.join(JOURNAL_FILE)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    Ok(parse_records(&bytes))
+}
+
+fn parse_records(bytes: &[u8]) -> Vec<JournalRecord> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        // a record is only valid once its terminator hit the disk
+        let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        match parse_line(&bytes[pos..pos + nl]) {
+            Some(record) => out.push(record),
+            // first bad line: everything from here on is the torn tail
+            None => break,
+        }
+        pos += nl + 1;
+    }
+    out
+}
+
+fn parse_line(line: &[u8]) -> Option<JournalRecord> {
+    let line = std::str::from_utf8(line).ok()?;
+    let (len_hex, rest) = line.split_once(' ')?;
+    let (crc_hex, json) = rest.split_once(' ')?;
+    let len = usize::from_str_radix(len_hex, 16).ok()?;
+    let crc = u32::from_str_radix(crc_hex, 16).ok()?;
+    if json.len() != len || crc32(json.as_bytes()) != crc {
+        return None;
+    }
+    serde_json::from_str(json).ok()
+}
+
+/// Write the campaign manifest atomically (temp file + rename): readers
+/// see either the old manifest or the new one, never a torn mix.
+pub fn write_manifest(dir: &Path, specs: &[ExperimentSpec], hashes: &[u64]) -> Result<()> {
+    let manifest = CampaignManifest {
+        points: specs
+            .iter()
+            .zip(hashes)
+            .enumerate()
+            .map(|(index, (spec, &spec_hash))| ManifestPoint {
+                index,
+                name: spec.name.clone(),
+                spec_hash,
+            })
+            .collect(),
+    };
+    let json = serde_json::to_string_pretty(&manifest)
+        .map_err(|e| CoreError::Config(format!("unserializable manifest: {e}")))?;
+    let path = dir.join(MANIFEST_FILE);
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    let mut file = File::create(&tmp)?;
+    file.write_all(json.as_bytes())?;
+    file.sync_data()?;
+    drop(file);
+    fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
+/// Read the campaign manifest, if one has been written.
+pub fn read_manifest(dir: &Path) -> Result<Option<CampaignManifest>> {
+    let text = match fs::read_to_string(dir.join(MANIFEST_FILE)) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    serde_json::from_str(&text)
+        .map(Some)
+        .map_err(|e| CoreError::Config(format!("malformed campaign manifest: {e}")))
+}
+
+/// Path of the result file for point `index`.
+pub fn result_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(RESULTS_DIR).join(format!("point_{index:04}.bin"))
+}
+
+const RESULT_MAGIC: &[u8; 4] = b"EPR1";
+
+/// Everything a [`NativeOutcome`] carries besides the spec and the raw
+/// pixels, serialized as the result file's JSON header.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ResultHeader {
+    spec_hash: u64,
+    wall_s: f64,
+    phases: PhaseTimes,
+    stats: RenderStats,
+    bytes_moved: u64,
+    degradation: Degradation,
+}
+
+/// Persist a finished point's outcome: JSON header + raw `f32` pixels +
+/// CRC-32 trailer, written to a temp file, fsync'd, then renamed into
+/// place. Raw pixels (not the 8-bit PPM artifact path) keep restored
+/// results byte-identical to the run that produced them.
+pub fn save_result(dir: &Path, index: usize, spec_hash: u64, outcome: &NativeOutcome) -> Result<()> {
+    let header = ResultHeader {
+        spec_hash,
+        wall_s: outcome.wall_s,
+        phases: outcome.phases,
+        stats: outcome.stats,
+        bytes_moved: outcome.bytes_moved,
+        degradation: outcome.degradation,
+    };
+    let json = serde_json::to_string(&header)
+        .map_err(|e| CoreError::Config(format!("unserializable result header: {e}")))?;
+    let mut buf = Vec::with_capacity(64 + json.len());
+    buf.extend_from_slice(RESULT_MAGIC);
+    buf.extend_from_slice(&(json.len() as u32).to_le_bytes());
+    buf.extend_from_slice(json.as_bytes());
+    buf.extend_from_slice(&(outcome.images.len() as u32).to_le_bytes());
+    for image in &outcome.images {
+        buf.extend_from_slice(&(image.width() as u32).to_le_bytes());
+        buf.extend_from_slice(&(image.height() as u32).to_le_bytes());
+        for px in image.pixels() {
+            buf.extend_from_slice(&px.x.to_le_bytes());
+            buf.extend_from_slice(&px.y.to_le_bytes());
+            buf.extend_from_slice(&px.z.to_le_bytes());
+        }
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+
+    let path = result_path(dir, index);
+    let tmp = path.with_extension("bin.tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(&buf)?;
+    file.sync_data()?;
+    drop(file);
+    fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
+fn corrupt(index: usize, what: &str) -> CoreError {
+    CoreError::Data(eth_data::DataError::Corrupt(format!(
+        "result file for point {index}: {what}"
+    )))
+}
+
+/// Load and verify a persisted result. Fails — and the caller re-runs the
+/// point — when the file is missing, fails its checksum, or was produced
+/// by a spec whose hash differs from `expect_hash`. The reconstructed
+/// outcome carries the *current* `spec`.
+pub fn load_result(
+    dir: &Path,
+    index: usize,
+    expect_hash: u64,
+    spec: &ExperimentSpec,
+) -> Result<NativeOutcome> {
+    let bytes = fs::read(result_path(dir, index))?;
+    if bytes.len() < RESULT_MAGIC.len() + 4 + 4 {
+        return Err(corrupt(index, "truncated"));
+    }
+    let body_len = bytes.len() - 4;
+    let stored = u32::from_le_bytes(bytes[body_len..].try_into().unwrap());
+    let computed = crc32(&bytes[..body_len]);
+    if stored != computed {
+        return Err(corrupt(
+            index,
+            &format!("checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"),
+        ));
+    }
+    if &bytes[..4] != RESULT_MAGIC {
+        return Err(corrupt(index, "bad magic"));
+    }
+    let body = &bytes[4..body_len];
+    let header_len = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+    let rest = &body[4..];
+    if rest.len() < header_len + 4 {
+        return Err(corrupt(index, "header overruns file"));
+    }
+    let header_json =
+        std::str::from_utf8(&rest[..header_len]).map_err(|_| corrupt(index, "header not utf-8"))?;
+    let header: ResultHeader = serde_json::from_str(header_json)
+        .map_err(|e| corrupt(index, &format!("malformed header: {e}")))?;
+    if header.spec_hash != expect_hash {
+        return Err(CoreError::Config(format!(
+            "result file for point {index} was produced by a different spec \
+             (hash {:#018x}, expected {expect_hash:#018x})",
+            header.spec_hash
+        )));
+    }
+    let mut rest = &rest[header_len..];
+    let image_count = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+    rest = &rest[4..];
+    let mut images = Vec::with_capacity(image_count);
+    for _ in 0..image_count {
+        if rest.len() < 8 {
+            return Err(corrupt(index, "image table truncated"));
+        }
+        let width = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        let height = u32::from_le_bytes(rest[4..8].try_into().unwrap()) as usize;
+        rest = &rest[8..];
+        let pixel_bytes = width
+            .checked_mul(height)
+            .and_then(|n| n.checked_mul(12))
+            .ok_or_else(|| corrupt(index, "image dimensions overflow"))?;
+        if rest.len() < pixel_bytes {
+            return Err(corrupt(index, "pixel data truncated"));
+        }
+        let pixels = rest[..pixel_bytes]
+            .chunks_exact(12)
+            .map(|c| {
+                eth_data::Vec3::new(
+                    f32::from_le_bytes(c[..4].try_into().unwrap()),
+                    f32::from_le_bytes(c[4..8].try_into().unwrap()),
+                    f32::from_le_bytes(c[8..12].try_into().unwrap()),
+                )
+            })
+            .collect();
+        images.push(
+            Image::from_pixels(width, height, pixels)
+                .map_err(|e| corrupt(index, &format!("bad image: {e}")))?,
+        );
+        rest = &rest[pixel_bytes..];
+    }
+    Ok(NativeOutcome {
+        spec: spec.clone(),
+        wall_s: header.wall_s,
+        phases: header.phases,
+        images,
+        stats: header.stats,
+        bytes_moved: header.bytes_moved,
+        degradation: header.degradation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Algorithm, Application};
+    use crate::harness::run_native;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "eth-journal-test-{tag}-{:x}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_spec(name: &str) -> ExperimentSpec {
+        ExperimentSpec::builder(name)
+            .application(Application::Hacc { particles: 600 })
+            .algorithm(Algorithm::GaussianSplat)
+            .ranks(1)
+            .image_size(16, 16)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn records_roundtrip_through_the_wal() {
+        let dir = tmp_dir("roundtrip");
+        let journal = Journal::open(&dir).unwrap();
+        let records = vec![
+            JournalRecord::Started { index: 0, spec_hash: 7, attempt: 1 },
+            JournalRecord::Finished {
+                index: 0,
+                spec_hash: 7,
+                attempt: 1,
+                elapsed_s: 0.25,
+                outcome: RecordedOutcome::Ok,
+            },
+            JournalRecord::Finished {
+                index: 1,
+                spec_hash: 9,
+                attempt: 3,
+                elapsed_s: 1.5,
+                outcome: RecordedOutcome::Err {
+                    error: "transport error: timeout".into(),
+                    quarantined: true,
+                },
+            },
+        ];
+        for r in &records {
+            journal.append(r).unwrap();
+        }
+        assert_eq!(replay(&dir).unwrap(), records);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_journal_is_an_empty_history() {
+        let dir = tmp_dir("missing");
+        assert!(replay(&dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncation_at_any_byte_keeps_the_valid_prefix() {
+        let dir = tmp_dir("truncate");
+        let journal = Journal::open(&dir).unwrap();
+        let records: Vec<JournalRecord> = (0..4)
+            .map(|i| JournalRecord::Started { index: i, spec_hash: i as u64, attempt: 1 })
+            .collect();
+        for r in &records {
+            journal.append(r).unwrap();
+        }
+        let full = fs::read(dir.join(JOURNAL_FILE)).unwrap();
+        for cut in 0..=full.len() {
+            let parsed = parse_records(&full[..cut]);
+            // the parsed list is always a prefix of the real history...
+            assert!(parsed.len() <= records.len());
+            assert_eq!(parsed[..], records[..parsed.len()], "cut at {cut}");
+            // ...and a cut inside record k never loses records before k
+            let complete_before_cut = full[..cut].iter().filter(|&&b| b == b'\n').count();
+            assert!(parsed.len() >= complete_before_cut.min(records.len()), "cut at {cut}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_tail_is_discarded_not_fatal() {
+        let dir = tmp_dir("garbage");
+        let journal = Journal::open(&dir).unwrap();
+        let good = JournalRecord::Started { index: 0, spec_hash: 1, attempt: 1 };
+        journal.append(&good).unwrap();
+        // a torn line with a valid-looking frame but a wrong checksum
+        let mut bytes = fs::read(dir.join(JOURNAL_FILE)).unwrap();
+        bytes.extend_from_slice(b"00000002 deadbeef {}\n");
+        fs::write(dir.join(JOURNAL_FILE), &bytes).unwrap();
+        assert_eq!(replay(&dir).unwrap(), vec![good]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spec_hash_tracks_observable_changes() {
+        let a = small_spec("hash");
+        let mut b = a.clone();
+        assert_eq!(spec_hash(&a), spec_hash(&b));
+        b.sampling_ratio = 0.5;
+        assert_ne!(spec_hash(&a), spec_hash(&b));
+    }
+
+    #[test]
+    fn manifest_round_trips_atomically() {
+        let dir = tmp_dir("manifest");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(read_manifest(&dir).unwrap().is_none());
+        let specs = vec![small_spec("m0"), small_spec("m1")];
+        let hashes: Vec<u64> = specs.iter().map(spec_hash).collect();
+        write_manifest(&dir, &specs, &hashes).unwrap();
+        let manifest = read_manifest(&dir).unwrap().unwrap();
+        assert_eq!(manifest.points.len(), 2);
+        assert_eq!(manifest.points[1].spec_hash, hashes[1]);
+        assert!(!dir.join(format!("{MANIFEST_FILE}.tmp")).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn results_restore_byte_identical_and_detect_tampering() {
+        let dir = tmp_dir("results");
+        Journal::open(&dir).unwrap();
+        let spec = small_spec("persist");
+        let outcome = run_native(&spec).unwrap();
+        let hash = spec_hash(&spec);
+        save_result(&dir, 0, hash, &outcome).unwrap();
+
+        let back = load_result(&dir, 0, hash, &spec).unwrap();
+        assert_eq!(back.images, outcome.images, "pixels must survive exactly");
+        assert_eq!(back.stats, outcome.stats);
+        assert_eq!(back.bytes_moved, outcome.bytes_moved);
+
+        // wrong expected hash => refused
+        assert!(load_result(&dir, 0, hash ^ 1, &spec).is_err());
+        // flip one pixel byte on disk => checksum refuses it
+        let path = result_path(&dir, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_result(&dir, 0, hash, &spec),
+            Err(CoreError::Data(eth_data::DataError::Corrupt(_)))
+        ));
+        // missing file is an error too (caller re-runs)
+        assert!(load_result(&dir, 5, hash, &spec).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -21,6 +21,8 @@
 //! * [`pipeline`] — the per-rank visualization pipeline (sample → render →
 //!   composite → artifact), usable directly as an in-situ sink,
 //! * [`sweep`] — cartesian parameter sweeps over the design space,
+//! * [`journal`] — the crash-safe campaign journal behind
+//!   [`sweep::Campaign::run_journaled`] and resume,
 //! * [`results`] — result tables (markdown/CSV) for the experiment index,
 //! * [`calibrate`] — measures this host's kernel rates to fit the cluster
 //!   model's [`eth_cluster::Calibration`],
@@ -32,6 +34,7 @@ pub mod config;
 pub mod error;
 pub mod harness;
 pub mod jobfile;
+pub mod journal;
 pub mod pipeline;
 pub mod results;
 pub mod sweep;
@@ -42,5 +45,8 @@ pub use harness::{
     run_cluster, run_native, run_native_cached, CacheStats, ClusterExperiment, Degradation,
     NativeOutcome, RunCaches,
 };
+pub use journal::{Journal, JournalRecord, RecordedOutcome};
 pub use results::ResultTable;
-pub use sweep::{Campaign, CampaignOutcome, PointResult, Sweep};
+pub use sweep::{
+    spec_for_attempt, Campaign, CampaignOutcome, PointResult, RetryOn, RetryPolicy, Sweep,
+};

@@ -13,8 +13,15 @@
 use crate::config::{Algorithm, Coupling, ExperimentSpec};
 use crate::error::{CoreError, Result};
 use crate::harness::{run_native_cached, CacheStats, NativeOutcome, RunCaches};
-use eth_transport::RankFailure;
+use crate::journal::{self, Journal, JournalRecord, RecordedOutcome};
+use eth_data::DataError;
+use eth_transport::fault::BackoffShape;
+use eth_transport::{RankFailure, TransportError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::thread;
 use std::time::Instant;
@@ -134,6 +141,102 @@ fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
 /// the failure that point produced (other points are unaffected).
 pub type PointResult = std::result::Result<NativeOutcome, CoreError>;
 
+/// The failure classes a [`RetryPolicy`] can cover. Failures outside
+/// these classes (configuration errors, structural data errors) are
+/// deterministic — retrying them would burn attempts for nothing, so
+/// they always fail the point on the first attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetryOn {
+    /// Receive deadlines and rank wall-clock budget overruns.
+    Timeout,
+    /// Severed links: disconnects, socket IO failures, bootstrap races.
+    Disconnect,
+    /// A rank (or the point itself) panicked.
+    Panic,
+    /// A payload failed its integrity or decode check.
+    Corrupt,
+}
+
+/// Per-point retry behaviour for a [`Campaign`]. Serde-able, so recovery
+/// policy can be swept (and recorded) like any other experiment axis.
+///
+/// A failed attempt whose error class is in `retry_on` re-enters the
+/// admission queue after a jittered exponential backoff; once
+/// `max_attempts` attempts are spent the point is **quarantined** — its
+/// result slot records [`CoreError::Quarantined`] and the campaign moves
+/// on. Errors outside `retry_on` fail the point immediately, so the
+/// default policy ([`RetryPolicy::none`]) reproduces single-shot
+/// semantics exactly and never quarantines anything.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per point, including the first (minimum 1).
+    #[serde(default = "default_max_attempts")]
+    pub max_attempts: u32,
+    /// Shape of the between-attempt backoff (jitter is seeded per point).
+    #[serde(default)]
+    pub backoff: BackoffShape,
+    /// Which failure classes are worth retrying.
+    #[serde(default)]
+    pub retry_on: Vec<RetryOn>,
+}
+
+fn default_max_attempts() -> u32 {
+    1
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every point gets exactly one attempt and plain errors.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: BackoffShape::default(),
+            retry_on: Vec::new(),
+        }
+    }
+
+    /// Retry every transient class up to `max_attempts` total attempts.
+    pub fn standard(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            backoff: BackoffShape::default(),
+            retry_on: vec![
+                RetryOn::Timeout,
+                RetryOn::Disconnect,
+                RetryOn::Panic,
+                RetryOn::Corrupt,
+            ],
+        }
+    }
+
+    /// The failure class of `err`, when it has one.
+    pub fn classify(err: &CoreError) -> Option<RetryOn> {
+        match err {
+            CoreError::Transport(TransportError::Timeout { .. })
+            | CoreError::Rank(RankFailure::Hang { .. }) => Some(RetryOn::Timeout),
+            CoreError::Transport(
+                TransportError::Disconnected { .. }
+                | TransportError::Io(_)
+                | TransportError::Bootstrap(_),
+            ) => Some(RetryOn::Disconnect),
+            CoreError::Rank(RankFailure::Panic { .. }) => Some(RetryOn::Panic),
+            CoreError::Transport(TransportError::Corrupt { .. } | TransportError::Decode(_))
+            | CoreError::Data(DataError::Corrupt(_)) => Some(RetryOn::Corrupt),
+            _ => None,
+        }
+    }
+
+    /// Does this policy cover retrying `err`?
+    fn covers(&self, err: &CoreError) -> bool {
+        Self::classify(err).is_some_and(|class| self.retry_on.contains(&class))
+    }
+}
+
 /// Result of a [`Campaign`] run.
 pub struct CampaignOutcome {
     /// One entry per input spec, **in input order** regardless of the
@@ -143,6 +246,15 @@ pub struct CampaignOutcome {
     pub wall_s: f64,
     /// Staging/baseline cache counters accumulated across all points.
     pub cache: CacheStats,
+    /// Attempts each point consumed (1 = succeeded or failed terminally
+    /// on the first try; restored points keep their recorded count).
+    pub attempts: Vec<u32>,
+    /// Indices of points that exhausted their retry budget and were set
+    /// aside as [`CoreError::Quarantined`].
+    pub quarantined: Vec<usize>,
+    /// Indices restored from a campaign journal instead of re-run
+    /// (always empty outside [`Campaign::run_journaled`] / resume).
+    pub restored: Vec<usize>,
 }
 
 impl CampaignOutcome {
@@ -187,6 +299,7 @@ impl CampaignOutcome {
 /// campaign keeps going.
 pub struct Campaign {
     capacity: usize,
+    retry: RetryPolicy,
 }
 
 impl Default for Campaign {
@@ -207,7 +320,21 @@ impl Campaign {
     pub fn with_capacity(slots: usize) -> Campaign {
         Campaign {
             capacity: slots.max(1),
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Attach a retry policy (the default is [`RetryPolicy::none`]).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Campaign {
+        self.retry = RetryPolicy {
+            max_attempts: policy.max_attempts.max(1),
+            ..policy
+        };
+        self
+    }
+
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     pub fn capacity(&self) -> usize {
@@ -241,37 +368,286 @@ impl Campaign {
     /// share staging across several campaigns over the same data).
     pub fn run_with(&self, specs: &[ExperimentSpec], caches: &RunCaches) -> CampaignOutcome {
         let t0 = Instant::now();
-        let sem = WeightedSemaphore::new(self.capacity);
-        let mut slots: Vec<Option<PointResult>> = specs.iter().map(|_| None).collect();
+        let prefilled = (0..specs.len()).map(|_| None).collect();
+        let (results, attempts, quarantined) =
+            self.run_engine(specs, None, prefilled, |_, spec, attempt| {
+                run_native_cached(&spec_for_attempt(spec, attempt), caches)
+            });
+        CampaignOutcome {
+            results,
+            wall_s: t0.elapsed().as_secs_f64(),
+            cache: caches.stats(),
+            attempts,
+            quarantined,
+            restored: Vec::new(),
+        }
+    }
+
+    /// Run with a caller-supplied per-attempt runner instead of
+    /// [`run_native_cached`]. This is the hook for sweeping *recovery
+    /// policy itself* as a design axis: the runner sees
+    /// `(index, spec, attempt)` and can inject deterministic transient
+    /// failures around the real execution (see `reproduce
+    /// chaos-campaign`). Scheduling, retry, backoff, and quarantine
+    /// behave exactly as in [`Campaign::run_with`].
+    pub fn run_custom<F>(&self, specs: &[ExperimentSpec], runner: F) -> CampaignOutcome
+    where
+        F: Fn(usize, &ExperimentSpec, u32) -> PointResult + Sync,
+    {
+        let t0 = Instant::now();
+        let prefilled = (0..specs.len()).map(|_| None).collect();
+        let (results, attempts, quarantined) = self.run_engine(specs, None, prefilled, runner);
+        CampaignOutcome {
+            results,
+            wall_s: t0.elapsed().as_secs_f64(),
+            cache: CacheStats::default(),
+            attempts,
+            quarantined,
+            restored: Vec::new(),
+        }
+    }
+
+    /// [`Campaign::run_with`] with a crash-safe journal in `dir` (see
+    /// [`crate::journal`]): every attempt is logged write-ahead, every
+    /// finished point's result is persisted and checksummed, and a
+    /// journal left by an earlier (killed) run restores its completed
+    /// points instead of re-running them. A point whose spec hash changed
+    /// since the journal was written — or whose result file is missing or
+    /// fails verification — is simply re-run; in-flight and failed points
+    /// always re-run.
+    pub fn run_journaled(
+        &self,
+        specs: &[ExperimentSpec],
+        caches: &RunCaches,
+        dir: &Path,
+    ) -> Result<CampaignOutcome> {
+        let t0 = Instant::now();
+        let journal = Journal::open(dir)?;
+        let hashes: Vec<u64> = specs.iter().map(journal::spec_hash).collect();
+        journal::write_manifest(dir, specs, &hashes)?;
+
+        // Replay: the last Finished record per index wins. Only a
+        // successful record whose spec hash still matches *and* whose
+        // persisted result verifies is worth restoring.
+        let mut finished: HashMap<usize, (u64, u32, bool)> = HashMap::new();
+        for record in journal::replay(dir)? {
+            if let JournalRecord::Finished {
+                index,
+                spec_hash,
+                attempt,
+                outcome,
+                ..
+            } = record
+            {
+                finished.insert(index, (spec_hash, attempt, outcome == RecordedOutcome::Ok));
+            }
+        }
+        let mut prefilled: Vec<Option<(PointResult, u32)>> =
+            (0..specs.len()).map(|_| None).collect();
+        let mut restored = Vec::new();
+        for (index, spec) in specs.iter().enumerate() {
+            let Some(&(hash, attempt, ok)) = finished.get(&index) else {
+                continue;
+            };
+            if !ok || hash != hashes[index] {
+                continue; // failed, or the spec changed: re-run
+            }
+            if let Ok(outcome) = journal::load_result(dir, index, hash, spec) {
+                prefilled[index] = Some((Ok(outcome), attempt));
+                restored.push(index);
+            }
+        }
+
+        let (results, attempts, quarantined) =
+            self.run_engine(specs, Some(&journal), prefilled, |_, spec, attempt| {
+                run_native_cached(&spec_for_attempt(spec, attempt), caches)
+            });
+        Ok(CampaignOutcome {
+            results,
+            wall_s: t0.elapsed().as_secs_f64(),
+            cache: caches.stats(),
+            attempts,
+            quarantined,
+            restored,
+        })
+    }
+
+    /// Resume (or start) a journaled campaign over `sweep` in `dir` with
+    /// a fresh cache set.
+    pub fn resume(&self, dir: &Path, sweep: &Sweep) -> Result<CampaignOutcome> {
+        self.run_journaled(&sweep.specs()?, &RunCaches::new(), dir)
+    }
+
+    /// The scheduler core shared by all entry points. `runner` executes
+    /// one attempt of one point; `prefilled` slots (restored from a
+    /// journal) keep their value and only burn their admission ticket.
+    ///
+    /// Retry flow: a failed attempt covered by the retry policy releases
+    /// its slots, is journaled as a failed attempt, sleeps its jittered
+    /// backoff, then takes a *fresh* ticket and rejoins the FIFO queue —
+    /// so retries cannot starve first attempts and admission stays
+    /// strictly ordered. Once `max_attempts` are spent the point is
+    /// quarantined and the campaign proceeds.
+    fn run_engine<F>(
+        &self,
+        specs: &[ExperimentSpec],
+        journal: Option<&Journal>,
+        prefilled: Vec<Option<(PointResult, u32)>>,
+        runner: F,
+    ) -> (Vec<PointResult>, Vec<u32>, Vec<usize>)
+    where
+        F: Fn(usize, &ExperimentSpec, u32) -> PointResult + Sync,
+    {
+        let sem = WeightedSemaphore::new(self.capacity, specs.len());
+        let policy = &self.retry;
+        let mut slots = prefilled;
         thread::scope(|s| {
-            for (ticket, (spec, slot)) in specs.iter().zip(slots.iter_mut()).enumerate() {
+            for (index, (spec, slot)) in specs.iter().zip(slots.iter_mut()).enumerate() {
                 let sem = &sem;
+                let runner = &runner;
                 let cost = self.point_cost(spec);
+                if slot.is_some() {
+                    // Restored from the journal: consume the admission
+                    // ticket (tickets must stay dense) without occupying
+                    // any slots or re-running anything.
+                    s.spawn(move || sem.acquire(index, 0));
+                    continue;
+                }
                 s.spawn(move || {
-                    sem.acquire(ticket, cost);
-                    let result = catch_unwind(AssertUnwindSafe(|| run_native_cached(spec, caches)));
-                    sem.release(cost);
-                    // A panic that escapes the harness (i.e. outside any
-                    // rank supervision) is contained here: it becomes this
-                    // point's failure instead of poisoning the campaign.
-                    *slot = Some(result.unwrap_or_else(|payload| {
-                        Err(CoreError::Rank(RankFailure::Panic {
-                            rank: ticket,
-                            message: panic_message(payload),
-                        }))
-                    }));
+                    let hash = journal.map(|_| journal::spec_hash(spec)).unwrap_or(0);
+                    let mut backoff = policy
+                        .backoff
+                        .instantiate(0x9E37_79B9_7F4A_7C15 ^ index as u64, policy.max_attempts);
+                    let mut attempt = 1u32;
+                    let mut ticket = index;
+                    loop {
+                        sem.acquire(ticket, cost);
+                        if let Some(j) = journal {
+                            // Write-ahead: losing an append costs a re-run
+                            // on resume, never a wrong result, so appends
+                            // are best-effort from the scheduler's side.
+                            let _ = j.append(&JournalRecord::Started {
+                                index,
+                                spec_hash: hash,
+                                attempt,
+                            });
+                        }
+                        let t = Instant::now();
+                        let result =
+                            catch_unwind(AssertUnwindSafe(|| runner(index, spec, attempt)));
+                        sem.release(cost);
+                        let elapsed_s = t.elapsed().as_secs_f64();
+                        // A panic that escapes the harness (i.e. outside
+                        // any rank supervision) is contained here: it
+                        // becomes this point's failure instead of
+                        // poisoning the campaign.
+                        let result = result.unwrap_or_else(|payload| {
+                            Err(CoreError::Rank(RankFailure::Panic {
+                                rank: index,
+                                message: panic_message(payload),
+                            }))
+                        });
+                        match result {
+                            Ok(outcome) => {
+                                if let Some(j) = journal {
+                                    let _ = journal::save_result(j.dir(), index, hash, &outcome);
+                                    let _ = j.append(&JournalRecord::Finished {
+                                        index,
+                                        spec_hash: hash,
+                                        attempt,
+                                        elapsed_s,
+                                        outcome: RecordedOutcome::Ok,
+                                    });
+                                }
+                                *slot = Some((Ok(outcome), attempt));
+                                return;
+                            }
+                            Err(err) => {
+                                let retryable = policy.covers(&err);
+                                if retryable && attempt < policy.max_attempts {
+                                    if let Some(j) = journal {
+                                        let _ = j.append(&JournalRecord::Finished {
+                                            index,
+                                            spec_hash: hash,
+                                            attempt,
+                                            elapsed_s,
+                                            outcome: RecordedOutcome::Err {
+                                                error: err.to_string(),
+                                                quarantined: false,
+                                            },
+                                        });
+                                    }
+                                    attempt += 1;
+                                    if let Some(delay) = backoff.next_delay() {
+                                        thread::sleep(delay);
+                                    }
+                                    // fresh ticket, taken right before
+                                    // re-acquiring so the FIFO line never
+                                    // waits on a sleeping retry
+                                    ticket = sem.take_ticket();
+                                    continue;
+                                }
+                                let final_err = if retryable {
+                                    CoreError::Quarantined {
+                                        attempts: attempt,
+                                        last_error: Box::new(err),
+                                    }
+                                } else {
+                                    err
+                                };
+                                if let Some(j) = journal {
+                                    let _ = j.append(&JournalRecord::Finished {
+                                        index,
+                                        spec_hash: hash,
+                                        attempt,
+                                        elapsed_s,
+                                        outcome: RecordedOutcome::Err {
+                                            error: final_err.to_string(),
+                                            quarantined: matches!(
+                                                final_err,
+                                                CoreError::Quarantined { .. }
+                                            ),
+                                        },
+                                    });
+                                }
+                                *slot = Some((Err(final_err), attempt));
+                                return;
+                            }
+                        }
+                    }
                 });
             }
         });
-        CampaignOutcome {
-            results: slots
-                .into_iter()
-                .map(|s| s.expect("every point thread writes its slot before exiting"))
-                .collect(),
-            wall_s: t0.elapsed().as_secs_f64(),
-            cache: caches.stats(),
+        let mut results = Vec::with_capacity(slots.len());
+        let mut attempts = Vec::with_capacity(slots.len());
+        let mut quarantined = Vec::new();
+        for (index, slot) in slots.into_iter().enumerate() {
+            let (result, tries) =
+                slot.expect("every point thread writes its slot before exiting");
+            if matches!(result, Err(CoreError::Quarantined { .. })) {
+                quarantined.push(index);
+            }
+            results.push(result);
+            attempts.push(tries);
         }
+        (results, attempts, quarantined)
     }
+}
+
+/// The spec an attempt actually runs: attempt 1 is the input spec
+/// bit-for-bit (so single-shot and campaign runs agree), while later
+/// attempts mix the attempt number into the fault plan's seed — a retry
+/// faces a *fresh* (but still deterministic) fault schedule instead of
+/// deterministically re-losing the same messages forever.
+pub fn spec_for_attempt(spec: &ExperimentSpec, attempt: u32) -> ExperimentSpec {
+    if attempt <= 1 {
+        return spec.clone();
+    }
+    let mut spec = spec.clone();
+    if let Some(plan) = spec.fault_plan.as_mut() {
+        plan.seed ^= (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    spec
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -282,10 +658,15 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         .unwrap_or_else(|| "opaque panic payload".to_string())
 }
 
-/// Counting semaphore with weighted, strictly-FIFO admission.
+/// Counting semaphore with weighted, strictly-FIFO admission. Tickets are
+/// issued densely: the first `first_free_ticket` tickets belong to the
+/// initial points (their input indices); retries draw fresh tickets from
+/// [`WeightedSemaphore::take_ticket`], which keeps the line dense and
+/// ordered — a retry rejoins at the back of the queue.
 struct WeightedSemaphore {
     state: Mutex<SemState>,
     ready: Condvar,
+    next_ticket: AtomicUsize,
 }
 
 struct SemState {
@@ -294,14 +675,22 @@ struct SemState {
 }
 
 impl WeightedSemaphore {
-    fn new(capacity: usize) -> WeightedSemaphore {
+    fn new(capacity: usize, first_free_ticket: usize) -> WeightedSemaphore {
         WeightedSemaphore {
             state: Mutex::new(SemState {
                 available: capacity,
                 now_serving: 0,
             }),
             ready: Condvar::new(),
+            next_ticket: AtomicUsize::new(first_free_ticket),
         }
+    }
+
+    /// Claim the next ticket in line. The caller MUST proceed to
+    /// [`WeightedSemaphore::acquire`] with it promptly — an issued but
+    /// never-acquired ticket would stall everyone behind it.
+    fn take_ticket(&self) -> usize {
+        self.next_ticket.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Block until ticket `ticket` is at the head of the line **and**
@@ -451,6 +840,168 @@ mod tests {
         assert_eq!(out.cache.staging_misses, 1);
         assert_eq!(out.cache.staging_hits, specs.len() as u64 - 1);
         assert!(out.cache.staging_hit_rate() >= (specs.len() - 1) as f64 / specs.len() as f64);
+    }
+
+    #[test]
+    fn retry_policy_roundtrips_through_serde() {
+        let policy = RetryPolicy::standard(3);
+        let text = serde_json::to_string(&policy).unwrap();
+        let back: RetryPolicy = serde_json::from_str(&text).unwrap();
+        assert_eq!(policy, back);
+        // defaults reproduce the no-retry policy
+        let empty: RetryPolicy = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, RetryPolicy::none());
+    }
+
+    #[test]
+    fn error_classification_covers_the_transient_classes() {
+        use std::time::Duration;
+        let timeout = CoreError::Transport(TransportError::Timeout {
+            peer: 0,
+            elapsed: Duration::from_millis(1),
+        });
+        assert_eq!(RetryPolicy::classify(&timeout), Some(RetryOn::Timeout));
+        let hang = CoreError::Rank(RankFailure::Hang {
+            rank: 0,
+            waited: Duration::from_millis(1),
+        });
+        assert_eq!(RetryPolicy::classify(&hang), Some(RetryOn::Timeout));
+        let gone = CoreError::Transport(TransportError::Disconnected { peer: 1 });
+        assert_eq!(RetryPolicy::classify(&gone), Some(RetryOn::Disconnect));
+        let boom = CoreError::Rank(RankFailure::Panic {
+            rank: 0,
+            message: "x".into(),
+        });
+        assert_eq!(RetryPolicy::classify(&boom), Some(RetryOn::Panic));
+        let bad = CoreError::Transport(TransportError::Corrupt {
+            peer: 0,
+            detail: "checksum".into(),
+        });
+        assert_eq!(RetryPolicy::classify(&bad), Some(RetryOn::Corrupt));
+        // deterministic failures are never retryable
+        let cfg = CoreError::Config("bad ratio".into());
+        assert_eq!(RetryPolicy::classify(&cfg), None);
+        assert!(!RetryPolicy::standard(3).covers(&cfg));
+        assert!(!RetryPolicy::none().covers(&timeout));
+    }
+
+    fn small_point() -> ExperimentSpec {
+        let mut spec = base();
+        spec.ranks = 1;
+        spec.application = Application::Hacc { particles: 800 };
+        spec.width = 24;
+        spec.height = 24;
+        spec
+    }
+
+    fn injected_timeout() -> CoreError {
+        CoreError::Transport(TransportError::Timeout {
+            peer: 0,
+            elapsed: std::time::Duration::from_millis(1),
+        })
+    }
+
+    #[test]
+    fn retry_recovers_and_hits_the_caches() {
+        // Attempt 1 does its staging work, then "fails" with a transient
+        // error; attempt 2 must succeed AND be served from RunCaches — a
+        // retry never re-stages.
+        let specs = vec![small_point()];
+        let caches = RunCaches::new();
+        let campaign = Campaign::with_capacity(4).with_retry_policy(RetryPolicy::standard(3));
+        let prefilled = (0..specs.len()).map(|_| None).collect();
+        let (results, attempts, quarantined) =
+            campaign.run_engine(&specs, None, prefilled, |_, spec, attempt| {
+                let out = run_native_cached(spec, &caches)?;
+                if attempt == 1 {
+                    return Err(injected_timeout());
+                }
+                Ok(out)
+            });
+        assert!(results[0].is_ok(), "{:?}", results[0].as_ref().err());
+        assert_eq!(attempts, vec![2]);
+        assert!(quarantined.is_empty());
+        let stats = caches.stats();
+        assert_eq!(stats.staging_misses, 1, "retry re-staged instead of hitting the cache");
+        assert_eq!(stats.staging_hits, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_and_the_campaign_proceeds() {
+        let specs = vec![small_point(), small_point()];
+        let caches = RunCaches::new();
+        let campaign = Campaign::with_capacity(4).with_retry_policy(RetryPolicy::standard(3));
+        let prefilled = (0..specs.len()).map(|_| None).collect();
+        // point 0 always times out; point 1 is healthy
+        let (results, attempts, quarantined) =
+            campaign.run_engine(&specs, None, prefilled, |index, spec, _| {
+                if index == 0 {
+                    return Err(injected_timeout());
+                }
+                run_native_cached(spec, &caches)
+            });
+        match &results[0] {
+            Err(CoreError::Quarantined { attempts, last_error }) => {
+                assert_eq!(*attempts, 3);
+                assert!(matches!(
+                    **last_error,
+                    CoreError::Transport(TransportError::Timeout { .. })
+                ));
+            }
+            Err(other) => panic!("expected quarantine, got {other}"),
+            Ok(_) => panic!("expected quarantine, got success"),
+        }
+        assert!(results[1].is_ok(), "quarantine must not poison other points");
+        assert_eq!(attempts, vec![3, 1]);
+        assert_eq!(quarantined, vec![0]);
+    }
+
+    #[test]
+    fn non_retryable_failures_are_not_quarantined() {
+        // even under an aggressive policy, a deterministic failure gets
+        // exactly one attempt and a plain error
+        let mut bad = small_point();
+        bad.sampling_ratio = 0.0;
+        let campaign = Campaign::with_capacity(2).with_retry_policy(RetryPolicy::standard(5));
+        let out = campaign.run(&[bad]);
+        assert_eq!(out.attempts, vec![1]);
+        assert!(out.quarantined.is_empty());
+        assert!(matches!(out.results[0], Err(CoreError::Config(_))));
+    }
+
+    #[test]
+    fn journaled_run_restores_completed_points() {
+        let dir = std::env::temp_dir().join(format!(
+            "eth-sweep-journal-{:x}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut specs = vec![small_point()];
+        for (i, ratio) in [0.5, 0.25].iter().enumerate() {
+            let mut s = small_point();
+            s.sampling_ratio = *ratio;
+            s.name = format!("sweep-j{i}");
+            specs.push(s);
+        }
+        let campaign = Campaign::with_capacity(4);
+        let first = campaign.run_journaled(&specs, &RunCaches::new(), &dir).unwrap();
+        assert_eq!(first.failures(), 0);
+        assert!(first.restored.is_empty());
+
+        // second run restores everything, byte-identically, running nothing
+        let second = campaign.run_journaled(&specs, &RunCaches::new(), &dir).unwrap();
+        assert_eq!(second.restored, vec![0, 1, 2]);
+        assert_eq!(second.cache.staging_misses, 0, "restored run must not stage");
+        for (a, b) in first.results.iter().zip(&second.results) {
+            assert_eq!(a.as_ref().unwrap().images, b.as_ref().unwrap().images);
+        }
+
+        // editing one spec invalidates exactly that point
+        specs[1].seed += 1;
+        let third = campaign.run_journaled(&specs, &RunCaches::new(), &dir).unwrap();
+        assert_eq!(third.restored, vec![0, 2]);
+        assert_eq!(third.failures(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

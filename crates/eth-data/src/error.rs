@@ -16,6 +16,9 @@ pub enum DataError {
     MissingAttribute(String),
     /// A parameter was outside its legal domain.
     InvalidArgument(String),
+    /// Data failed an integrity (checksum) verification: the bytes were
+    /// framed correctly but do not match the checksum they carry.
+    Corrupt(String),
 }
 
 impl fmt::Display for DataError {
@@ -29,6 +32,7 @@ impl fmt::Display for DataError {
             ),
             DataError::MissingAttribute(n) => write!(f, "missing attribute '{n}'"),
             DataError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            DataError::Corrupt(m) => write!(f, "corrupt data: {m}"),
         }
     }
 }

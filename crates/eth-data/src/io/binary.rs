@@ -3,7 +3,7 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! magic   : b"EBD1"
+//! magic   : b"EBD2"
 //! kind    : u8           1 = points, 2 = grid
 //! -- points --
 //! count   : u64
@@ -19,11 +19,22 @@
 //!   type     : u8   0 = scalar, 1 = vector, 2 = id
 //!   len      : u64
 //!   payload  : len * {4, 12, 8} bytes
+//! -- trailer --
+//! crc     : u32          CRC-32 (IEEE) of every byte above
 //! ```
+//!
+//! Version 2 (`EBD2`) appends the integrity trailer: [`decode`] verifies
+//! the checksum *before* parsing and returns [`DataError::Corrupt`] on a
+//! mismatch, so a flipped payload byte — a chaos-injected wire fault, a
+//! torn disk write — is detected at the codec layer instead of being
+//! parsed into a silently wrong dataset (or rendered). A wrong magic word
+//! is still the distinct [`DataError::Format`]: version skew and protocol
+//! confusion are framing errors, not corruption.
 //!
 //! The encoder writes into a [`bytes::BytesMut`] so the same bytes can be
 //! shipped over the transport layer without re-serialization.
 
+use crate::crc::crc32;
 use crate::dataset::DataObject;
 use crate::error::{DataError, Result};
 use crate::field::{Attribute, AttributeSet};
@@ -35,7 +46,10 @@ use std::fs::File;
 use std::io::{Read as _, Write as _};
 use std::path::Path;
 
-const MAGIC: &[u8; 4] = b"EBD1";
+const MAGIC: &[u8; 4] = b"EBD2";
+
+/// Bytes appended after the body: the CRC-32 integrity trailer.
+const TRAILER_BYTES: usize = 4;
 
 const KIND_POINTS: u8 = 1;
 const KIND_GRID: u8 = 2;
@@ -183,7 +197,7 @@ pub fn encoded_len(obj: &DataObject) -> usize {
     5 + match obj {
         DataObject::Points(p) => 8 + p.len() * 12 + attributes_encoded_len(p.attributes()),
         DataObject::Grid(g) => 24 + 24 + attributes_encoded_len(g.attributes()),
-    }
+    } + TRAILER_BYTES
 }
 
 /// Encode a dataset into a fresh byte buffer.
@@ -210,20 +224,43 @@ pub fn encode(obj: &DataObject) -> Bytes {
             put_attributes(&mut buf, g.attributes());
         }
     }
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
     debug_assert_eq!(buf.len(), exact, "encoded_len out of sync with encode");
     buf.freeze()
 }
 
 /// Decode a dataset from bytes produced by [`encode`].
-pub fn decode(mut buf: Bytes) -> Result<DataObject> {
+///
+/// Check order: magic first (wrong magic is a [`DataError::Format`] —
+/// version skew, not bit rot), then the CRC-32 trailer over the whole
+/// body ([`DataError::Corrupt`] on mismatch), and only then the parse.
+/// A corrupted buffer therefore never reaches the structural decoder.
+pub fn decode(buf: Bytes) -> Result<DataObject> {
     need(&buf, 5, "header")?;
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if &buf[..4] != MAGIC {
         return Err(DataError::Format(format!(
-            "bad magic {magic:?}, expected {MAGIC:?}"
+            "bad magic {:?}, expected {MAGIC:?}",
+            &buf[..4]
         )));
     }
+    need(&buf, 5 + TRAILER_BYTES, "integrity trailer")?;
+    let body_len = buf.len() - TRAILER_BYTES;
+    let stored = u32::from_le_bytes([
+        buf[body_len],
+        buf[body_len + 1],
+        buf[body_len + 2],
+        buf[body_len + 3],
+    ]);
+    let computed = crc32(&buf[..body_len]);
+    if stored != computed {
+        return Err(DataError::Corrupt(format!(
+            "dataset checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+    // body minus the (verified) magic and the trailer, sharing the
+    // allocation
+    let mut buf = buf.slice(4..body_len);
     match buf.get_u8() {
         KIND_POINTS => {
             need(&buf, 8, "point count")?;
@@ -339,8 +376,8 @@ mod tests {
 
     #[test]
     fn rejects_wrong_attribute_length() {
-        // Corrupt a scalar attribute's length field: decode must reject the
-        // mismatch (the dataset enforces attribute length on insert).
+        // Corrupt a scalar attribute's length field: the integrity trailer
+        // catches the flip before the structural parse even runs.
         let obj = sample_points();
         let raw = encode(&obj).to_vec();
         // The first attribute ("mass") starts after magic(4) + kind(1) +
@@ -348,7 +385,39 @@ mod tests {
         // name_len(4) + "mass"(4) + type(1), then len: u64 at offset 50.
         let mut bad = raw.clone();
         bad[50] = 1; // claim 1 element instead of 2
-        assert!(decode(Bytes::from(bad)).is_err());
+        assert!(matches!(
+            decode(Bytes::from(bad)),
+            Err(DataError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn any_payload_byte_flip_is_detected_as_corruption() {
+        // The acceptance property: flipping ANY byte past the magic makes
+        // decode fail with the corruption error (the magic bytes instead
+        // fail as Format — version skew, not bit rot).
+        for obj in [sample_points(), sample_grid()] {
+            let raw = encode(&obj).to_vec();
+            for offset in 0..raw.len() {
+                let mut bad = raw.clone();
+                bad[offset] ^= 0x01;
+                match decode(Bytes::from(bad)) {
+                    Err(DataError::Format(_)) if offset < 4 => {}
+                    Err(DataError::Corrupt(_)) if offset >= 4 => {}
+                    other => panic!("flip at {offset}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailer_stripped_before_parse() {
+        // A valid buffer must decode with the trailer present (i.e. the
+        // trailer is not mistaken for attribute data).
+        let obj = sample_grid();
+        let bytes = encode(&obj);
+        assert_eq!(bytes.len(), encoded_len(&obj));
+        assert_eq!(decode(bytes).unwrap(), obj);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 pub mod bounds;
 pub mod compress;
+pub mod crc;
 pub mod dataset;
 pub mod error;
 pub mod field;
@@ -38,6 +39,7 @@ pub mod unstructured;
 pub mod vec3;
 
 pub use bounds::Aabb;
+pub use bytes::Bytes;
 pub use dataset::DataObject;
 pub use error::DataError;
 pub use field::{Attribute, AttributeSet};

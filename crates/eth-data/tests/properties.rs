@@ -5,7 +5,7 @@ use eth_data::field::Attribute;
 use eth_data::io::{binary, vtk_legacy};
 use eth_data::partition::{decompose_domain, partition_grid_slabs, partition_points};
 use eth_data::sampling::{sample_points, SamplingMethod, SamplingSpec};
-use eth_data::{Aabb, DataObject, PointCloud, UniformGrid, Vec3};
+use eth_data::{Aabb, DataError, DataObject, PointCloud, UniformGrid, Vec3};
 use proptest::prelude::*;
 
 fn arb_vec3(range: f32) -> impl Strategy<Value = Vec3> {
@@ -263,5 +263,23 @@ proptest! {
         let out = s.scalar("f").unwrap();
         let kept = out.iter().filter(|&&v| v > 0.0).count();
         prop_assert_eq!(kept, ((n as f64) * ratio).round() as usize);
+    }
+
+    /// Flipping *any* byte of an encoded object is detected at decode time:
+    /// the first four bytes are the magic (a `Format` error), everything
+    /// after — including the trailer itself — trips the checksum.
+    #[test]
+    fn binary_flip_any_byte_detected(cloud in arb_cloud(150), pick in 0usize..usize::MAX, bit in 0u8..8) {
+        let obj = DataObject::Points(cloud);
+        let encoded = binary::encode(&obj);
+        let offset = pick % encoded.len();
+        let mut bad = encoded.to_vec();
+        bad[offset] ^= 1 << bit;
+        let err = binary::decode(bad.into()).unwrap_err();
+        if offset < 4 {
+            prop_assert!(matches!(err, DataError::Format(_)), "offset {offset}: {err}");
+        } else {
+            prop_assert!(matches!(err, DataError::Corrupt(_)), "offset {offset}: {err}");
+        }
     }
 }

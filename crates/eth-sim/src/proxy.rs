@@ -132,10 +132,27 @@ impl SimulationProxy {
 
     /// Drive a sink through every timestep (tight coupling: source and sink
     /// in the same call stack, exactly the paper's unified mode).
+    ///
+    /// A block that fails to load because its file is corrupt or missing is
+    /// a *degraded* step — it is skipped and counted in
+    /// [`ProxyRunStats::skipped_steps`] so one bad block on disk costs a
+    /// frame, not the whole rank. Every other failure (bad shape, decode
+    /// errors from a generator, sink errors) still aborts the run.
     pub fn run(&mut self, sink: &mut dyn InSituSink) -> Result<ProxyRunStats> {
         let mut stats = ProxyRunStats::default();
         for step in 0..self.source.num_timesteps() {
-            let data = self.source.timestep(step)?;
+            let data = match self.source.timestep(step) {
+                Ok(data) => data,
+                Err(DataError::Corrupt(_)) => {
+                    stats.skipped_steps += 1;
+                    continue;
+                }
+                Err(DataError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                    stats.skipped_steps += 1;
+                    continue;
+                }
+                Err(other) => return Err(other),
+            };
             stats.steps += 1;
             stats.elements += data.num_elements() as u64;
             stats.bytes_presented += data.payload_bytes() as u64;
@@ -153,6 +170,8 @@ pub struct ProxyRunStats {
     pub elements: u64,
     /// Bytes presented across the in-situ interface.
     pub bytes_presented: u64,
+    /// Steps dropped because their block was corrupt or missing on disk.
+    pub skipped_steps: usize,
 }
 
 #[cfg(test)]
@@ -230,6 +249,51 @@ mod tests {
         w.close().unwrap();
         assert!(SimulationProxy::from_disk(&root, 5).is_err());
         fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_and_missing_blocks_degrade_instead_of_erroring() {
+        let root = tmp("degraded");
+        let cfg = HaccConfig::with_particles(300);
+        let steps = 4;
+        let mut w = TimeSeriesWriter::create(&root, "hacc", 1, steps).unwrap();
+        for step in 0..steps {
+            let cloud = cfg.generate(step).unwrap();
+            w.write_block(step, 0, &DataObject::Points(cloud)).unwrap();
+        }
+        w.close().unwrap();
+
+        // Corrupt step 1's block and delete step 2's entirely.
+        let victim = root.join("step_0001").join("rank_0000.ebd");
+        let mut bytes = fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&victim, &bytes).unwrap();
+        fs::remove_file(root.join("step_0002").join("rank_0000.ebd")).unwrap();
+
+        let mut proxy = SimulationProxy::from_disk(&root, 0).unwrap();
+        let mut sink = CountingSink::default();
+        let stats = proxy.run(&mut sink).unwrap();
+        assert_eq!(stats.steps, 2, "steps 0 and 3 survive");
+        assert_eq!(stats.skipped_steps, 2, "steps 1 and 2 degraded");
+        assert_eq!(sink.steps, 2);
+        assert!(sink.finished);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn generator_errors_still_abort_the_run() {
+        let mut proxy = SimulationProxy::from_generator(0, 1, 3, |step, _rank| {
+            if step == 1 {
+                Err(DataError::InvalidArgument("synthesis bug".into()))
+            } else {
+                Ok(DataObject::Points(eth_data::PointCloud::new()))
+            }
+        });
+        let mut sink = CountingSink::default();
+        let err = proxy.run(&mut sink).unwrap_err();
+        assert!(err.to_string().contains("synthesis bug"));
+        assert!(!sink.finished);
     }
 
     #[test]

@@ -20,9 +20,10 @@
 //! process of the proxy is able to load the data that it will pass to the
 //! in-situ interface" (Section III-B, Figure 7).
 
+use eth_data::crc::crc32;
 use eth_data::error::{DataError, Result};
 use eth_data::io::binary;
-use eth_data::DataObject;
+use eth_data::{Bytes, DataObject};
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -35,6 +36,20 @@ pub struct Manifest {
     pub num_steps: usize,
     /// Data kind ("points" or "grid"), informational.
     pub kind: String,
+    /// CRC-32 of each block file's bytes, step-major
+    /// (`index = step * num_ranks + rank`). Empty for series recorded
+    /// before checksumming existed — those read back unverified.
+    #[serde(default)]
+    pub block_crcs: Vec<u32>,
+}
+
+impl Manifest {
+    /// The recorded checksum for a block, if this series carries them.
+    pub fn block_crc(&self, step: usize, rank: usize) -> Option<u32> {
+        self.block_crcs
+            .get(step * self.num_ranks + rank)
+            .copied()
+    }
 }
 
 fn step_dir(root: &Path, step: usize) -> PathBuf {
@@ -55,6 +70,8 @@ pub struct TimeSeriesWriter {
     manifest: Manifest,
     /// (step, rank) pairs written so far — completeness is checked at close.
     written: Vec<(usize, usize)>,
+    /// Checksum per block slot, step-major; recorded as blocks are written.
+    crcs: Vec<u32>,
 }
 
 impl TimeSeriesWriter {
@@ -73,8 +90,10 @@ impl TimeSeriesWriter {
                 num_ranks,
                 num_steps,
                 kind: String::new(),
+                block_crcs: Vec::new(),
             },
             written: Vec::new(),
+            crcs: vec![0; num_steps * num_ranks],
         })
     }
 
@@ -87,7 +106,9 @@ impl TimeSeriesWriter {
             )));
         }
         fs::create_dir_all(step_dir(&self.root, step))?;
-        binary::write_file(data, &rank_file(&self.root, step, rank))?;
+        let bytes = binary::encode(data);
+        fs::write(rank_file(&self.root, step, rank), &bytes[..])?;
+        self.crcs[step * self.manifest.num_ranks + rank] = crc32(&bytes);
         if self.manifest.kind.is_empty() {
             self.manifest.kind = data.kind().to_string();
         }
@@ -96,7 +117,11 @@ impl TimeSeriesWriter {
     }
 
     /// Finish: verify completeness and write the manifest.
-    pub fn close(self) -> Result<Manifest> {
+    ///
+    /// The manifest is staged to a temp file and renamed into place, so a
+    /// crash mid-close leaves either no manifest (series unreadable,
+    /// re-record) or a complete one — never a torn manifest.
+    pub fn close(mut self) -> Result<Manifest> {
         let expect = self.manifest.num_steps * self.manifest.num_ranks;
         let mut seen = vec![false; expect];
         for (s, r) in &self.written {
@@ -109,9 +134,12 @@ impl TimeSeriesWriter {
                 "series incomplete: block (step {step}, rank {rank}) never written"
             )));
         }
+        self.manifest.block_crcs = self.crcs;
         let json = serde_json::to_string_pretty(&self.manifest)
             .map_err(|e| DataError::Format(format!("manifest encode: {e}")))?;
-        fs::write(manifest_path(&self.root), json)?;
+        let tmp = self.root.join("manifest.json.tmp");
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, manifest_path(&self.root))?;
         Ok(self.manifest)
     }
 }
@@ -139,13 +167,29 @@ impl TimeSeriesReader {
     }
 
     /// Load one rank's block for one step.
+    ///
+    /// When the manifest carries checksums, the file's bytes are verified
+    /// against the recorded CRC **before** decoding; a mismatch is
+    /// [`DataError::Corrupt`] naming the block. Legacy series without
+    /// checksums still get the in-band trailer check inside
+    /// [`binary::decode`].
     pub fn read_block(&self, step: usize, rank: usize) -> Result<DataObject> {
         if step >= self.manifest.num_steps || rank >= self.manifest.num_ranks {
             return Err(DataError::InvalidArgument(format!(
                 "block ({step}, {rank}) outside series shape"
             )));
         }
-        binary::read_file(&rank_file(&self.root, step, rank))
+        let bytes = fs::read(rank_file(&self.root, step, rank))?;
+        if let Some(expect) = self.manifest.block_crc(step, rank) {
+            let got = crc32(&bytes);
+            if got != expect {
+                return Err(DataError::Corrupt(format!(
+                    "block (step {step}, rank {rank}) checksum mismatch: \
+                     manifest {expect:#010x}, file {got:#010x}"
+                )));
+            }
+        }
+        binary::decode(Bytes::from(bytes))
     }
 }
 
@@ -218,6 +262,59 @@ mod tests {
         let root = tmp("zero");
         assert!(TimeSeriesWriter::create(&root, "demo", 0, 2).is_err());
         assert!(TimeSeriesWriter::create(&root, "demo", 2, 0).is_err());
+    }
+
+    #[test]
+    fn flipped_block_byte_is_caught_by_the_manifest_crc() {
+        let root = tmp("corrupt");
+        let mut w = TimeSeriesWriter::create(&root, "demo", 1, 2).unwrap();
+        w.write_block(0, 0, &obj(1.0)).unwrap();
+        w.write_block(1, 0, &obj(2.0)).unwrap();
+        let manifest = w.close().unwrap();
+        assert_eq!(manifest.block_crcs.len(), 2);
+        assert!(!root.join("manifest.json.tmp").exists());
+
+        // Flip one byte in the middle of step 1's block on disk.
+        let victim = root.join("step_0001").join("rank_0000.ebd");
+        let mut bytes = fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&victim, &bytes).unwrap();
+
+        let r = TimeSeriesReader::open(&root).unwrap();
+        assert!(r.read_block(0, 0).is_ok(), "untouched block still reads");
+        let err = r.read_block(1, 0).unwrap_err();
+        assert!(
+            matches!(err, DataError::Corrupt(_)),
+            "expected Corrupt, got: {err}"
+        );
+        assert!(err.to_string().contains("step 1"));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn legacy_manifest_without_checksums_still_reads() {
+        let root = tmp("legacy");
+        let mut w = TimeSeriesWriter::create(&root, "demo", 1, 1).unwrap();
+        w.write_block(0, 0, &obj(3.0)).unwrap();
+        w.close().unwrap();
+
+        // Rewrite the manifest the way the pre-checksum format did.
+        let manifest_file = root.join("manifest.json");
+        let text = fs::read_to_string(&manifest_file).unwrap();
+        assert!(text.contains("block_crcs"));
+        let legacy = r#"{"name":"demo","num_ranks":1,"num_steps":1,"kind":"points"}"#;
+        fs::write(&manifest_file, legacy).unwrap();
+
+        let r = TimeSeriesReader::open(&root).unwrap();
+        assert!(r.manifest().block_crcs.is_empty());
+        assert_eq!(r.manifest().block_crc(0, 0), None);
+        let block = r.read_block(0, 0).unwrap();
+        assert_eq!(
+            block.as_points().unwrap().positions()[0],
+            Vec3::splat(3.0)
+        );
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]

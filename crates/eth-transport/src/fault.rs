@@ -225,6 +225,45 @@ impl FaultPlan {
         matches!(self.disconnect, Some(d) if d.peer == peer && seq >= d.after_messages)
     }
 
+    /// Check every numeric field is inside its legal domain, naming the
+    /// offending field in the error. Inert (default) plans always pass.
+    /// `ExperimentSpec::validate` delegates here so an out-of-range plan is
+    /// rejected before a campaign schedules it.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("corrupt_prob", self.corrupt_prob),
+            ("delay_prob", self.delay_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("fault plan {name} {p} outside [0, 1]"));
+            }
+        }
+        if self.delay_prob > 0.0 && self.delay_ms == 0 {
+            return Err(
+                "fault plan delay_prob > 0 but delay_ms is 0; a delay fault must inject latency"
+                    .into(),
+            );
+        }
+        if self.min_tag >= self.max_tag {
+            return Err(format!(
+                "fault plan tag window [{:#x}, {:#x}) is empty",
+                self.min_tag, self.max_tag
+            ));
+        }
+        // a plan that can lose messages must bound the waits it causes,
+        // or the run would hang instead of degrading
+        let lossy = self.drop_prob > 0.0 || self.disconnect.is_some();
+        if lossy && self.recv_deadline_ms == 0 {
+            return Err(
+                "fault plan drops or disconnects but sets no recv_deadline_ms; \
+                 receivers would block forever on lost messages"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+
     /// Decide the faults for one message: a pure function of the plan and
     /// the message key, so the schedule is identical on every run.
     pub fn decide(&self, side: FaultSide, from: usize, to: usize, tag: u32, seq: u64) -> FaultDecision {
@@ -271,6 +310,50 @@ pub enum FaultKind {
     Drop,
     Corrupt,
     Disconnect,
+}
+
+/// The serializable *shape* of an exponential backoff — base and cap in
+/// milliseconds — so retry timing can ride inside an experiment spec or a
+/// campaign retry policy like any other swept parameter. Build a runnable
+/// [`Backoff`] with [`BackoffShape::instantiate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackoffShape {
+    /// First retry interval, milliseconds.
+    #[serde(default = "default_backoff_base_ms")]
+    pub base_ms: u64,
+    /// Interval growth stops here, milliseconds.
+    #[serde(default = "default_backoff_cap_ms")]
+    pub cap_ms: u64,
+}
+
+fn default_backoff_base_ms() -> u64 {
+    1
+}
+
+fn default_backoff_cap_ms() -> u64 {
+    100
+}
+
+impl Default for BackoffShape {
+    fn default() -> BackoffShape {
+        BackoffShape {
+            base_ms: default_backoff_base_ms(),
+            cap_ms: default_backoff_cap_ms(),
+        }
+    }
+}
+
+impl BackoffShape {
+    /// Build a runnable [`Backoff`] with this shape, a jitter seed, and an
+    /// attempt budget.
+    pub fn instantiate(&self, seed: u64, budget: u32) -> Backoff {
+        Backoff::with_shape(
+            seed,
+            Duration::from_millis(self.base_ms.max(1)),
+            Duration::from_millis(self.cap_ms.max(1)),
+            budget,
+        )
+    }
 }
 
 /// Exponential backoff with deterministic jitter and an attempt budget,
@@ -416,6 +499,47 @@ mod tests {
         let empty: FaultPlan = serde_json::from_str("{}").unwrap();
         assert_eq!(empty, FaultPlan::default());
         assert!(!empty.is_active());
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        assert!(FaultPlan::default().validate().is_ok());
+        assert!(FaultPlan::seeded(1).with_drop(0.3).validate().is_ok());
+
+        let bad = FaultPlan::seeded(1).with_drop(1.5);
+        assert!(bad.validate().unwrap_err().contains("drop_prob"));
+        let bad = FaultPlan::seeded(1).with_corrupt(-0.1);
+        assert!(bad.validate().unwrap_err().contains("corrupt_prob"));
+        let bad = FaultPlan::seeded(1).with_delay(f64::NAN, 5);
+        assert!(bad.validate().unwrap_err().contains("delay_prob"));
+        let bad = FaultPlan::seeded(1).with_delay(0.2, 0);
+        assert!(bad.validate().unwrap_err().contains("delay_ms"));
+
+        let mut bad = FaultPlan::seeded(1);
+        bad.max_tag = bad.min_tag;
+        assert!(bad.validate().unwrap_err().contains("tag window"));
+
+        // lossy without a deadline would hang instead of degrading
+        let bad = FaultPlan::default().with_drop(0.1);
+        assert!(bad.validate().unwrap_err().contains("recv_deadline_ms"));
+    }
+
+    #[test]
+    fn backoff_shape_roundtrips_and_instantiates() {
+        let shape = BackoffShape { base_ms: 2, cap_ms: 32 };
+        let text = serde_json::to_string(&shape).unwrap();
+        let back: BackoffShape = serde_json::from_str(&text).unwrap();
+        assert_eq!(shape, back);
+        let empty: BackoffShape = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, BackoffShape::default());
+
+        let mut b = shape.instantiate(9, 3);
+        let delays: Vec<Duration> = std::iter::from_fn(|| b.next_delay()).collect();
+        assert_eq!(delays.len(), 3, "budget not honored");
+        assert!(delays[0] >= Duration::from_millis(1)); // jitter floor of 2 ms base
+        // same seed, same shape => identical timing
+        let mut c = shape.instantiate(9, 3);
+        assert_eq!(c.next_delay().unwrap(), delays[0]);
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod socket;
 
 pub use chaos::{ChaosChannel, ChaosComm};
 pub use comm::{Communicator, TransportError};
-pub use fault::{Backoff, FaultPlan};
+pub use fault::{Backoff, BackoffShape, FaultPlan};
 pub use local::LocalFabric;
 pub use runner::{run_ranks, run_ranks_supervised, RankFailure};

@@ -113,6 +113,20 @@ pub fn decode_dataset(payload: Bytes) -> Result<DataObject> {
     binary::decode(payload).map_err(|e| TransportError::Decode(e.to_string()))
 }
 
+/// Decode a dataset payload received from rank `from`, classifying
+/// failures: a checksum mismatch (the payload was altered in flight or at
+/// rest) surfaces as [`TransportError::Corrupt`] attributed to the sender,
+/// while framing/parse failures stay [`TransportError::Decode`]. This is
+/// what lets the harness count chaos-injected payload corruption as a
+/// *detected* degradation at the codec layer rather than trusting the
+/// injector's own bookkeeping.
+pub fn decode_dataset_from(from: usize, payload: Bytes) -> Result<DataObject> {
+    binary::decode(payload).map_err(|e| match e {
+        eth_data::DataError::Corrupt(detail) => TransportError::Corrupt { peer: from, detail },
+        other => TransportError::Decode(other.to_string()),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +235,28 @@ mod tests {
     #[test]
     fn garbage_dataset_payload_errors() {
         assert!(decode_dataset(Bytes::from_static(b"not a dataset")).is_err());
+    }
+
+    #[test]
+    fn corrupted_dataset_payload_is_attributed_to_the_sender() {
+        let obj = DataObject::Points(PointCloud::from_positions(vec![
+            Vec3::ONE,
+            Vec3::new(2.0, 3.0, 4.0),
+        ]));
+        let mut bytes = encode_dataset(&obj).to_vec();
+        // flip a body byte (past the magic), exactly what ChaosComm does
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        match decode_dataset_from(7, Bytes::from(bytes)) {
+            Err(TransportError::Corrupt { peer, detail }) => {
+                assert_eq!(peer, 7);
+                assert!(detail.contains("checksum"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // a clean payload still decodes through the attributed path
+        let back = decode_dataset_from(7, encode_dataset(&obj)).unwrap();
+        assert_eq!(obj, back);
     }
 
     #[test]
