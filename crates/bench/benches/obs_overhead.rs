@@ -1,0 +1,73 @@
+//! Flight-recorder overhead guard.
+//!
+//! Two levels: the raw span hot path (disabled vs attached — "disabled"
+//! must be nanoseconds, effectively free), and an end-to-end native run
+//! with and without an extra attached recorder (the ISSUE budget: the
+//! instrumented run stays within a few percent of the plain one).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eth_core::config::{Algorithm, Application, ExperimentSpec};
+use eth_core::run_native;
+
+fn smoke_spec() -> ExperimentSpec {
+    ExperimentSpec::builder("obs-overhead")
+        .application(Application::Hacc { particles: 8_000 })
+        .algorithm(Algorithm::GaussianSplat)
+        .ranks(2)
+        .image_size(96, 96)
+        .build()
+        .expect("valid spec")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_span");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    // 1000 span open/close pairs per iteration so the per-span cost is
+    // resolvable above the timer floor.
+    group.throughput(Throughput::Elements(1000));
+
+    group.bench_function(BenchmarkId::from_parameter("disabled"), |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                let _s = eth_obs::span(eth_obs::Phase::Render);
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("attached"), |b| {
+        let recorder = eth_obs::Recorder::new();
+        let _guard = recorder.attach();
+        b.iter(|| {
+            for _ in 0..1000 {
+                let _s = eth_obs::span(eth_obs::Phase::Render);
+            }
+        })
+    });
+    group.finish();
+
+    let spec = smoke_spec();
+    let mut group = c.benchmark_group("obs_native_run");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+
+    group.bench_function(BenchmarkId::from_parameter("plain"), |b| {
+        b.iter(|| run_native(&spec).unwrap().images.len())
+    });
+    group.bench_function(BenchmarkId::from_parameter("recorded"), |b| {
+        b.iter(|| {
+            let recorder = eth_obs::Recorder::new();
+            let guard = recorder.attach();
+            let n = run_native(&spec).unwrap().images.len();
+            drop(guard);
+            let trace = recorder.take();
+            assert!(!trace.records.is_empty());
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -12,13 +12,25 @@
 //! reproduce bench --smoke        # CI-sized benchmark
 //! reproduce bench --out FILE     # where to write the JSON report
 //! ```
+//!
+//! Flight-recorder flags, valid with any of the above:
+//!
+//! ```text
+//! --trace FILE      # export a Chrome trace-event JSON (Perfetto-loadable)
+//! --metrics FILE    # export campaign telemetry as Prometheus text,
+//!                   # plus FILE.jsonl (needs table2 or chaos-campaign)
+//! --verbose         # per-artifact progress on stderr
+//! --quiet           # artifacts only, no progress chatter
+//! ```
 
+use eth_bench::progress::{Progress, Verbosity};
 use eth_bench::{campaign, chaos, runs};
+use eth_core::CampaignTelemetry;
 use std::path::PathBuf;
 
 /// `reproduce bench [--smoke] [--out PATH]`: run the campaign-throughput
 /// benchmark and write `BENCH_campaign.json`.
-fn run_bench(args: &[String]) {
+fn run_bench(args: &[String], progress: &Progress) {
     let mut smoke = false;
     let mut out_path = PathBuf::from("BENCH_campaign.json");
     let mut it = args.iter();
@@ -37,6 +49,7 @@ fn run_bench(args: &[String]) {
             }
         }
     }
+    progress.begin("bench");
     let report = match campaign::run_campaign_bench(smoke) {
         Ok(r) => r,
         Err(e) => {
@@ -54,12 +67,13 @@ fn run_bench(args: &[String]) {
         eprintln!("failed to write {}: {e}", out_path.display());
         std::process::exit(1);
     }
-    println!("wrote {}", out_path.display());
+    progress.done("bench", "complete");
+    progress.note(&format!("wrote {}", out_path.display()));
 }
 
 /// `reproduce chaos-campaign [--seed N]`: run the lossy retry/quarantine
-/// demo campaign and print its report.
-fn run_chaos(args: &[String]) {
+/// demo campaign, print its report, and hand back its telemetry.
+fn run_chaos(args: &[String], progress: &Progress) -> CampaignTelemetry {
     let mut seed = 7u64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -79,6 +93,7 @@ fn run_chaos(args: &[String]) {
             }
         }
     }
+    progress.begin("chaos-campaign");
     let (table, outcome) = match chaos::chaos_campaign(seed) {
         Ok(v) => v,
         Err(e) => {
@@ -87,25 +102,94 @@ fn run_chaos(args: &[String]) {
         }
     };
     println!("{}", table.to_markdown());
-    println!(
+    progress.note(&format!(
         "campaign: {} points, {} attempts total, {} quarantined, {:.2}s",
         outcome.results.len(),
         outcome.attempts.iter().sum::<u32>(),
         outcome.quarantined.len(),
         outcome.wall_s,
-    );
+    ));
+    progress.done("chaos-campaign", "complete");
+    outcome.telemetry
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Pull `--flag VALUE` out of the argument list (any position).
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<PathBuf> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a file argument");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(PathBuf::from(value))
+}
+
+/// Pull a bare `--flag` out of the argument list (any position).
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
+/// Write the flight-recorder exports the user asked for.
+fn write_exports(
+    recorder: &eth_obs::Recorder,
+    trace_path: Option<&PathBuf>,
+    metrics_path: Option<&PathBuf>,
+    telemetry: Option<&CampaignTelemetry>,
+    progress: &Progress,
+) {
+    if let Some(path) = trace_path {
+        let trace = recorder.take();
+        if let Err(e) = trace.check_well_formed() {
+            eprintln!("internal error: malformed trace: {e}");
+            std::process::exit(1);
+        }
+        let records = trace.records.len();
+        if let Err(e) = std::fs::write(path, trace.to_chrome_trace()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        progress.note(&format!("wrote {} ({records} trace records)", path.display()));
+    }
+    if let Some(path) = metrics_path {
+        let Some(t) = telemetry else {
+            eprintln!("--metrics: no campaign ran (use table2 or chaos-campaign)");
+            std::process::exit(2);
+        };
+        if let Err(e) = std::fs::write(path, t.to_prometheus()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        let jsonl = PathBuf::from(format!("{}.jsonl", path.display()));
+        if let Err(e) = std::fs::write(&jsonl, t.to_jsonl()) {
+            eprintln!("failed to write {}: {e}", jsonl.display());
+            std::process::exit(1);
+        }
+        progress.note(&format!(
+            "wrote {} and {}",
+            path.display(),
+            jsonl.display()
+        ));
+    }
+}
+
+/// Run whichever subcommand/artifacts the arguments select; returns the
+/// telemetry of the campaign that ran (if one did).
+fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Option<CampaignTelemetry> {
     if args.first().map(String::as_str) == Some("bench") {
-        run_bench(&args[1..]);
-        return;
+        if want_metrics {
+            eprintln!("--metrics does not apply to bench (use table2 or chaos-campaign)");
+            std::process::exit(2);
+        }
+        run_bench(&args[1..], progress);
+        return None;
     }
     if args.first().map(String::as_str) == Some("chaos-campaign") {
-        run_chaos(&args[1..]);
-        return;
+        return Some(run_chaos(&args[1..], progress));
     }
+
     let mut csv_dir: Option<PathBuf> = None;
     let mut journal_dir: Option<PathBuf> = None;
     let mut resume = false;
@@ -133,9 +217,10 @@ fn main() {
                     "usage: reproduce [--csv DIR] [--journal DIR [--resume]] \
                      [table1 table2 fig8 .. fig15]\n\
                      \x20      reproduce chaos-campaign [--seed N]\n\
-                     \x20      reproduce bench [--smoke] [--out FILE]"
+                     \x20      reproduce bench [--smoke] [--out FILE]\n\
+                     global: [--trace FILE] [--metrics FILE] [--verbose | --quiet]"
                 );
-                return;
+                std::process::exit(0);
             }
             other => wanted.push(other.to_string()),
         }
@@ -144,16 +229,32 @@ fn main() {
         eprintln!("--resume needs --journal DIR");
         std::process::exit(2);
     }
+    let known = runs::ARTIFACT_IDS;
+    for w in &wanted {
+        if !known.contains(&w.as_str()) {
+            eprintln!("unknown artifact '{w}' (known: {})", known.join(", "));
+            std::process::exit(2);
+        }
+    }
+    let table2_selected = wanted.is_empty() || wanted.iter().any(|w| w == "table2");
+    if want_metrics && !table2_selected {
+        eprintln!("--metrics needs a campaign artifact (table2) or chaos-campaign");
+        std::process::exit(2);
+    }
+
+    let mut telemetry: Option<CampaignTelemetry> = None;
+    let mut table2_done = false;
     if let Some(dir) = &journal_dir {
         if resume && !dir.join("journal.jsonl").exists() {
             eprintln!("--resume: no journal at {}", dir.display());
             std::process::exit(2);
         }
         // The journaled path covers the native-render campaign, table2.
-        if !(wanted.is_empty() || wanted.iter().any(|w| w == "table2")) {
+        if !table2_selected {
             eprintln!("--journal only applies to table2");
             std::process::exit(2);
         }
+        progress.begin("table2");
         let (table, outcome) = match runs::table2_journaled(dir) {
             Ok(v) => v,
             Err(e) => {
@@ -162,42 +263,52 @@ fn main() {
             }
         };
         println!("{}", table.to_markdown());
-        println!(
+        progress.note(&format!(
             "campaign: {} points ({} restored from journal, {} ran, {} quarantined)",
             outcome.results.len(),
             outcome.restored.len(),
             outcome.results.len() - outcome.restored.len(),
             outcome.quarantined.len(),
-        );
+        ));
+        progress.done("table2", "complete (journaled)");
+        telemetry = Some(outcome.telemetry);
         if !wanted.is_empty() && wanted.iter().all(|w| w == "table2") {
-            return; // only table2 requested: done
+            return telemetry; // only table2 requested: done
         }
         wanted.retain(|w| w != "table2");
-    }
-    let table2_done = journal_dir.is_some();
-
-    let all = match runs::all() {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("reproduction failed: {e}");
-            std::process::exit(1);
-        }
-    };
-    let known: Vec<&str> = all.iter().map(|(id, _)| *id).collect();
-    for w in &wanted {
-        if !known.contains(&w.as_str()) {
-            eprintln!("unknown artifact '{w}' (known: {})", known.join(", "));
-            std::process::exit(2);
-        }
+        table2_done = true;
     }
 
-    for (id, table) in &all {
-        if table2_done && *id == "table2" {
+    for id in known {
+        if table2_done && id == "table2" {
             continue; // already printed from the journaled campaign
         }
         if !wanted.is_empty() && !wanted.iter().any(|w| w == id) {
             continue;
         }
+        progress.begin(id);
+        let table = if id == "table2" {
+            // Run through the campaign engine so the outcome carries
+            // telemetry for a possible --metrics export.
+            match runs::table2_campaign() {
+                Ok((table, outcome)) => {
+                    telemetry = Some(outcome.telemetry);
+                    table
+                }
+                Err(e) => {
+                    eprintln!("reproduction failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            match runs::artifact(id) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("reproduction failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
         println!("{}", table.to_markdown());
         if let Some(dir) = &csv_dir {
             let path = dir.join(format!("{id}.csv"));
@@ -205,7 +316,34 @@ fn main() {
                 eprintln!("failed to write {}: {e}", path.display());
                 std::process::exit(1);
             }
-            println!("wrote {}\n", path.display());
+            progress.note(&format!("wrote {}\n", path.display()));
         }
+        progress.done(id, "complete");
     }
+    telemetry
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = take_value_flag(&mut args, "--trace");
+    let metrics_path = take_value_flag(&mut args, "--metrics");
+    let quiet = take_flag(&mut args, "--quiet");
+    let verbose = take_flag(&mut args, "--verbose");
+    let progress = Progress::new(Verbosity::from_flags(quiet, verbose));
+
+    // With --trace (or --metrics) the whole invocation runs under an
+    // attached flight recorder; every spawned rank/point thread inherits
+    // it through the observability context.
+    let recorder = eth_obs::Recorder::new();
+    let _flight = (trace_path.is_some() || metrics_path.is_some()).then(|| recorder.attach());
+
+    let telemetry = dispatch(args, &progress, metrics_path.is_some());
+
+    write_exports(
+        &recorder,
+        trace_path.as_ref(),
+        metrics_path.as_ref(),
+        telemetry.as_ref(),
+        &progress,
+    );
 }

@@ -9,4 +9,5 @@
 
 pub mod campaign;
 pub mod chaos;
+pub mod progress;
 pub mod runs;

@@ -10,7 +10,7 @@ use eth_cluster::costmodel::AlgorithmClass;
 use eth_cluster::coupling::CouplingStrategy;
 use eth_cluster::metrics::RunMetrics;
 use eth_core::config::{Algorithm, Application, ExperimentSpec};
-use eth_core::harness::{run_cluster, run_native_cached, ClusterExperiment, RunCaches};
+use eth_core::harness::{run_cluster, ClusterExperiment, RunCaches};
 use eth_core::results::{fmt_kw, fmt_pct, fmt_s, ResultTable};
 use eth_core::{Campaign, CampaignOutcome, CoreError, Result};
 use std::path::Path;
@@ -101,40 +101,23 @@ fn table2_from_images(caches: &RunCaches, images: &[eth_render::Image]) -> Resul
     Ok(t)
 }
 
-/// **Table II** — accuracy (real rendered RMSE on this machine) vs energy
-/// saved (cluster model) per sampling ratio and algorithm.
-pub fn table2() -> Result<ResultTable> {
-    // One cache for the whole table: HACC stages once (the staging key
-    // ignores algorithm and ratio) and each algorithm's full-fidelity
-    // baseline renders once instead of once per ratio row.
-    let caches = RunCaches::new();
-    let mut images = Vec::new();
-    for (alg, _) in TABLE2_PAIRS {
-        for ratio in TABLE2_RATIOS {
-            images.push(
-                run_native_cached(&table2_spec(alg, ratio)?, &caches)?
-                    .images
-                    .remove(0),
-            );
-        }
-    }
-    table2_from_images(&caches, &images)
-}
-
-/// [`table2`] as a durable campaign: the nine render points go through
-/// [`Campaign::run_journaled`] against `dir`, so a run killed partway can
-/// be re-invoked with the same directory and restores every completed
-/// point from the journal instead of re-rendering it. The table itself is
-/// byte-identical to [`table2`]'s.
-pub fn table2_journaled(dir: &Path) -> Result<(ResultTable, CampaignOutcome)> {
+/// The nine Table II render points in row order (algorithm-major).
+fn table2_specs() -> Result<Vec<ExperimentSpec>> {
     let mut specs = Vec::new();
     for (alg, _) in TABLE2_PAIRS {
         for ratio in TABLE2_RATIOS {
             specs.push(table2_spec(alg, ratio)?);
         }
     }
-    let caches = RunCaches::new();
-    let outcome = Campaign::new().run_journaled(&specs, &caches, dir)?;
+    Ok(specs)
+}
+
+/// Pull the nine point images out of a finished Table II campaign,
+/// failing loudly if any point failed.
+fn table2_images(
+    specs: &[ExperimentSpec],
+    outcome: &CampaignOutcome,
+) -> Result<Vec<eth_render::Image>> {
     let mut images = Vec::new();
     for (i, result) in outcome.results.iter().enumerate() {
         match result {
@@ -147,6 +130,39 @@ pub fn table2_journaled(dir: &Path) -> Result<(ResultTable, CampaignOutcome)> {
             }
         }
     }
+    Ok(images)
+}
+
+/// **Table II** as a campaign: the nine render points go through
+/// [`Campaign::run_with`] over one shared cache (HACC stages once, each
+/// algorithm's full-fidelity baseline renders once), and the outcome
+/// carries the campaign's flight-recorder telemetry for
+/// `reproduce table2 --metrics`.
+pub fn table2_campaign() -> Result<(ResultTable, CampaignOutcome)> {
+    let specs = table2_specs()?;
+    let caches = RunCaches::new();
+    let outcome = Campaign::new().run_with(&specs, &caches);
+    let images = table2_images(&specs, &outcome)?;
+    let table = table2_from_images(&caches, &images)?;
+    Ok((table, outcome))
+}
+
+/// **Table II** — accuracy (real rendered RMSE on this machine) vs energy
+/// saved (cluster model) per sampling ratio and algorithm.
+pub fn table2() -> Result<ResultTable> {
+    Ok(table2_campaign()?.0)
+}
+
+/// [`table2`] as a durable campaign: the nine render points go through
+/// [`Campaign::run_journaled`] against `dir`, so a run killed partway can
+/// be re-invoked with the same directory and restores every completed
+/// point from the journal instead of re-rendering it. The table itself is
+/// byte-identical to [`table2`]'s.
+pub fn table2_journaled(dir: &Path) -> Result<(ResultTable, CampaignOutcome)> {
+    let specs = table2_specs()?;
+    let caches = RunCaches::new();
+    let outcome = Campaign::new().run_journaled(&specs, &caches, dir)?;
+    let images = table2_images(&specs, &outcome)?;
     let table = table2_from_images(&caches, &images)?;
     Ok((table, outcome))
 }
@@ -464,22 +480,47 @@ pub fn ext_ablation() -> ResultTable {
     t
 }
 
+/// Every artifact id, in paper order, plus extensions.
+pub const ARTIFACT_IDS: [&str; 12] = [
+    "table1",
+    "table2",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ext_split",
+    "ext_ablation",
+];
+
+/// Compute one artifact by id (see [`ARTIFACT_IDS`]).
+pub fn artifact(id: &str) -> Result<ResultTable> {
+    match id {
+        "table1" => Ok(table1()),
+        "table2" => table2(),
+        "fig8" => Ok(fig8()),
+        "fig9" => Ok(fig9()),
+        "fig10" => Ok(fig10()),
+        "fig11" => Ok(fig11()),
+        "fig12" => Ok(fig12()),
+        "fig13" => Ok(fig13()),
+        "fig14" => Ok(fig14()),
+        "fig15" => Ok(fig15()),
+        "ext_split" => Ok(ext_split()),
+        "ext_ablation" => Ok(ext_ablation()),
+        other => Err(CoreError::Config(format!("unknown artifact '{other}'"))),
+    }
+}
+
 /// All tables/figures in paper order, plus extensions: `(id, table)`.
 pub fn all() -> Result<Vec<(&'static str, ResultTable)>> {
-    Ok(vec![
-        ("table1", table1()),
-        ("table2", table2()?),
-        ("fig8", fig8()),
-        ("fig9", fig9()),
-        ("fig10", fig10()),
-        ("fig11", fig11()),
-        ("fig12", fig12()),
-        ("fig13", fig13()),
-        ("fig14", fig14()),
-        ("fig15", fig15()),
-        ("ext_split", ext_split()),
-        ("ext_ablation", ext_ablation()),
-    ])
+    ARTIFACT_IDS
+        .iter()
+        .map(|&id| Ok((id, artifact(id)?)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -27,10 +27,13 @@ use crate::error::{CoreError, Result};
 use crate::pipeline::{accumulate, VizPipeline};
 use bytes::Bytes;
 use eth_cluster::costmodel::{AlgorithmClass, Calibration, CostModel, Workload};
+use eth_cluster::counters::CounterSet;
 use eth_cluster::coupling::{build_schedule, CouplingStrategy};
 use eth_cluster::machine::ClusterMachine;
 use eth_cluster::metrics::RunMetrics;
 use eth_cluster::node::ClusterSpec;
+use eth_cluster::power::{self, BusyInterval};
+use eth_cluster::task::NodeGroup;
 use eth_data::partition::{partition_grid_slabs, partition_points};
 use eth_data::{Aabb, DataObject};
 use eth_render::composite::composite_direct;
@@ -136,6 +139,31 @@ pub struct NativeOutcome {
     pub bytes_moved: u64,
     /// Faults absorbed (all-zero unless the spec carries a fault plan).
     pub degradation: Degradation,
+    /// Power/energy of this run on the modeled cluster, driven by the
+    /// recorded span trace instead of a synthetic phase graph: each span
+    /// is a busy interval on its rank's node at the phase's modeled
+    /// utilization, integrated through the Apollo-style sampler.
+    pub metrics: RunMetrics,
+    /// Dynamic-energy breakdown by phase (which phases bought the watts).
+    pub phase_energy: Vec<PhaseEnergy>,
+    /// Structured counters from the run's trace: per-phase busy seconds /
+    /// span counts / bytes, proxy skipped steps, and degradation totals.
+    pub counters: CounterSet,
+}
+
+/// Dynamic energy attributed to one phase of a native run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseEnergy {
+    /// Phase name (see [`eth_obs::Phase::name`]).
+    pub phase: String,
+    /// Spans recorded for the phase.
+    pub spans: u64,
+    /// Total busy seconds across ranks (spans may overlap in wall time).
+    pub busy_s: f64,
+    /// Modeled utilization while a span of this phase runs.
+    pub utilization: f64,
+    /// Dynamic energy above the idle floor, kJ (`busy × util × dynamic`).
+    pub energy_kj: f64,
 }
 
 impl NativeOutcome {
@@ -255,6 +283,7 @@ fn global_scalar_range(obj: &DataObject, name: &str) -> Option<(f32, f32)> {
 }
 
 fn stage_data(spec: &ExperimentSpec) -> Result<StagedData> {
+    let _span = eth_obs::span(eth_obs::Phase::Stage);
     let mut blocks = Vec::with_capacity(spec.steps);
     let mut bounds = Vec::with_capacity(spec.steps);
     let mut scalar_ranges = Vec::with_capacity(spec.steps);
@@ -387,7 +416,16 @@ impl RunCaches {
     }
 
     fn staged(&self, spec: &ExperimentSpec) -> Result<Arc<StagedData>> {
+        // The lookup span covers the memoize call, so a miss (or blocking
+        // on a first-comer's staging pass) shows up as lookup latency; the
+        // nested Stage span carries the compute itself.
+        let lookup = eth_obs::span(eth_obs::Phase::CacheLookup);
         let (data, hit) = memoize(&self.staging, stage_key(spec), || stage_data(spec))?;
+        drop(lookup);
+        eth_obs::count(
+            if hit { "staging_cache_hits" } else { "staging_cache_misses" },
+            1.0,
+        );
         let mut stats = self.stats.lock().unwrap();
         if hit {
             stats.staging_hits += 1;
@@ -412,11 +450,17 @@ impl RunCaches {
             spec.height,
             spec.seed
         );
+        let lookup = eth_obs::span(eth_obs::Phase::CacheLookup);
         let (images, hit) = memoize(&self.baselines, key, || {
             let base = baseline_spec(spec);
             base.validate()?;
             Ok(run_staged(&base, self.staged(&base)?)?.images)
         })?;
+        drop(lookup);
+        eth_obs::count(
+            if hit { "baseline_cache_hits" } else { "baseline_cache_misses" },
+            1.0,
+        );
         let mut stats = self.stats.lock().unwrap();
         if hit {
             stats.baseline_hits += 1;
@@ -575,6 +619,10 @@ fn merge_outputs(spec: &ExperimentSpec, wall_s: f64, outputs: Vec<RankOutput>) -
         stats,
         bytes_moved,
         degradation,
+        // filled in by attribute_run once the span trace is drained
+        metrics: RunMetrics::default(),
+        phase_energy: Vec::new(),
+        counters: CounterSet::new(),
     }
 }
 
@@ -595,7 +643,7 @@ where
 /// Run an experiment natively (see module docs).
 pub fn run_native(spec: &ExperimentSpec) -> Result<NativeOutcome> {
     spec.validate()?;
-    run_staged(spec, Arc::new(stage_data(spec)?))
+    run_recorded(spec, |spec| Ok(Arc::new(stage_data(spec)?)))
 }
 
 /// [`run_native`], but staging goes through `caches` so repeated runs over
@@ -604,18 +652,157 @@ pub fn run_native(spec: &ExperimentSpec) -> Result<NativeOutcome> {
 /// are a pure function of the cache key.
 pub fn run_native_cached(spec: &ExperimentSpec, caches: &RunCaches) -> Result<NativeOutcome> {
     spec.validate()?;
-    run_staged(spec, caches.staged(spec)?)
+    run_recorded(spec, |spec| caches.staged(spec))
 }
 
 /// The post-staging body shared by the cached and uncached entry points.
 fn run_staged(spec: &ExperimentSpec, staged: Arc<StagedData>) -> Result<NativeOutcome> {
+    run_recorded(spec, move |_| Ok(staged))
+}
+
+/// Run one experiment under a per-run flight recorder: stage (or fetch)
+/// the data and execute the coupling with the recorder attached, then
+/// drain the trace into the outcome's power attribution and counters.
+/// The recorder stacks on whatever sinks the caller already attached
+/// (e.g. a campaign-level recorder), so both see the same spans.
+fn run_recorded<F>(spec: &ExperimentSpec, stage: F) -> Result<NativeOutcome>
+where
+    F: FnOnce(&ExperimentSpec) -> Result<Arc<StagedData>>,
+{
+    let recorder = eth_obs::Recorder::new();
     let t0 = Instant::now();
-    let outputs = match spec.coupling {
-        Coupling::Tight => run_tight(spec, &staged)?,
-        Coupling::Intercore => run_intercore(spec, &staged)?,
-        Coupling::Internode => run_internode(spec, &staged)?,
+    let t0_ns = eth_obs::now_ns();
+    let outputs = {
+        let _obs = recorder.attach();
+        stage(spec).and_then(|staged| run_coupled(spec, &staged))
+    }?;
+    let mut outcome = merge_outputs(spec, t0.elapsed().as_secs_f64(), outputs);
+    attribute_run(&mut outcome, &recorder.take(), t0_ns);
+    Ok(outcome)
+}
+
+fn run_coupled(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<RankOutput>> {
+    match spec.coupling {
+        Coupling::Tight => run_tight(spec, staged),
+        Coupling::Intercore => run_intercore(spec, staged),
+        Coupling::Internode => run_internode(spec, staged),
+    }
+}
+
+/// Modeled node utilization while one span of `phase` runs: compute
+/// phases saturate a core, the codec streams at ~0.7, wire transfers sit
+/// at ~0.3 (DMA-ish), staging (generate + partition) at ~0.5 — the same
+/// figures the cost model uses. Waiting phases (queue, backoff, cache
+/// lookup, bootstrap) draw only the idle floor and are excluded, which
+/// also keeps the busy intervals non-overlapping: a cache-lookup span
+/// enclosing a staging pass must not bill the node twice.
+fn phase_utilization(phase: eth_obs::Phase) -> Option<f64> {
+    use eth_obs::Phase;
+    match phase {
+        Phase::Sim | Phase::Render | Phase::Composite => Some(1.0),
+        Phase::Encode | Phase::Decode => Some(0.7),
+        Phase::Send | Phase::Recv => Some(0.3),
+        Phase::Stage => Some(0.5),
+        Phase::JournalAppend => Some(0.2),
+        Phase::CacheLookup | Phase::QueueWait | Phase::Backoff | Phase::Bootstrap => None,
+    }
+}
+
+/// Nodes the native run models for power: tight runs one rank per node;
+/// intercore pairs each sim rank with its viz rank on one node (that is
+/// the design point); internode puts the two applications on disjoint
+/// allocations.
+fn modeled_nodes(spec: &ExperimentSpec) -> u32 {
+    let r = spec.ranks.max(1);
+    let nodes = match spec.coupling {
+        Coupling::Tight | Coupling::Intercore => r,
+        Coupling::Internode => r + spec.viz_ranks.unwrap_or(r).max(1),
     };
-    Ok(merge_outputs(spec, t0.elapsed().as_secs_f64(), outputs))
+    nodes as u32
+}
+
+/// Fill the outcome's [`RunMetrics`], per-phase energy, and counters from
+/// the run's drained span trace. Every compute-class span becomes a
+/// [`BusyInterval`] on its rank's node (rank → `rank % nodes`, which maps
+/// an intercore viz rank onto its sim pair's node); the cluster model
+/// integrates them over the wall-clock makespan with a sampler period
+/// scaled to the run (the Apollo chain samples 5 s runs ~20 times).
+fn attribute_run(outcome: &mut NativeOutcome, trace: &eth_obs::Trace, t0_ns: u64) {
+    let nodes = modeled_nodes(&outcome.spec);
+    let cluster = ClusterSpec::hikari(nodes);
+    let makespan = outcome.wall_s.max(1e-9);
+
+    let mut intervals = Vec::new();
+    for s in trace.spans() {
+        let Some(util) = phase_utilization(s.phase) else {
+            continue;
+        };
+        // Rebase onto the run clock and clip to the run window (spans
+        // recorded just outside it collapse to zero width and drop out).
+        let start = (s.start_ns.saturating_sub(t0_ns) as f64 * 1e-9).min(makespan);
+        let end = (s.end_ns().saturating_sub(t0_ns) as f64 * 1e-9).min(makespan);
+        if end <= start {
+            continue;
+        }
+        let node = if s.rank == eth_obs::NO_RANK {
+            0 // harness-side work (staging) bills the first node
+        } else {
+            s.rank % nodes
+        };
+        intervals.push(BusyInterval {
+            start,
+            end,
+            group: NodeGroup::new(node, 1),
+            utilization: util,
+        });
+    }
+
+    let sample_period = (makespan / 20.0).clamp(1e-6, 5.0);
+    let profile = power::integrate(&cluster, &intervals, makespan, sample_period);
+    outcome.metrics = RunMetrics {
+        nodes,
+        exec_time_s: makespan,
+        avg_power_kw: profile.sampled_avg_power_kw,
+        // the paper multiplies reported average power by exec time
+        energy_kj: profile.sampled_avg_power_kw * makespan,
+        dynamic_power_kw: profile.avg_dynamic_power_kw,
+        degraded_steps: outcome.degradation.degraded_steps,
+        dropped_steps: outcome.degradation.dropped_steps,
+    };
+
+    let mut counters = CounterSet::new();
+    for t in trace.phase_totals() {
+        if t.spans == 0 {
+            continue;
+        }
+        let name = t.phase.name();
+        counters.add(&format!("phase_{name}_busy_s"), t.busy_s);
+        counters.add(&format!("phase_{name}_spans"), t.spans as f64);
+        if t.bytes > 0 {
+            counters.add(&format!("phase_{name}_bytes"), t.bytes as f64);
+        }
+        if let Some(utilization) = phase_utilization(t.phase) {
+            outcome.phase_energy.push(PhaseEnergy {
+                phase: name.to_string(),
+                spans: t.spans,
+                busy_s: t.busy_s,
+                utilization,
+                energy_kj: t.busy_s * utilization * cluster.node.dynamic_watts / 1000.0,
+            });
+        }
+    }
+    for (name, value) in trace.counts() {
+        counters.add(name, value);
+    }
+    let d = &outcome.degradation;
+    if !d.is_clean() {
+        counters.add("degradation_dropped_steps", d.dropped_steps as f64);
+        counters.add("degradation_degraded_steps", d.degraded_steps as f64);
+        counters.add("degradation_timeouts", d.timeouts as f64);
+        counters.add("degradation_disconnects", d.disconnects as f64);
+        counters.add("degradation_corrupt_payloads", d.corrupt_payloads as f64);
+    }
+    outcome.counters = counters;
 }
 
 fn run_tight(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<RankOutput>> {
@@ -744,12 +931,19 @@ fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
     // Simulation application: each rank publishes, listens, then streams
     // its blocks to the paired visualization rank. The pair link always
     // goes through the chaos wrapper; with no plan it is a passthrough.
+    // Raw spawns don't inherit the caller's recorder sinks the way
+    // run_ranks does, so hand the context across and claim rank ids on
+    // the run's modeled node layout: sim ranks 0..R, viz ranks R..R+V.
+    let obs = eth_obs::current_context();
     let mut sim_handles = Vec::new();
     for rank in 0..r {
         let staged = staged.clone();
         let layout = layout.clone();
         let spec_sim = spec.clone();
+        let obs = obs.clone();
         sim_handles.push(thread::spawn(move || -> Result<RankOutput> {
+            let _obs = obs.attach();
+            eth_obs::set_rank(rank);
             let tolerant = spec_sim.fault_plan.is_some();
             let chan = ChaosChannel::new(
                 listen_as(&layout, rank)?,
@@ -798,7 +992,10 @@ fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
         let spec = spec.clone();
         let staged = staged.clone();
         let my_sims: Vec<usize> = (0..r).filter(|s| s % viz_count == rank).collect();
+        let obs = obs.clone();
         viz_handles.push(thread::spawn(move || -> Result<RankOutput> {
+            let _obs = obs.attach();
+            eth_obs::set_rank(r + rank);
             let tolerant = spec.fault_plan.is_some();
             let plan = spec.fault_plan.clone().unwrap_or_default();
             let mut chans = Vec::with_capacity(my_sims.len());

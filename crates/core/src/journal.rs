@@ -33,7 +33,9 @@
 
 use crate::config::ExperimentSpec;
 use crate::error::{CoreError, Result};
-use crate::harness::{Degradation, NativeOutcome, PhaseTimes};
+use crate::harness::{Degradation, NativeOutcome, PhaseEnergy, PhaseTimes};
+use eth_cluster::counters::CounterSet;
+use eth_cluster::metrics::RunMetrics;
 use eth_data::crc::crc32;
 use eth_render::pipeline::RenderStats;
 use eth_render::Image;
@@ -139,6 +141,9 @@ impl Journal {
         let json = serde_json::to_string(record)
             .map_err(|e| CoreError::Config(format!("unserializable journal record: {e}")))?;
         let line = format!("{:08x} {:08x} {}\n", json.len(), crc32(json.as_bytes()), json);
+        // the span covers lock + write + fsync: what one durable append costs
+        let mut span = eth_obs::span(eth_obs::Phase::JournalAppend);
+        span.set_bytes(line.len() as u64);
         let mut file = self.file.lock().unwrap();
         file.write_all(line.as_bytes())?;
         file.flush()?;
@@ -245,6 +250,14 @@ struct ResultHeader {
     stats: RenderStats,
     bytes_moved: u64,
     degradation: Degradation,
+    // observability fields; default-valued when restoring a result file
+    // written before phase-attributed power (nodes == 0 marks those)
+    #[serde(default)]
+    metrics: RunMetrics,
+    #[serde(default)]
+    phase_energy: Vec<PhaseEnergy>,
+    #[serde(default)]
+    counters: CounterSet,
 }
 
 /// Persist a finished point's outcome: JSON header + raw `f32` pixels +
@@ -259,6 +272,9 @@ pub fn save_result(dir: &Path, index: usize, spec_hash: u64, outcome: &NativeOut
         stats: outcome.stats,
         bytes_moved: outcome.bytes_moved,
         degradation: outcome.degradation,
+        metrics: outcome.metrics.clone(),
+        phase_energy: outcome.phase_energy.clone(),
+        counters: outcome.counters.clone(),
     };
     let json = serde_json::to_string(&header)
         .map_err(|e| CoreError::Config(format!("unserializable result header: {e}")))?;
@@ -380,6 +396,9 @@ pub fn load_result(
         stats: header.stats,
         bytes_moved: header.bytes_moved,
         degradation: header.degradation,
+        metrics: header.metrics,
+        phase_energy: header.phase_energy,
+        counters: header.counters,
     })
 }
 

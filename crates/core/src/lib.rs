@@ -38,15 +38,17 @@ pub mod journal;
 pub mod pipeline;
 pub mod results;
 pub mod sweep;
+pub mod telemetry;
 
 pub use config::{Algorithm, Application, Coupling, ExperimentSpec};
 pub use error::{CoreError, Result};
 pub use harness::{
     run_cluster, run_native, run_native_cached, CacheStats, ClusterExperiment, Degradation,
-    NativeOutcome, RunCaches,
+    NativeOutcome, PhaseEnergy, RunCaches,
 };
 pub use journal::{Journal, JournalRecord, RecordedOutcome};
 pub use results::ResultTable;
+pub use telemetry::CampaignTelemetry;
 pub use sweep::{
     spec_for_attempt, Campaign, CampaignOutcome, PointResult, RetryOn, RetryPolicy, Sweep,
 };

@@ -14,6 +14,7 @@ use crate::config::{Algorithm, Coupling, ExperimentSpec};
 use crate::error::{CoreError, Result};
 use crate::harness::{run_native_cached, CacheStats, NativeOutcome, RunCaches};
 use crate::journal::{self, Journal, JournalRecord, RecordedOutcome};
+use crate::telemetry::CampaignTelemetry;
 use eth_data::DataError;
 use eth_transport::fault::BackoffShape;
 use eth_transport::{RankFailure, TransportError};
@@ -255,6 +256,11 @@ pub struct CampaignOutcome {
     /// Indices restored from a campaign journal instead of re-run
     /// (always empty outside [`Campaign::run_journaled`] / resume).
     pub restored: Vec<usize>,
+    /// Aggregate flight-recorder telemetry for the whole campaign (queue
+    /// wait / cache / journal latency histograms, retry and degradation
+    /// counters); export with [`CampaignTelemetry::to_prometheus`] or
+    /// [`CampaignTelemetry::to_jsonl`].
+    pub telemetry: CampaignTelemetry,
 }
 
 impl CampaignOutcome {
@@ -369,17 +375,21 @@ impl Campaign {
     pub fn run_with(&self, specs: &[ExperimentSpec], caches: &RunCaches) -> CampaignOutcome {
         let t0 = Instant::now();
         let prefilled = (0..specs.len()).map(|_| None).collect();
-        let (results, attempts, quarantined) =
+        let (results, attempts, quarantined, trace) =
             self.run_engine(specs, None, prefilled, |_, spec, attempt| {
                 run_native_cached(&spec_for_attempt(spec, attempt), caches)
             });
+        let cache = caches.stats();
+        let telemetry =
+            CampaignTelemetry::from_campaign(&trace, &results, &attempts, &quarantined, &[], &cache);
         CampaignOutcome {
             results,
             wall_s: t0.elapsed().as_secs_f64(),
-            cache: caches.stats(),
+            cache,
             attempts,
             quarantined,
             restored: Vec::new(),
+            telemetry,
         }
     }
 
@@ -396,14 +406,19 @@ impl Campaign {
     {
         let t0 = Instant::now();
         let prefilled = (0..specs.len()).map(|_| None).collect();
-        let (results, attempts, quarantined) = self.run_engine(specs, None, prefilled, runner);
+        let (results, attempts, quarantined, trace) =
+            self.run_engine(specs, None, prefilled, runner);
+        let cache = CacheStats::default();
+        let telemetry =
+            CampaignTelemetry::from_campaign(&trace, &results, &attempts, &quarantined, &[], &cache);
         CampaignOutcome {
             results,
             wall_s: t0.elapsed().as_secs_f64(),
-            cache: CacheStats::default(),
+            cache,
             attempts,
             quarantined,
             restored: Vec::new(),
+            telemetry,
         }
     }
 
@@ -458,17 +473,27 @@ impl Campaign {
             }
         }
 
-        let (results, attempts, quarantined) =
+        let (results, attempts, quarantined, trace) =
             self.run_engine(specs, Some(&journal), prefilled, |_, spec, attempt| {
                 run_native_cached(&spec_for_attempt(spec, attempt), caches)
             });
+        let cache = caches.stats();
+        let telemetry = CampaignTelemetry::from_campaign(
+            &trace,
+            &results,
+            &attempts,
+            &quarantined,
+            &restored,
+            &cache,
+        );
         Ok(CampaignOutcome {
             results,
             wall_s: t0.elapsed().as_secs_f64(),
-            cache: caches.stats(),
+            cache,
             attempts,
             quarantined,
             restored,
+            telemetry,
         })
     }
 
@@ -494,12 +519,18 @@ impl Campaign {
         journal: Option<&Journal>,
         prefilled: Vec<Option<(PointResult, u32)>>,
         runner: F,
-    ) -> (Vec<PointResult>, Vec<u32>, Vec<usize>)
+    ) -> (Vec<PointResult>, Vec<u32>, Vec<usize>, eth_obs::Trace)
     where
         F: Fn(usize, &ExperimentSpec, u32) -> PointResult + Sync,
     {
         let sem = WeightedSemaphore::new(self.capacity, specs.len());
         let policy = &self.retry;
+        // Campaign flight recorder: every point thread stacks it on top
+        // of whatever sinks the caller attached (e.g. the CLI's --trace
+        // recorder), so the campaign sees its own spans and the caller
+        // still sees everything.
+        let recorder = eth_obs::Recorder::new();
+        let obs = eth_obs::current_context();
         let mut slots = prefilled;
         thread::scope(|s| {
             for (index, (spec, slot)) in specs.iter().zip(slots.iter_mut()).enumerate() {
@@ -513,7 +544,11 @@ impl Campaign {
                     s.spawn(move || sem.acquire(index, 0));
                     continue;
                 }
+                let obs = obs.clone();
+                let recorder = recorder.clone();
                 s.spawn(move || {
+                    let _ctx = obs.attach();
+                    let _rec = recorder.attach();
                     let hash = journal.map(|_| journal::spec_hash(spec)).unwrap_or(0);
                     let mut backoff = policy
                         .backoff
@@ -521,7 +556,11 @@ impl Campaign {
                     let mut attempt = 1u32;
                     let mut ticket = index;
                     loop {
-                        sem.acquire(ticket, cost);
+                        {
+                            // time spent waiting for slots = queue wait
+                            let _wait = eth_obs::span(eth_obs::Phase::QueueWait);
+                            sem.acquire(ticket, cost);
+                        }
                         if let Some(j) = journal {
                             // Write-ahead: losing an append costs a re-run
                             // on resume, never a wrong result, so appends
@@ -579,6 +618,7 @@ impl Campaign {
                                     }
                                     attempt += 1;
                                     if let Some(delay) = backoff.next_delay() {
+                                        let _bo = eth_obs::span(eth_obs::Phase::Backoff);
                                         thread::sleep(delay);
                                     }
                                     // fresh ticket, taken right before
@@ -630,7 +670,7 @@ impl Campaign {
             results.push(result);
             attempts.push(tries);
         }
-        (results, attempts, quarantined)
+        (results, attempts, quarantined, recorder.take())
     }
 }
 
@@ -910,7 +950,7 @@ mod tests {
         let caches = RunCaches::new();
         let campaign = Campaign::with_capacity(4).with_retry_policy(RetryPolicy::standard(3));
         let prefilled = (0..specs.len()).map(|_| None).collect();
-        let (results, attempts, quarantined) =
+        let (results, attempts, quarantined, _trace) =
             campaign.run_engine(&specs, None, prefilled, |_, spec, attempt| {
                 let out = run_native_cached(spec, &caches)?;
                 if attempt == 1 {
@@ -933,7 +973,7 @@ mod tests {
         let campaign = Campaign::with_capacity(4).with_retry_policy(RetryPolicy::standard(3));
         let prefilled = (0..specs.len()).map(|_| None).collect();
         // point 0 always times out; point 1 is healthy
-        let (results, attempts, quarantined) =
+        let (results, attempts, quarantined, _trace) =
             campaign.run_engine(&specs, None, prefilled, |index, spec, _| {
                 if index == 0 {
                     return Err(injected_timeout());

@@ -1,0 +1,325 @@
+//! Campaign telemetry: the flight recorder's aggregate view of one
+//! campaign, exportable as Prometheus text and JSONL.
+//!
+//! A [`crate::sweep::Campaign`] drains every span its points recorded
+//! (queue waits, backoff sleeps, journal fsyncs, cache lookups, staging
+//! passes, encode/recv work) into one [`CounterSet`]: latency-class spans
+//! become log-bucket [`Histogram`]s with p50/p95/max, everything else
+//! becomes scalar counters (attempts, retries, quarantines, restored
+//! points, degradation totals, per-phase busy seconds). The set is
+//! deterministic for a seeded campaign up to the timing-valued entries —
+//! the telemetry determinism test compares exactly the count-valued
+//! subset.
+
+use crate::harness::CacheStats;
+use crate::sweep::PointResult;
+use eth_cluster::counters::CounterSet;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Aggregate telemetry of one campaign run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CampaignTelemetry {
+    /// Scalar counters and latency/throughput histograms, keyed by
+    /// metric name (see module docs for the vocabulary).
+    pub counters: CounterSet,
+}
+
+/// Histogram metrics distilled from the campaign's span trace: phases
+/// whose *distribution* matters (tail latency), plus encode throughput.
+const SPAN_HISTOGRAMS: &[(eth_obs::Phase, &str)] = &[
+    (eth_obs::Phase::QueueWait, "queue_wait_s"),
+    (eth_obs::Phase::Backoff, "backoff_s"),
+    (eth_obs::Phase::JournalAppend, "journal_append_s"),
+    (eth_obs::Phase::CacheLookup, "cache_lookup_s"),
+    (eth_obs::Phase::Stage, "stage_s"),
+    (eth_obs::Phase::Recv, "recv_s"),
+];
+
+impl CampaignTelemetry {
+    /// Build the telemetry set from a finished campaign's drained trace
+    /// and bookkeeping. `results`/`attempts` are in input order;
+    /// `quarantined`/`restored` are index lists.
+    pub fn from_campaign(
+        trace: &eth_obs::Trace,
+        results: &[PointResult],
+        attempts: &[u32],
+        quarantined: &[usize],
+        restored: &[usize],
+        cache: &CacheStats,
+    ) -> CampaignTelemetry {
+        let mut c = CounterSet::new();
+
+        // Scheduler and recovery scalars.
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        c.set("points_total", results.len() as f64);
+        c.set("points_ok", ok as f64);
+        c.set("points_failed", (results.len() - ok) as f64);
+        c.set("points_quarantined", quarantined.len() as f64);
+        c.set("points_restored", restored.len() as f64);
+        let total_attempts: u64 = attempts.iter().map(|&a| a as u64).sum();
+        c.set("attempts_total", total_attempts as f64);
+        c.set(
+            "retries_total",
+            total_attempts.saturating_sub(attempts.len() as u64) as f64,
+        );
+        c.set("cache_staging_hit_rate", cache.staging_hit_rate());
+
+        // Degradation absorbed by the points that completed.
+        for outcome in results.iter().filter_map(|r| r.as_ref().ok()) {
+            let d = &outcome.degradation;
+            c.add("degradation_dropped_steps", d.dropped_steps as f64);
+            c.add("degradation_degraded_steps", d.degraded_steps as f64);
+            c.add("degradation_timeouts", d.timeouts as f64);
+            c.add("degradation_disconnects", d.disconnects as f64);
+            c.add("degradation_corrupt_payloads", d.corrupt_payloads as f64);
+        }
+
+        // Event counters recorded anywhere under the campaign (cache
+        // hits/misses, proxy skipped steps, ...).
+        for (name, value) in trace.counts() {
+            c.add(name, value);
+        }
+
+        // Per-phase busy totals across every rank of every point.
+        for t in trace.phase_totals() {
+            if t.spans == 0 {
+                continue;
+            }
+            c.add(&format!("phase_{}_busy_s", t.phase.name()), t.busy_s);
+            c.add(&format!("phase_{}_spans", t.phase.name()), t.spans as f64);
+        }
+
+        // Latency histograms, straight from the span durations.
+        for s in trace.spans() {
+            let dur_s = s.dur_ns as f64 * 1e-9;
+            for &(phase, name) in SPAN_HISTOGRAMS {
+                if s.phase == phase {
+                    c.observe(name, dur_s);
+                }
+            }
+            // Encode throughput: spans that carry a byte payload rate it.
+            if s.phase == eth_obs::Phase::Encode && s.bytes > 0 && s.dur_ns > 0 {
+                c.observe("encode_throughput_mb_per_s", s.bytes as f64 / 1e6 / dur_s);
+            }
+        }
+
+        CampaignTelemetry { counters: c }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Render as Prometheus text exposition format (version 0.0.4):
+    /// scalars as gauges, histograms with cumulative `_bucket{le=...}`
+    /// series plus `_sum`/`_count`, all under the `eth_campaign_` prefix.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counters.iter() {
+            let metric = metric_name(name);
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            let _ = writeln!(out, "{metric} {}", fmt_sample(value));
+        }
+        for (name, h) in self.counters.histograms() {
+            let metric = metric_name(name);
+            let _ = writeln!(out, "# TYPE {metric} histogram");
+            for (upper, cumulative) in h.cumulative_buckets() {
+                let _ = writeln!(
+                    out,
+                    "{metric}_bucket{{le=\"{}\"}} {cumulative}",
+                    fmt_sample(upper)
+                );
+            }
+            let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{metric}_sum {}", fmt_sample(h.sum()));
+            let _ = writeln!(out, "{metric}_count {}", h.count());
+        }
+        out
+    }
+
+    /// Render as JSONL: one self-describing object per metric, with
+    /// histogram lines carrying the p50/p95/max summary alongside the
+    /// count and sum.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counters.iter() {
+            let line = ScalarLine {
+                kind: "counter".to_string(),
+                name: name.to_string(),
+                value,
+            };
+            if let Ok(json) = serde_json::to_string(&line) {
+                out.push_str(&json);
+                out.push('\n');
+            }
+        }
+        for (name, h) in self.counters.histograms() {
+            let line = HistogramLine {
+                kind: "histogram".to_string(),
+                name: name.to_string(),
+                count: h.count(),
+                sum: h.sum(),
+                p50: h.p50(),
+                p95: h.p95(),
+                max: h.max_value(),
+            };
+            if let Ok(json) = serde_json::to_string(&line) {
+                out.push_str(&json);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// The deterministic (count-valued) subset of the telemetry: metric
+    /// names with scalar event/point counts and histogram observation
+    /// counts, but no wall-clock-valued entries. Two runs of the same
+    /// seeded campaign must agree exactly on this view.
+    pub fn deterministic_view(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for (name, value) in self.counters.iter() {
+            if is_timing_metric(name) {
+                continue;
+            }
+            out.push((name.to_string(), value.round() as u64));
+        }
+        for (name, h) in self.counters.histograms() {
+            out.push((format!("{name}/count"), h.count()));
+        }
+        out
+    }
+}
+
+/// Timing-valued scalars (suffix convention) are excluded from the
+/// deterministic view; everything else counts events and must reproduce.
+fn is_timing_metric(name: &str) -> bool {
+    name.ends_with("_s") || name.ends_with("_rate") || name.ends_with("_per_s")
+}
+
+/// Prometheus-legal metric name under the campaign namespace.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 13);
+    out.push_str("eth_campaign_");
+    for ch in name.chars() {
+        out.push(if ch.is_ascii_alphanumeric() { ch } else { '_' });
+    }
+    out
+}
+
+/// A float in a form the exposition parser accepts (no NaN/inf surprises:
+/// non-finite samples become 0, which cannot occur from our histograms).
+fn fmt_sample(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    let mut s = format!("{v:.9}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    if s.ends_with('.') {
+        s.pop();
+    }
+    s
+}
+
+#[derive(Serialize, Deserialize)]
+struct ScalarLine {
+    kind: String,
+    name: String,
+    value: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct HistogramLine {
+    kind: String,
+    name: String,
+    count: u64,
+    sum: f64,
+    p50: f64,
+    p95: f64,
+    max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_telemetry() -> CampaignTelemetry {
+        let mut c = CounterSet::new();
+        c.set("points_total", 4.0);
+        c.set("retries_total", 1.0);
+        c.add("phase_render_busy_s", 0.25);
+        for v in [0.001, 0.002, 0.004, 0.1] {
+            c.observe("queue_wait_s", v);
+        }
+        CampaignTelemetry { counters: c }
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = sample_telemetry().to_prometheus();
+        assert!(text.contains("# TYPE eth_campaign_points_total gauge"));
+        assert!(text.contains("eth_campaign_points_total 4"));
+        assert!(text.contains("# TYPE eth_campaign_queue_wait_s histogram"));
+        assert!(text.contains("eth_campaign_queue_wait_s_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("eth_campaign_queue_wait_s_count 4"));
+        // every non-comment line is `name[{labels}] value`
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(series.starts_with("eth_campaign_"), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "unparsable sample: {line}");
+        }
+        // bucket counts are cumulative (monotone non-decreasing)
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= last, "non-monotone bucket: {line}");
+            last = count;
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_cover_every_metric() {
+        let t = sample_telemetry();
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3 + 1, "3 scalars + 1 histogram");
+        let mut saw_histogram = false;
+        for line in lines {
+            let v = serde_json::parse_value_complete(line).expect("valid JSON");
+            let obj = v.as_object().expect("object per line");
+            let kind = obj
+                .iter()
+                .find(|(k, _)| k == "kind")
+                .and_then(|(_, v)| v.as_str())
+                .unwrap();
+            if kind == "histogram" {
+                saw_histogram = true;
+                assert!(obj.iter().any(|(k, _)| k == "p95"));
+            }
+        }
+        assert!(saw_histogram);
+    }
+
+    #[test]
+    fn deterministic_view_excludes_timing() {
+        let view = sample_telemetry().deterministic_view();
+        let names: Vec<&str> = view.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"points_total"));
+        assert!(names.contains(&"queue_wait_s/count"));
+        assert!(!names.contains(&"phase_render_busy_s"));
+    }
+
+    #[test]
+    fn telemetry_roundtrips_through_serde() {
+        let t = sample_telemetry();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: CampaignTelemetry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counters.get("points_total"), 4.0);
+        assert_eq!(back.counters.histogram("queue_wait_s").unwrap().count(), 4);
+    }
+}

@@ -36,6 +36,7 @@ pub mod power;
 pub mod task;
 
 pub use costmodel::{AlgorithmClass, Calibration, CostModel, Workload};
+pub use counters::{CounterSet, Histogram};
 pub use coupling::CouplingStrategy;
 pub use machine::ClusterMachine;
 pub use metrics::RunMetrics;

@@ -32,6 +32,22 @@ pub struct RunMetrics {
     pub dropped_steps: u64,
 }
 
+/// All-zero metrics: the "not measured" placeholder used when a journal
+/// predates phase-attributed native power (`nodes == 0` marks it).
+impl Default for RunMetrics {
+    fn default() -> RunMetrics {
+        RunMetrics {
+            nodes: 0,
+            exec_time_s: 0.0,
+            avg_power_kw: 0.0,
+            energy_kj: 0.0,
+            dynamic_power_kw: 0.0,
+            degraded_steps: 0,
+            dropped_steps: 0,
+        }
+    }
+}
+
 impl RunMetrics {
     /// Assemble from a trace + power profile.
     pub fn from_run(nodes: u32, trace: &ExecutionTrace, profile: &PowerProfile) -> RunMetrics {

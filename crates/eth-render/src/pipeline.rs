@@ -182,6 +182,7 @@ pub fn render(
             obj.kind()
         )));
     }
+    let _span = eth_obs::span_bytes(eth_obs::Phase::Render, obj.payload_bytes() as u64);
     let tf = transfer_function(obj, opts);
     let scalar = opts.scalar.as_deref();
     let mut stats = RenderStats {

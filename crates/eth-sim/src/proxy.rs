@@ -141,18 +141,22 @@ impl SimulationProxy {
     pub fn run(&mut self, sink: &mut dyn InSituSink) -> Result<ProxyRunStats> {
         let mut stats = ProxyRunStats::default();
         for step in 0..self.source.num_timesteps() {
+            let sim_span = eth_obs::span(eth_obs::Phase::Sim);
             let data = match self.source.timestep(step) {
                 Ok(data) => data,
                 Err(DataError::Corrupt(_)) => {
                     stats.skipped_steps += 1;
+                    eth_obs::count("proxy_skipped_steps", 1.0);
                     continue;
                 }
                 Err(DataError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                     stats.skipped_steps += 1;
+                    eth_obs::count("proxy_skipped_steps", 1.0);
                     continue;
                 }
                 Err(other) => return Err(other),
             };
+            drop(sim_span);
             stats.steps += 1;
             stats.elements += data.num_elements() as u64;
             stats.bytes_presented += data.payload_bytes() as u64;

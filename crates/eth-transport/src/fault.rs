@@ -413,6 +413,7 @@ impl Backoff {
     pub fn snooze(&mut self) -> bool {
         match self.next_delay() {
             Some(d) => {
+                let _span = eth_obs::span(eth_obs::Phase::Backoff);
                 std::thread::sleep(d);
                 true
             }

@@ -67,6 +67,7 @@ impl LocalComm {
     /// Shared receive path: match from `pending`, then pull from the
     /// channel (bounded by `deadline` when given) buffering non-matches.
     fn recv_inner(&self, from: usize, tag: u32, deadline: Option<Instant>) -> Result<Bytes> {
+        let mut span = eth_obs::span(eth_obs::Phase::Recv);
         self.check_peer(from)?;
         let started = Instant::now();
         // Check messages already pulled off the channel.
@@ -83,6 +84,7 @@ impl LocalComm {
                 self.counters
                     .bytes_received
                     .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                span.set_bytes(payload.len() as u64);
                 return Ok(payload);
             }
         }
@@ -113,6 +115,7 @@ impl LocalComm {
                 self.counters
                     .bytes_received
                     .fetch_add(envelope.2.len() as u64, Ordering::Relaxed);
+                span.set_bytes(envelope.2.len() as u64);
                 return Ok(envelope.2);
             }
             self.pending.lock().push(envelope);
@@ -130,6 +133,7 @@ impl Communicator for LocalComm {
     }
 
     fn send(&self, to: usize, tag: u32, payload: Bytes) -> Result<()> {
+        let _span = eth_obs::span_bytes(eth_obs::Phase::Send, payload.len() as u64);
         self.check_peer(to)?;
         self.counters.messages_sent.fetch_add(1, Ordering::Relaxed);
         self.counters

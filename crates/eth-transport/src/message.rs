@@ -99,7 +99,10 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
 /// encoded size ([`encoded_dataset_len`]), so building the payload is a
 /// single allocation with no growth copies.
 pub fn encode_dataset(obj: &DataObject) -> Bytes {
-    binary::encode(obj)
+    let mut span = eth_obs::span(eth_obs::Phase::Encode);
+    let bytes = binary::encode(obj);
+    span.set_bytes(bytes.len() as u64);
+    bytes
 }
 
 /// Exact byte length [`encode_dataset`] produces for `obj`, without
@@ -110,6 +113,7 @@ pub fn encoded_dataset_len(obj: &DataObject) -> usize {
 
 /// Decode a dataset payload.
 pub fn decode_dataset(payload: Bytes) -> Result<DataObject> {
+    let _span = eth_obs::span_bytes(eth_obs::Phase::Decode, payload.len() as u64);
     binary::decode(payload).map_err(|e| TransportError::Decode(e.to_string()))
 }
 
@@ -121,6 +125,7 @@ pub fn decode_dataset(payload: Bytes) -> Result<DataObject> {
 /// *detected* degradation at the codec layer rather than trusting the
 /// injector's own bookkeeping.
 pub fn decode_dataset_from(from: usize, payload: Bytes) -> Result<DataObject> {
+    let _span = eth_obs::span_bytes(eth_obs::Phase::Decode, payload.len() as u64);
     binary::decode(payload).map_err(|e| match e {
         eth_data::DataError::Corrupt(detail) => TransportError::Corrupt { peer: from, detail },
         other => TransportError::Decode(other.to_string()),

@@ -27,13 +27,21 @@ where
     F: Fn(LocalComm) -> T + Send + Sync + Clone + 'static,
 {
     let comms = LocalFabric::new(size);
+    // Rank threads inherit the launcher's flight-recorder sinks so a
+    // per-run or campaign recorder sees rank-side spans tagged by rank.
+    let obs = eth_obs::current_context();
     let handles: Vec<_> = comms
         .into_iter()
         .map(|comm| {
             let body = body.clone();
+            let obs = obs.clone();
             thread::Builder::new()
                 .name(format!("eth-rank-{}", comm.rank()))
-                .spawn(move || body(comm))
+                .spawn(move || {
+                    let _obs = obs.attach();
+                    eth_obs::set_rank(comm.rank());
+                    body(comm)
+                })
                 .expect("spawn rank thread")
         })
         .collect();
@@ -74,13 +82,17 @@ where
 {
     let layout = LayoutFile::create(layout_dir)?;
     layout.clear()?;
+    let obs = eth_obs::current_context();
     let handles: Vec<_> = (0..size)
         .map(|rank| {
             let body = body.clone();
             let layout = layout.clone();
+            let obs = obs.clone();
             thread::Builder::new()
                 .name(format!("eth-sock-rank-{rank}"))
                 .spawn(move || {
+                    let _obs = obs.attach();
+                    eth_obs::set_rank(rank);
                     let comm =
                         SocketFabric::bootstrap(rank, size, &layout, Duration::from_secs(30))?;
                     Ok::<T, crate::comm::TransportError>(body(comm))
@@ -159,12 +171,16 @@ where
 {
     let comms = LocalFabric::new(size);
     let (tx, rx) = unbounded::<(usize, thread::Result<T>)>();
+    let obs = eth_obs::current_context();
     for comm in comms {
         let body = body.clone();
         let tx = tx.clone();
+        let obs = obs.clone();
         thread::Builder::new()
             .name(format!("eth-rank-{}", comm.rank()))
             .spawn(move || {
+                let _obs = obs.attach();
+                eth_obs::set_rank(comm.rank());
                 let rank = comm.rank();
                 let result =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(comm)));

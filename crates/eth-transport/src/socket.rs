@@ -120,6 +120,7 @@ impl StreamChannel {
 
     /// Send a tagged payload to the peer.
     pub fn send(&self, tag: u32, payload: Bytes) -> Result<()> {
+        let _span = eth_obs::span_bytes(eth_obs::Phase::Send, payload.len() as u64);
         self.bytes_sent
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
         let mut w = self.writer.lock();
@@ -147,6 +148,7 @@ impl StreamChannel {
     }
 
     fn recv_inner(&self, tag: u32, deadline: Option<Instant>) -> Result<Bytes> {
+        let mut span = eth_obs::span(eth_obs::Phase::Recv);
         let started = Instant::now();
         {
             let mut pending = self.pending.lock();
@@ -154,6 +156,7 @@ impl StreamChannel {
                 let f = pending.remove(pos);
                 self.bytes_received
                     .fetch_add(f.payload.len() as u64, Ordering::Relaxed);
+                span.set_bytes(f.payload.len() as u64);
                 return Ok(f.payload);
             }
         }
@@ -179,6 +182,7 @@ impl StreamChannel {
             if frame.tag == tag {
                 self.bytes_received
                     .fetch_add(frame.payload.len() as u64, Ordering::Relaxed);
+                span.set_bytes(frame.payload.len() as u64);
                 return Ok(frame.payload);
             }
             self.pending.lock().push(frame);
@@ -198,6 +202,7 @@ impl StreamChannel {
 /// and wait for exactly one connection (the paired visualization rank,
 /// which announces its own rank in a 4-byte handshake).
 pub fn listen_as(layout: &LayoutFile, rank: usize) -> Result<StreamChannel> {
+    let _span = eth_obs::span(eth_obs::Phase::Bootstrap);
     let listener = TcpListener::bind("127.0.0.1:0")?;
     layout.publish(rank, listener.local_addr()?)?;
     let (stream, _addr) = listener.accept()?;
@@ -224,6 +229,7 @@ pub fn connect_to(
     local_rank: usize,
     timeout: Duration,
 ) -> Result<StreamChannel> {
+    let _span = eth_obs::span(eth_obs::Phase::Bootstrap);
     let deadline = Instant::now() + timeout;
     let seed = ((local_rank as u64) << 32) ^ rank as u64;
     // Wait for the address to be published.
@@ -434,6 +440,7 @@ impl SocketFabric {
     }
 
     fn recv_inner(&self, from: usize, tag: u32, deadline: Option<Instant>) -> Result<Bytes> {
+        let mut span = eth_obs::span(eth_obs::Phase::Recv);
         self.check_peer(from)?;
         let started = Instant::now();
         {
@@ -446,6 +453,7 @@ impl SocketFabric {
                 self.messages_received.fetch_add(1, Ordering::Relaxed);
                 self.bytes_received
                     .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                span.set_bytes(payload.len() as u64);
                 return Ok(payload);
             }
         }
@@ -479,6 +487,7 @@ impl SocketFabric {
                         self.messages_received.fetch_add(1, Ordering::Relaxed);
                         self.bytes_received
                             .fetch_add(envelope.2.len() as u64, Ordering::Relaxed);
+                        span.set_bytes(envelope.2.len() as u64);
                         return Ok(envelope.2);
                     }
                     self.pending.lock().push(envelope);
@@ -504,6 +513,7 @@ impl Communicator for SocketFabric {
     }
 
     fn send(&self, to: usize, tag: u32, payload: Bytes) -> Result<()> {
+        let _span = eth_obs::span_bytes(eth_obs::Phase::Send, payload.len() as u64);
         self.check_peer(to)?;
         if to != self.rank && self.dead.lock().contains(&to) {
             return Err(TransportError::Disconnected { peer: to });
