@@ -6,8 +6,10 @@
 //! reproduce --csv out/           # also write one CSV per artifact
 //! reproduce table2 --journal d/  # durable: journal table2's campaign to d/
 //! reproduce table2 --journal d/ --resume   # restore completed points
+//! reproduce table2 --recovery    # kill one rank per point, recover in-run
 //! reproduce chaos-campaign       # lossy campaign demo with retries
 //! reproduce chaos-campaign --seed 42
+//! reproduce chaos-campaign --kill-rank     # in-run rank-loss recovery demo
 //! reproduce bench                # campaign-throughput benchmark
 //! reproduce bench --smoke        # CI-sized benchmark
 //! reproduce bench --out FILE     # where to write the JSON report
@@ -71,10 +73,14 @@ fn run_bench(args: &[String], progress: &Progress) {
     progress.note(&format!("wrote {}", out_path.display()));
 }
 
-/// `reproduce chaos-campaign [--seed N]`: run the lossy retry/quarantine
-/// demo campaign, print its report, and hand back its telemetry.
+/// `reproduce chaos-campaign [--seed N] [--kill-rank]`: run the lossy
+/// retry/quarantine demo campaign — or, with `--kill-rank`, the in-run
+/// fault-tolerance demo where every point loses one rank to a seeded kill
+/// and must complete by heartbeat detection + partition adoption, without
+/// a campaign-level retry. Prints the report and hands back telemetry.
 fn run_chaos(args: &[String], progress: &Progress) -> CampaignTelemetry {
     let mut seed = 7u64;
+    let mut kill_rank = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -87,11 +93,44 @@ fn run_chaos(args: &[String], progress: &Progress) -> CampaignTelemetry {
                         std::process::exit(2);
                     });
             }
+            "--kill-rank" => kill_rank = true,
             other => {
                 eprintln!("unknown chaos-campaign option '{other}'");
                 std::process::exit(2);
             }
         }
+    }
+    if kill_rank {
+        progress.begin("kill-rank");
+        let (table, outcome) = match chaos::kill_campaign(seed) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("kill-rank campaign failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("{}", table.to_markdown());
+        // The acceptance gate CI greps for: every point must have survived
+        // exactly its scripted loss and adopted the partition, first try.
+        let recovered = outcome.results.iter().all(|r| match r {
+            Ok(n) => n.degradation.rank_losses == 1 && n.degradation.adopted_partitions == 1,
+            Err(_) => false,
+        });
+        let no_retries = outcome.attempts.iter().all(|&a| a == 1);
+        if !recovered || !no_retries || !outcome.quarantined.is_empty() {
+            eprintln!(
+                "kill-rank campaign did not recover in-run: attempts {:?}, quarantined {:?}",
+                outcome.attempts, outcome.quarantined
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "kill-rank: {} points, every point completed with rank_losses == 1 \
+             and adopted_partitions == 1, no retries",
+            outcome.results.len()
+        );
+        progress.done("kill-rank", "complete");
+        return outcome.telemetry;
     }
     progress.begin("chaos-campaign");
     let (table, outcome) = match chaos::chaos_campaign(seed) {
@@ -193,6 +232,7 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
     let mut csv_dir: Option<PathBuf> = None;
     let mut journal_dir: Option<PathBuf> = None;
     let mut resume = false;
+    let mut recovery = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -212,11 +252,12 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
                 journal_dir = Some(PathBuf::from(dir));
             }
             "--resume" => resume = true,
+            "--recovery" => recovery = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: reproduce [--csv DIR] [--journal DIR [--resume]] \
-                     [table1 table2 fig8 .. fig15]\n\
-                     \x20      reproduce chaos-campaign [--seed N]\n\
+                     [table2 --recovery] [table1 table2 fig8 .. fig15]\n\
+                     \x20      reproduce chaos-campaign [--seed N] [--kill-rank]\n\
                      \x20      reproduce bench [--smoke] [--out FILE]\n\
                      global: [--trace FILE] [--metrics FILE] [--verbose | --quiet]"
                 );
@@ -228,6 +269,16 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
     if resume && journal_dir.is_none() {
         eprintln!("--resume needs --journal DIR");
         std::process::exit(2);
+    }
+    if recovery {
+        if journal_dir.is_some() {
+            eprintln!("--recovery does not combine with --journal");
+            std::process::exit(2);
+        }
+        if !(wanted.is_empty() || wanted.iter().any(|w| w == "table2")) {
+            eprintln!("--recovery only applies to table2");
+            std::process::exit(2);
+        }
     }
     let known = runs::ARTIFACT_IDS;
     for w in &wanted {
@@ -289,8 +340,15 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
         progress.begin(id);
         let table = if id == "table2" {
             // Run through the campaign engine so the outcome carries
-            // telemetry for a possible --metrics export.
-            match runs::table2_campaign() {
+            // telemetry for a possible --metrics export. With --recovery
+            // every point additionally survives a seeded rank kill and the
+            // table grows a per-point recovery summary column.
+            let ran = if recovery {
+                runs::table2_recovery_campaign()
+            } else {
+                runs::table2_campaign()
+            };
+            match ran {
                 Ok((table, outcome)) => {
                     telemetry = Some(outcome.telemetry);
                     table

@@ -9,10 +9,11 @@
 use eth_cluster::costmodel::AlgorithmClass;
 use eth_cluster::coupling::CouplingStrategy;
 use eth_cluster::metrics::RunMetrics;
-use eth_core::config::{Algorithm, Application, ExperimentSpec};
+use eth_core::config::{Algorithm, Application, Coupling, ExperimentSpec};
 use eth_core::harness::{run_cluster, ClusterExperiment, RunCaches};
 use eth_core::results::{fmt_kw, fmt_pct, fmt_s, ResultTable};
-use eth_core::{Campaign, CampaignOutcome, CoreError, Result};
+use eth_core::{Campaign, CampaignOutcome, CoreError, RecoveryPolicy, Result};
+use eth_transport::{FaultPlan, HeartbeatPolicy};
 use std::path::Path;
 
 /// HACC paper-scale particle counts ("full" = 1B, then 750M/500M/250M).
@@ -74,13 +75,30 @@ fn table2_spec(alg: Algorithm, ratio: f64) -> Result<ExperimentSpec> {
 }
 
 /// Assemble the Table II rows from the nine rendered point images (row
-/// order: algorithm-major, then ratio as in [`TABLE2_RATIOS`]).
-fn table2_from_images(caches: &RunCaches, images: &[eth_render::Image]) -> Result<ResultTable> {
-    let mut t = ResultTable::new(
-        "Table II: Trade-off between accuracy and energy for HACC",
-        &["Algorithm", "Sampling Ratio", "RMSE", "Energy Saved"],
+/// order: algorithm-major, then ratio as in [`TABLE2_RATIOS`]). With
+/// `recovery`, the table grows a per-point recovery-summary column drawn
+/// from the campaign outcome (losses survived, partitions adopted,
+/// detection-to-adoption latency).
+fn table2_from_images(
+    caches: &RunCaches,
+    images: &[eth_render::Image],
+    recovery: Option<&CampaignOutcome>,
+) -> Result<ResultTable> {
+    let (title, mut columns) = (
+        if recovery.is_some() {
+            "Table II: Trade-off between accuracy and energy for HACC \
+             (one seeded rank kill per point, recovered in-run)"
+        } else {
+            "Table II: Trade-off between accuracy and energy for HACC"
+        },
+        vec!["Algorithm", "Sampling Ratio", "RMSE", "Energy Saved"],
     );
+    if recovery.is_some() {
+        columns.push("Recovery");
+    }
+    let mut t = ResultTable::new(title, &columns);
     let mut point = images.iter();
+    let mut index = 0usize;
     for (alg, class) in TABLE2_PAIRS {
         let baseline_img = caches.baseline_images(&table2_spec(alg, 1.0)?)?[0].clone();
         let baseline = hacc_run(class, 400, 1_000_000_000);
@@ -90,15 +108,44 @@ fn table2_from_images(caches: &RunCaches, images: &[eth_render::Image]) -> Resul
             let m = run_cluster(
                 &ClusterExperiment::hacc(class, 400, 1_000_000_000).with_sampling(ratio),
             );
-            t.push_row(vec![
+            let mut row = vec![
                 alg.name().to_string(),
                 format!("{ratio:.2}"),
                 format!("{rmse:.3}"),
                 fmt_pct(m.energy_saved_vs(&baseline)),
-            ]);
+            ];
+            if let Some(outcome) = recovery {
+                row.push(recovery_summary(outcome, index));
+            }
+            t.push_row(row);
+            index += 1;
         }
     }
     Ok(t)
+}
+
+/// One point's recovery summary for the `--recovery` column.
+fn recovery_summary(outcome: &CampaignOutcome, index: usize) -> String {
+    match outcome.results.get(index) {
+        Some(Ok(native)) => {
+            let d = &native.degradation;
+            if d.rank_losses == 0 {
+                "clean".to_string()
+            } else {
+                let latency = native
+                    .recovery_latency_s
+                    .first()
+                    .map(|s| format!(", {:.0} ms", s * 1e3))
+                    .unwrap_or_default();
+                format!(
+                    "{} lost / {} adopted{latency}",
+                    d.rank_losses, d.adopted_partitions
+                )
+            }
+        }
+        Some(Err(e)) => format!("failed ({e})"),
+        None => "-".to_string(),
+    }
 }
 
 /// The nine Table II render points in row order (algorithm-major).
@@ -143,7 +190,38 @@ pub fn table2_campaign() -> Result<(ResultTable, CampaignOutcome)> {
     let caches = RunCaches::new();
     let outcome = Campaign::new().run_with(&specs, &caches);
     let images = table2_images(&specs, &outcome)?;
-    let table = table2_from_images(&caches, &images)?;
+    let table = table2_from_images(&caches, &images, None)?;
+    Ok((table, outcome))
+}
+
+/// [`table2_campaign`] under fire: every point runs intercore-coupled with
+/// a [`RecoveryPolicy`] and a seeded `kill_rank_at_step` on one simulation
+/// rank, so each of the nine cells loses a rank mid-run and recovers by
+/// partition adoption. Because adoption re-renders the dead rank's
+/// partition from the shared staged data, the RMSE column is identical to
+/// the undisturbed [`table2`] — which is exactly the demonstration: a rank
+/// loss costs detection latency and extra work on the adopter, not pixels.
+pub fn table2_recovery_campaign() -> Result<(ResultTable, CampaignOutcome)> {
+    let mut specs = table2_specs()?;
+    for (i, spec) in specs.iter_mut().enumerate() {
+        spec.name = format!("{}-recovery", spec.name);
+        spec.coupling = Coupling::Intercore;
+        spec.recovery = Some(RecoveryPolicy {
+            heartbeat: HeartbeatPolicy {
+                interval_ms: 10,
+                miss_budget: 3,
+            },
+            max_rank_losses: 1,
+            adopt: true,
+        });
+        let victim = i % spec.ranks;
+        let step = i % spec.steps;
+        spec.fault_plan = Some(FaultPlan::seeded(0xE7).with_kill_rank_at_step(victim, step));
+    }
+    let caches = RunCaches::new();
+    let outcome = Campaign::new().run_with(&specs, &caches);
+    let images = table2_images(&specs, &outcome)?;
+    let table = table2_from_images(&caches, &images, Some(&outcome))?;
     Ok((table, outcome))
 }
 
@@ -163,7 +241,7 @@ pub fn table2_journaled(dir: &Path) -> Result<(ResultTable, CampaignOutcome)> {
     let caches = RunCaches::new();
     let outcome = Campaign::new().run_journaled(&specs, &caches, dir)?;
     let images = table2_images(&specs, &outcome)?;
-    let table = table2_from_images(&caches, &images)?;
+    let table = table2_from_images(&caches, &images, None)?;
     Ok((table, outcome))
 }
 

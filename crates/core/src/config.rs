@@ -9,8 +9,60 @@ use eth_render::geometry::slice::Plane;
 use eth_render::pipeline::RenderAlgorithm;
 use eth_sim::{HaccConfig, XrageConfig};
 use eth_transport::fault::FaultPlan;
+use eth_transport::HeartbeatPolicy;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+
+/// In-run rank fault tolerance (DESIGN.md §12). With a policy set, native
+/// multi-rank runs beat per-rank heartbeats instead of relying on one
+/// global hang deadline, and a rank that stops beating is declared dead in
+/// O(heartbeat interval). Its partition is adopted by a deterministic
+/// survivor from the last step checkpoint, and frames rendered between the
+/// death and the adoption composite the surviving ranks only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Liveness beacons: interval and miss budget per rank.
+    #[serde(default)]
+    pub heartbeat: HeartbeatPolicy,
+    /// Rank deaths tolerated before the run itself fails (the campaign
+    /// retry/quarantine ladder takes over past this point).
+    #[serde(default = "default_max_rank_losses")]
+    pub max_rank_losses: u32,
+    /// Adopt dead ranks' partitions (true, the default) or merely keep
+    /// compositing the survivors, leaving the dead partitions dark.
+    #[serde(default = "default_adopt")]
+    pub adopt: bool,
+}
+
+fn default_max_rank_losses() -> u32 {
+    1
+}
+
+fn default_adopt() -> bool {
+    true
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            heartbeat: HeartbeatPolicy::default(),
+            max_rank_losses: default_max_rank_losses(),
+            adopt: default_adopt(),
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        self.heartbeat.validate()?;
+        if self.max_rank_losses == 0 {
+            return Err("recovery.max_rank_losses must be >= 1 (a policy that \
+                        tolerates zero losses is no policy)"
+                .into());
+        }
+        Ok(())
+    }
+}
 
 /// Which science workload feeds the experiment (Section IV-A).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -259,6 +311,11 @@ pub struct ExperimentSpec {
     /// failing the run, and the outcome reports the degradation.
     #[serde(default)]
     pub fault_plan: Option<FaultPlan>,
+    /// In-run rank fault tolerance: heartbeats, step checkpoints, partition
+    /// adoption, degraded compositing. Required when the fault plan kills a
+    /// rank; harmless (pure overhead accounting) when no fault fires.
+    #[serde(default)]
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl ExperimentSpec {
@@ -311,6 +368,42 @@ impl ExperimentSpec {
             // lossy plans must carry a deadline) live with the plan itself
             plan.validate().map_err(CoreError::Config)?;
         }
+        if let Some(recovery) = &self.recovery {
+            recovery.validate().map_err(CoreError::Config)?;
+        }
+        // A rank kill is contextual: the plan cannot know the run shape, so
+        // the spec checks it — the victim and step must exist, the coupling
+        // must have independent rank lifetimes, and someone must be
+        // listening for the death.
+        if let Some(kill) = self.fault_plan.as_ref().and_then(|p| p.kill_rank_at_step) {
+            if self.recovery.is_none() {
+                return Err(CoreError::Config(
+                    "kill_rank_at_step requires a recovery policy: without \
+                     heartbeats nobody detects the death and the run hangs \
+                     to its global deadline"
+                        .into(),
+                ));
+            }
+            if self.coupling == Coupling::Tight {
+                return Err(CoreError::Config(
+                    "kill_rank_at_step requires intercore or internode \
+                     coupling (tight coupling has one rank lifetime)"
+                        .into(),
+                ));
+            }
+            if kill.rank >= self.ranks {
+                return Err(CoreError::Config(format!(
+                    "kill_rank_at_step.rank {} outside {} sim ranks",
+                    kill.rank, self.ranks
+                )));
+            }
+            if kill.step >= self.steps {
+                return Err(CoreError::Config(format!(
+                    "kill_rank_at_step.step {} outside {} steps",
+                    kill.step, self.steps
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -339,6 +432,7 @@ impl ExperimentSpecBuilder {
                 compress_transport: false,
                 viz_ranks: None,
                 fault_plan: None,
+                recovery: None,
             },
         }
     }
@@ -408,6 +502,12 @@ impl ExperimentSpecBuilder {
     /// Inject faults on the data path and run fault-tolerant.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.spec.fault_plan = Some(plan);
+        self
+    }
+
+    /// Run with in-run rank fault tolerance (heartbeats + adoption).
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.spec.recovery = Some(policy);
         self
     }
 
@@ -528,6 +628,77 @@ mod tests {
         let text = serde_json::to_string(&spec).unwrap();
         let back: ExperimentSpec = serde_json::from_str(&text).unwrap();
         assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn recovery_policy_defaults_and_validation() {
+        let policy = RecoveryPolicy::default();
+        assert_eq!(policy.max_rank_losses, 1);
+        assert!(policy.adopt);
+        assert!(policy.validate().is_ok());
+        // empty JSON object fills every default
+        let parsed: RecoveryPolicy = serde_json::from_str("{}").unwrap();
+        assert_eq!(parsed, policy);
+        let bad = RecoveryPolicy {
+            max_rank_losses: 0,
+            ..Default::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("max_rank_losses"));
+    }
+
+    #[test]
+    fn kill_fault_is_validated_against_the_run_shape() {
+        let kill = |rank, step| FaultPlan::seeded(1).with_kill_rank_at_step(rank, step);
+        let base = || {
+            ExperimentSpec::builder("kill")
+                .coupling(Coupling::Intercore)
+                .ranks(2)
+                .steps(3)
+                .recovery(RecoveryPolicy::default())
+        };
+        // valid: intercore, recovery present, victim and step in range
+        let spec = base().fault_plan(kill(1, 2)).build().unwrap();
+        assert_eq!(spec.fault_plan.unwrap().kill_rank_at_step.unwrap().rank, 1);
+        // no recovery policy → nobody detects the death
+        let err = ExperimentSpec::builder("kill")
+            .coupling(Coupling::Intercore)
+            .ranks(2)
+            .steps(3)
+            .fault_plan(kill(1, 2))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("recovery"), "{err}");
+        // tight coupling has one rank lifetime
+        let err = ExperimentSpec::builder("kill")
+            .ranks(2)
+            .steps(3)
+            .recovery(RecoveryPolicy::default())
+            .fault_plan(kill(1, 2))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("tight"), "{err}");
+        // out-of-range victim and step
+        assert!(base().fault_plan(kill(5, 0)).build().is_err());
+        assert!(base().fault_plan(kill(0, 9)).build().is_err());
+        // and a spec with recovery + kill roundtrips through serde
+        let spec = base().fault_plan(kill(0, 1)).build().unwrap();
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: ExperimentSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(spec, back);
+        // older spec files without the recovery field still parse
+        let mut value: serde::Value = serde_json::from_str(&text).unwrap();
+        if let serde::Value::Object(fields) = &mut value {
+            fields.retain(|(k, _)| k != "recovery");
+            if let Some((_, serde::Value::Object(plan_fields))) =
+                fields.iter_mut().find(|(k, _)| k == "fault_plan")
+            {
+                plan_fields.retain(|(k, _)| k != "kill_rank_at_step");
+            }
+        }
+        let old_text = serde_json::to_string(&value).unwrap();
+        let old: ExperimentSpec = serde_json::from_str(&old_text).unwrap();
+        assert!(old.recovery.is_none());
+        assert!(old.fault_plan.unwrap().kill_rank_at_step.is_none());
     }
 
     #[test]

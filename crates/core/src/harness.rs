@@ -22,7 +22,7 @@
 //!   sockets and wait; viz ranks poll the file and connect (the paper's
 //!   Section III-C bootstrap), then receive blocks over TCP.
 
-use crate::config::{Coupling, ExperimentSpec};
+use crate::config::{Coupling, ExperimentSpec, RecoveryPolicy};
 use crate::error::{CoreError, Result};
 use crate::pipeline::{accumulate, VizPipeline};
 use bytes::Bytes;
@@ -36,22 +36,25 @@ use eth_cluster::power::{self, BusyInterval};
 use eth_cluster::task::NodeGroup;
 use eth_data::partition::{partition_grid_slabs, partition_points};
 use eth_data::{Aabb, DataObject};
-use eth_render::composite::composite_direct;
+use eth_render::composite::{composite_direct, composite_direct_masked, RankMask};
 use eth_render::framebuffer::Framebuffer;
 use eth_render::pipeline::RenderStats;
 use eth_render::Image;
 use eth_transport::chaos::{ChaosChannel, ChaosComm};
-use eth_transport::collectives::gather;
+use eth_transport::collectives::{
+    gather, gather_surviving, recv_adopt_notice, send_adopt_notice, AdoptNotice,
+};
 use eth_transport::comm::{Communicator, TransportError};
 use eth_transport::layout::LayoutFile;
 use eth_data::compress;
 use eth_transport::local::LocalComm;
 use eth_transport::message::{decode_dataset_from, encode_dataset};
-use eth_transport::runner::{run_ranks, run_ranks_supervised};
+use eth_transport::runner::{run_ranks, run_ranks_heartbeat, run_ranks_supervised};
 use eth_transport::socket::{connect_to, listen_as};
+use eth_transport::{HeartbeatBoard, HeartbeatPolicy};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -89,6 +92,19 @@ pub struct Degradation {
     pub disconnects: u64,
     /// Payloads that failed integrity or decode checks.
     pub corrupt_payloads: u64,
+    /// Ranks that stopped beating and were declared dead mid-run (only
+    /// possible under a [`crate::config::RecoveryPolicy`]).
+    #[serde(default)]
+    pub rank_losses: u64,
+    /// Dead ranks' partitions taken over by a surviving rank from the last
+    /// step checkpoint.
+    #[serde(default)]
+    pub adopted_partitions: u64,
+    /// Per-frame contributor holes composited around (frames produced
+    /// between a rank's death and its partition's adoption, plus frames a
+    /// live rank failed to deliver in time).
+    #[serde(default)]
+    pub missing_contributions: u64,
 }
 
 impl Degradation {
@@ -107,6 +123,9 @@ impl Degradation {
         self.timeouts += other.timeouts;
         self.disconnects += other.disconnects;
         self.corrupt_payloads += other.corrupt_payloads;
+        self.rank_losses += other.rank_losses;
+        self.adopted_partitions += other.adopted_partitions;
+        self.missing_contributions += other.missing_contributions;
     }
 
     /// Classify one transport fault into the matching counter.
@@ -139,6 +158,11 @@ pub struct NativeOutcome {
     pub bytes_moved: u64,
     /// Faults absorbed (all-zero unless the spec carries a fault plan).
     pub degradation: Degradation,
+    /// Per-loss recovery latency: seconds from a dead rank's last
+    /// heartbeat to its partition's adoption (empty for clean runs or
+    /// runs without a [`RecoveryPolicy`]). Feeds the campaign telemetry's
+    /// `recovery_latency_s` histogram.
+    pub recovery_latency_s: Vec<f64>,
     /// Power/energy of this run on the modeled cluster, driven by the
     /// recorded span trace instead of a synthetic phase graph: each span
     /// is a busy interval on its rank's node at the phase's modeled
@@ -200,6 +224,21 @@ impl NativeOutcome {
                  {} disconnects, {} corrupt payloads)",
                 d.dropped_steps, d.degraded_steps, d.timeouts, d.disconnects, d.corrupt_payloads
             ));
+            if d.rank_losses > 0 {
+                base.push_str(&format!(
+                    "; recovered: {} rank losses, {} partitions adopted, \
+                     {} missing contributions",
+                    d.rank_losses, d.adopted_partitions, d.missing_contributions
+                ));
+                if let Some(worst) = self
+                    .recovery_latency_s
+                    .iter()
+                    .copied()
+                    .reduce(f64::max)
+                {
+                    base.push_str(&format!(" (worst detection-to-adoption {worst:.3}s)"));
+                }
+            }
         }
         base
     }
@@ -234,6 +273,135 @@ struct RankOutput {
     phases: PhaseTimes,
     bytes_sent: u64,
     degradation: Degradation,
+    /// Detection-to-adoption latencies this rank observed (root only).
+    recovery_latency_s: Vec<f64>,
+}
+
+impl RankOutput {
+    /// The output of a rank that died mid-run: nothing rendered, nothing
+    /// to report — its partition's story continues in the adopter.
+    fn tombstone() -> RankOutput {
+        RankOutput {
+            images: Vec::new(),
+            stats: RenderStats::default(),
+            phases: PhaseTimes::default(),
+            bytes_sent: 0,
+            degradation: Degradation::default(),
+            recovery_latency_s: Vec::new(),
+        }
+    }
+}
+
+/// Minimal per-rank recovery state, snapshotted after each completed step.
+/// On rank death the deterministic successor resumes the partition from
+/// here: `proxy_cursor` is the next step the dead rank would have
+/// produced, `rng_state` the seed of its data stream, `degradation` the
+/// faults it had absorbed so far (so the record survives the death).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepCheckpoint {
+    /// The checkpointing rank.
+    pub rank: usize,
+    /// The partition it owned (== rank for the shipped partitioners).
+    pub partition: usize,
+    /// Last completed step.
+    pub step: usize,
+    /// Next step to produce (the simulation proxy's cursor).
+    pub proxy_cursor: usize,
+    /// Seed of the rank's deterministic data stream.
+    pub rng_state: u64,
+    /// Faults the rank had absorbed when the snapshot was taken.
+    #[serde(default)]
+    pub degradation: Degradation,
+}
+
+/// Shared checkpoint slots, one per simulation rank, newest-wins. In
+/// intercore runs the store lives in process memory; internode runs with
+/// an artifact dir additionally spill every snapshot through the
+/// crash-safe WAL ([`crate::journal::JournalRecord::Checkpoint`]), the
+/// path a real multi-node deployment would need.
+pub(crate) struct CheckpointStore {
+    slots: Mutex<Vec<Option<StepCheckpoint>>>,
+    spill: Option<crate::journal::Journal>,
+}
+
+impl CheckpointStore {
+    fn new(ranks: usize) -> CheckpointStore {
+        CheckpointStore {
+            slots: Mutex::new(vec![None; ranks]),
+            spill: None,
+        }
+    }
+
+    fn with_spill(ranks: usize, journal: crate::journal::Journal) -> CheckpointStore {
+        CheckpointStore {
+            slots: Mutex::new(vec![None; ranks]),
+            spill: Some(journal),
+        }
+    }
+
+    fn record(&self, checkpoint: StepCheckpoint) {
+        if let Some(journal) = &self.spill {
+            // spill failures must not fail the step: the in-memory slot
+            // still updates and adoption proceeds from it
+            let _ = journal.append(&crate::journal::JournalRecord::Checkpoint {
+                checkpoint: checkpoint.clone(),
+            });
+        }
+        let mut slots = self.slots.lock().unwrap();
+        let slot = &mut slots[checkpoint.rank];
+        match slot {
+            Some(existing) if existing.step >= checkpoint.step => {}
+            _ => *slot = Some(checkpoint),
+        }
+    }
+
+    fn latest(&self, rank: usize) -> Option<StepCheckpoint> {
+        self.slots.lock().unwrap()[rank].clone()
+    }
+}
+
+/// Background liveness beacon for one rank: beats the board every half
+/// heartbeat interval until silenced (the rank finished — or was killed,
+/// which is exactly a beacon going silent). Beating from a helper thread
+/// keeps detection latency independent of step duration; a genuinely
+/// wedged rank is still caught by the global deadline backstop.
+struct Beater {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Beater {
+    fn spawn(board: &Arc<HeartbeatBoard>, rank: usize, policy: HeartbeatPolicy) -> Beater {
+        let stop = Arc::new(AtomicBool::new(false));
+        let board = board.clone();
+        let flag = stop.clone();
+        let interval = policy.poll_interval();
+        let handle = std::thread::spawn(move || {
+            while !flag.load(Ordering::Relaxed) {
+                board.beat(rank);
+                std::thread::sleep(interval);
+            }
+        });
+        Beater {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop beating *now* (the kill path: the rank must fall silent before
+    /// it parks awaiting its own death).
+    fn silence(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Beater {
+    fn drop(&mut self) {
+        self.silence();
+    }
 }
 
 /// What a rank's data-intake closure hands back for one step: the blocks
@@ -485,6 +653,7 @@ pub fn baseline_spec(spec: &ExperimentSpec) -> ExperimentSpec {
     base.compress_transport = false;
     base.viz_ranks = None;
     base.fault_plan = None;
+    base.recovery = None;
     base.artifact_dir = None;
     base
 }
@@ -583,6 +752,7 @@ fn viz_side(
         phases,
         bytes_sent: comm.traffic().bytes_sent,
         degradation,
+        recovery_latency_s: Vec::new(),
     })
 }
 
@@ -602,6 +772,7 @@ fn merge_outputs(spec: &ExperimentSpec, wall_s: f64, outputs: Vec<RankOutput>) -
     let mut phases = PhaseTimes::default();
     let mut bytes_moved = 0;
     let mut degradation = Degradation::default();
+    let mut recovery_latency_s = Vec::new();
     for out in outputs {
         if !out.images.is_empty() {
             images = out.images;
@@ -610,6 +781,7 @@ fn merge_outputs(spec: &ExperimentSpec, wall_s: f64, outputs: Vec<RankOutput>) -
         phases.max_with(&out.phases);
         bytes_moved += out.bytes_sent;
         degradation.absorb(&out.degradation);
+        recovery_latency_s.extend(out.recovery_latency_s);
     }
     NativeOutcome {
         spec: spec.clone(),
@@ -619,6 +791,7 @@ fn merge_outputs(spec: &ExperimentSpec, wall_s: f64, outputs: Vec<RankOutput>) -
         stats,
         bytes_moved,
         degradation,
+        recovery_latency_s,
         // filled in by attribute_run once the span trace is drained
         metrics: RunMetrics::default(),
         phase_energy: Vec::new(),
@@ -704,7 +877,14 @@ fn phase_utilization(phase: eth_obs::Phase) -> Option<f64> {
         Phase::Send | Phase::Recv => Some(0.3),
         Phase::Stage => Some(0.5),
         Phase::JournalAppend => Some(0.2),
-        Phase::CacheLookup | Phase::QueueWait | Phase::Backoff | Phase::Bootstrap => None,
+        // recovery spans wrap adoption bookkeeping; the adopted partition's
+        // actual compute bills through its nested render/composite spans,
+        // so billing the wrapper too would double-charge the node
+        Phase::CacheLookup
+        | Phase::QueueWait
+        | Phase::Backoff
+        | Phase::Bootstrap
+        | Phase::Recovery => None,
     }
 }
 
@@ -801,14 +981,73 @@ fn attribute_run(outcome: &mut NativeOutcome, trace: &eth_obs::Trace, t0_ns: u64
         counters.add("degradation_timeouts", d.timeouts as f64);
         counters.add("degradation_disconnects", d.disconnects as f64);
         counters.add("degradation_corrupt_payloads", d.corrupt_payloads as f64);
+        if d.rank_losses > 0 {
+            counters.add("recovery_rank_losses", d.rank_losses as f64);
+            counters.add("recovery_adopted_partitions", d.adopted_partitions as f64);
+            counters.add(
+                "recovery_missing_contributions",
+                d.missing_contributions as f64,
+            );
+        }
     }
     outcome.counters = counters;
+}
+
+/// Wall-clock backstop for a heartbeat-supervised run: the plan's per-rank
+/// budget when one is set, else a generous default (heartbeats, not this
+/// deadline, are the primary detector).
+fn recovery_deadline(spec: &ExperimentSpec) -> Duration {
+    spec.fault_plan
+        .as_ref()
+        .and_then(|p| p.rank_timeout())
+        .unwrap_or(Duration::from_secs(120))
+}
+
+/// Run `size` heartbeat-supervised ranks and collect the survivors'
+/// outputs. Ranks that died mid-run left tombstones (or, past the grace
+/// window, nothing); losses beyond the policy's budget surfaced as
+/// [`CoreError::Rank`] inside the runner.
+fn run_ranks_recovering<F>(
+    spec: &ExperimentSpec,
+    policy: RecoveryPolicy,
+    size: usize,
+    body: F,
+) -> Result<Vec<RankOutput>>
+where
+    F: Fn(LocalComm, Arc<HeartbeatBoard>) -> Result<RankOutput> + Send + Sync + Clone + 'static,
+{
+    let run = run_ranks_heartbeat(
+        size,
+        policy.heartbeat,
+        policy.max_rank_losses as usize,
+        recovery_deadline(spec),
+        body,
+    )
+    .map_err(CoreError::Rank)?;
+    run.outputs.into_iter().flatten().collect()
 }
 
 fn run_tight(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<RankOutput>> {
     let ranks = spec.ranks;
     let spec_body = spec.clone();
     let staged = staged.clone();
+    if let Some(policy) = spec.recovery {
+        // Tight coupling has one lifetime per rank (nothing to adopt), but
+        // the heartbeat supervision still applies: a silent rank surfaces
+        // with step attribution instead of wedging to the global deadline.
+        return run_ranks_recovering(spec, policy, ranks, move |comm, board| {
+            let rank = comm.rank();
+            let _beater = Beater::spawn(&board, rank, policy.heartbeat);
+            viz_side(&spec_body, &comm, 0, &staged, |step| {
+                let t = Instant::now();
+                let block = staged.blocks[step][rank].clone();
+                if step > 0 {
+                    board.step_done(rank, step - 1);
+                }
+                Ok(StepIntake::clean(vec![block], t.elapsed(), Duration::ZERO))
+            })
+        });
+    }
     let results = run_ranks_maybe_supervised(spec, ranks, move |comm| {
         let rank = comm.rank();
         viz_side(&spec_body, &comm, 0, &staged, |step| {
@@ -825,6 +1064,9 @@ fn run_tight(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<Rank
 const DATA_TAG_BASE: u32 = 0x1000;
 
 fn run_intercore(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<RankOutput>> {
+    if let Some(policy) = spec.recovery {
+        return run_intercore_recovering(spec, staged, policy);
+    }
     let r = spec.ranks;
     let spec_body = spec.clone();
     let staged = staged.clone();
@@ -873,6 +1115,7 @@ fn run_intercore(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
                 phases,
                 bytes_sent: comm.traffic().bytes_sent,
                 degradation,
+                recovery_latency_s: Vec::new(),
             })
         } else {
             // visualization proxy side
@@ -910,10 +1153,336 @@ fn run_intercore(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
     results.into_iter().collect()
 }
 
+/// Intercore coupling under a [`RecoveryPolicy`]: the same 2R-rank fabric,
+/// but every rank beats a shared [`HeartbeatBoard`], composites go through
+/// the surviving-contributor gather, and a confirmed-dead simulation rank's
+/// partition is adopted by its paired visualization rank from the last
+/// step checkpoint.
+fn run_intercore_recovering(
+    spec: &ExperimentSpec,
+    staged: &Arc<StagedData>,
+    policy: RecoveryPolicy,
+) -> Result<Vec<RankOutput>> {
+    let r = spec.ranks;
+    let spec_body = spec.clone();
+    let staged = staged.clone();
+    let checkpoints = Arc::new(CheckpointStore::new(r));
+    run_ranks_recovering(spec, policy, 2 * r, move |comm, board| -> Result<RankOutput> {
+        let spec = &spec_body;
+        let rank = comm.rank();
+        let comm: Box<dyn Communicator> = match spec.fault_plan.clone() {
+            Some(plan) => Box::new(ChaosComm::new(comm, plan)),
+            None => Box::new(comm),
+        };
+        let comm = comm.as_ref();
+        let mut beater = Beater::spawn(&board, rank, policy.heartbeat);
+        if rank < r {
+            intercore_sim_recovering(spec, comm, &board, &staged, &checkpoints, &mut beater)
+        } else {
+            intercore_viz_recovering(spec, policy, comm, &board, &staged, &checkpoints)
+        }
+    })
+}
+
+/// The simulation side of a recovering intercore run. A scripted kill
+/// silences the rank's beats and parks it until the supervisor declares it
+/// dead; otherwise the rank streams its block, joins every composite
+/// gather, records a step checkpoint, and reports liveness progress.
+fn intercore_sim_recovering(
+    spec: &ExperimentSpec,
+    comm: &dyn Communicator,
+    board: &Arc<HeartbeatBoard>,
+    staged: &StagedData,
+    checkpoints: &CheckpointStore,
+    beater: &mut Beater,
+) -> Result<RankOutput> {
+    let r = spec.ranks;
+    let rank = comm.rank();
+    let plan = spec.fault_plan.clone().unwrap_or_default();
+    let gather_budget = recovery_deadline(spec);
+    let mut phases = PhaseTimes::default();
+    let mut degradation = Degradation::default();
+    for step in 0..spec.steps {
+        if plan.kills(rank, step) {
+            // The scripted death: stop beating, wait to be declared dead
+            // (so detection latency is measured against a real silence),
+            // and leave a tombstone. The paired viz rank adopts from the
+            // checkpoint this rank recorded for step - 1.
+            beater.silence();
+            board.await_death(rank, gather_budget);
+            return Ok(RankOutput::tombstone());
+        }
+        let t = Instant::now();
+        let block = staged.blocks[step][rank].clone();
+        let payload = encode_block(spec, &block);
+        phases.sim_s += t.elapsed().as_secs_f64();
+        let t2 = Instant::now();
+        match comm.send(r + rank, DATA_TAG_BASE + step as u32, payload) {
+            Ok(()) => {}
+            Err(e) => degradation.count(&e),
+        }
+        phases.transfer_s += t2.elapsed().as_secs_f64();
+        for image_index in 0..spec.images_per_step {
+            let salt = (step * spec.images_per_step + image_index) as u32;
+            gather_surviving(
+                comm,
+                r,
+                salt,
+                Bytes::new(),
+                &|peer| board.is_dead(peer),
+                gather_budget,
+            )?;
+        }
+        checkpoints.record(StepCheckpoint {
+            rank,
+            partition: rank,
+            step,
+            proxy_cursor: step + 1,
+            rng_state: spec.seed ^ rank as u64,
+            degradation,
+        });
+        board.step_done(rank, step);
+    }
+    Ok(RankOutput {
+        images: Vec::new(),
+        stats: RenderStats::default(),
+        phases,
+        bytes_sent: comm.traffic().bytes_sent,
+        degradation,
+        recovery_latency_s: Vec::new(),
+    })
+}
+
+/// The visualization side of a recovering intercore run: receives the
+/// paired simulation rank's block under a liveness-bounded deadline, adopts
+/// the partition when the pair is confirmed dead, and composites through
+/// the surviving-contributor gather with a [`RankMask`] over the holes.
+fn intercore_viz_recovering(
+    spec: &ExperimentSpec,
+    policy: RecoveryPolicy,
+    comm: &dyn Communicator,
+    board: &Arc<HeartbeatBoard>,
+    staged: &StagedData,
+    checkpoints: &CheckpointStore,
+) -> Result<RankOutput> {
+    let r = spec.ranks;
+    let root = r;
+    let rank = comm.rank();
+    let sim = rank - r;
+    let detection = policy.heartbeat.detection_deadline();
+    // A missing block is either a lost message (one degraded step) or a
+    // death in progress. Receive in slices a bit past the detection
+    // deadline, re-checking liveness between slices: a slow-but-alive pair
+    // gets the full budget, a confirmed death resolves in O(detection).
+    let wait = detection * 2 + Duration::from_millis(25);
+    let recv_budget = spec
+        .fault_plan
+        .as_ref()
+        .and_then(|p| p.deadline())
+        .unwrap_or(Duration::from_secs(2))
+        .max(wait);
+    let gather_budget = recovery_deadline(spec);
+    let mut images = Vec::new();
+    let mut stats = RenderStats::default();
+    let mut phases = PhaseTimes::default();
+    let mut degradation = Degradation::default();
+    let mut recovery_latency_s = Vec::new();
+    let mut adopted = false;
+    let mut own_notice: Option<AdoptNotice> = None;
+
+    for step in 0..spec.steps {
+        let t = Instant::now();
+        let mut step_deg = Degradation::default();
+        let mut blocks = Vec::new();
+        if !adopted && !board.is_dead(sim) {
+            let deadline = Instant::now() + recv_budget;
+            loop {
+                // the pair died while we waited: fall through to adoption
+                if board.is_dead(sim) {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    step_deg.timeouts += 1;
+                    break;
+                }
+                match comm.recv_timeout(sim, DATA_TAG_BASE + step as u32, wait.min(deadline - now))
+                {
+                    Ok(payload) => {
+                        match decode_block(spec, sim, payload) {
+                            Ok(block) => blocks.push(block),
+                            Err(_) => step_deg.corrupt_payloads += 1,
+                        }
+                        break;
+                    }
+                    Err(TransportError::Timeout { .. }) => continue,
+                    Err(e) => {
+                        if !board.is_dead(sim) {
+                            step_deg.count(&e);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        if blocks.is_empty() && board.is_dead(sim) {
+            if !adopted {
+                // First step after the confirmed death: record the loss and
+                // (policy permitting) adopt the partition from the dead
+                // rank's last checkpoint.
+                let _span = eth_obs::span(eth_obs::Phase::Recovery);
+                adopted = true;
+                step_deg.rank_losses += 1;
+                eth_obs::count("rank_losses", 1.0);
+                let death = board.death_of(sim);
+                let latency_ns = death
+                    .map(|d| board.now_ns().saturating_sub(d.last_beat_ns))
+                    .unwrap_or(0);
+                if policy.adopt {
+                    step_deg.adopted_partitions += 1;
+                    eth_obs::count("adopted_partitions", 1.0);
+                    let resume = checkpoints.latest(sim).map(|c| c.proxy_cursor).unwrap_or(0);
+                    debug_assert!(step >= resume, "adoption cannot precede the checkpoint");
+                    let notice = AdoptNotice {
+                        dead_rank: sim,
+                        adopted_at_step: step,
+                        adopter: rank,
+                        latency_ns,
+                    };
+                    if rank == root {
+                        // the root adopted its own pair; no wire round-trip
+                        own_notice = Some(notice);
+                    } else {
+                        send_adopt_notice(comm, root, &notice)?;
+                    }
+                }
+            }
+            if policy.adopt {
+                // the adopted partition renders from the shared staged
+                // store, picking up exactly where the checkpoint left off
+                blocks.push(staged.blocks[step][sim].clone());
+            } else {
+                step_deg.dropped_steps += 1;
+            }
+        }
+        if step_deg.faults() > 0 {
+            if blocks.is_empty() {
+                step_deg.dropped_steps += 1;
+            } else {
+                step_deg.degraded_steps += 1;
+            }
+        }
+        phases.transfer_s += t.elapsed().as_secs_f64();
+
+        let pipeline = pipeline_for_step(spec, staged, step);
+        let t_viz = Instant::now();
+        let mut frames: Vec<Framebuffer> = Vec::new();
+        for block in &blocks {
+            let out = pipeline.execute_step(step, block, &staged.bounds[step])?;
+            stats = accumulate(stats, out.stats);
+            if frames.is_empty() {
+                frames = out.frames;
+            } else {
+                for (acc, fb) in frames.iter_mut().zip(&out.frames) {
+                    acc.composite_in(fb);
+                }
+            }
+        }
+        phases.viz_s += t_viz.elapsed().as_secs_f64();
+
+        let t_comp = Instant::now();
+        for image_index in 0..spec.images_per_step {
+            // An empty payload marks "no contribution this frame" so the
+            // root composites around the hole instead of merging a blank.
+            let payload = frames
+                .get(image_index)
+                .map(|fb| Bytes::from(fb.to_bytes()))
+                .unwrap_or_default();
+            let salt = (step * spec.images_per_step + image_index) as u32;
+            let gathered = gather_surviving(
+                comm,
+                root,
+                salt,
+                payload,
+                &|peer| board.is_dead(peer),
+                gather_budget,
+            )?;
+            if let Some(parts) = gathered {
+                let mut slots: Vec<Option<Framebuffer>> = Vec::with_capacity(r);
+                let mut mask = RankMask::none(r);
+                for v in 0..r {
+                    match &parts[r + v] {
+                        Some(raw) if !raw.is_empty() => {
+                            slots.push(Some(Framebuffer::from_bytes(raw).ok_or_else(|| {
+                                CoreError::Config("malformed framebuffer on the wire".into())
+                            })?))
+                        }
+                        Some(_) => slots.push(None),
+                        None => {
+                            slots.push(None);
+                            mask.mark_missing(v);
+                        }
+                    }
+                }
+                let image = if slots.iter().any(Option::is_some) {
+                    let (merged, cstats) = composite_direct_masked(slots, &mask);
+                    step_deg.missing_contributions += cstats.missing_contributions;
+                    merged.into_image()
+                } else {
+                    // every contributor lost this frame: emit a dark image
+                    // rather than wedge or panic
+                    step_deg.missing_contributions += r as u64;
+                    Framebuffer::new(spec.width, spec.height, eth_data::Vec3::ZERO).into_image()
+                };
+                pipeline.write_artifact(step, image_index, &image)?;
+                images.push(image);
+            }
+        }
+        phases.composite_s += t_comp.elapsed().as_secs_f64();
+        degradation.absorb(&step_deg);
+        board.step_done(rank, step);
+    }
+
+    // The root drains the control plane: one adoption notice per dead
+    // simulation rank carries the adopter's measured detection-to-adoption
+    // latency. A missing notice falls back to the board's own estimate.
+    if rank == root {
+        for death in board.deaths() {
+            if death.rank >= r {
+                continue;
+            }
+            let notice = if root == r + death.rank {
+                own_notice.filter(|n| n.dead_rank == death.rank)
+            } else if policy.adopt {
+                recv_adopt_notice(comm, r + death.rank, death.rank, detection * 4).ok()
+            } else {
+                None
+            };
+            let latency = notice
+                .map(|n| n.latency_ns as f64 * 1e-9)
+                .unwrap_or_else(|| death.detection_latency().as_secs_f64());
+            recovery_latency_s.push(latency);
+            eth_obs::count("adopt_notices", 1.0);
+        }
+    }
+
+    Ok(RankOutput {
+        images,
+        stats,
+        phases,
+        bytes_sent: comm.traffic().bytes_sent,
+        degradation,
+        recovery_latency_s,
+    })
+}
+
 fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<RankOutput>> {
     use eth_transport::local::LocalFabric;
     use std::thread;
 
+    if let Some(policy) = spec.recovery {
+        return run_internode_recovering(spec, staged, policy);
+    }
     let r = spec.ranks;
     // Layout file in a fresh temp dir per run. The counter keeps dirs
     // distinct when a campaign runs same-named internode points
@@ -975,6 +1544,7 @@ fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
                 phases,
                 bytes_sent: chan.bytes_sent(),
                 degradation,
+                recovery_latency_s: Vec::new(),
             })
         }));
     }
@@ -1043,6 +1613,286 @@ fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
             Ok(result) => outputs.push(result?),
             Err(p) => std::panic::resume_unwind(p),
         }
+    }
+    let _ = std::fs::remove_dir_all(&layout_dir);
+    Ok(outputs)
+}
+
+/// Internode coupling under a [`RecoveryPolicy`]. The simulation ranks beat
+/// a [`HeartbeatBoard`] watched by a supervisor thread; a scripted kill
+/// silences one and the supervisor declares it dead in
+/// O(detection deadline). The owning visualization rank adopts the dead
+/// rank's partition from its last step checkpoint (spilled through the
+/// journal when an artifact directory is set) and the run completes
+/// without a campaign-level retry.
+fn run_internode_recovering(
+    spec: &ExperimentSpec,
+    staged: &Arc<StagedData>,
+    policy: RecoveryPolicy,
+) -> Result<Vec<RankOutput>> {
+    use eth_transport::local::LocalFabric;
+    use eth_transport::runner::{spawn_supervisor, RankFailure};
+    use std::thread;
+
+    let r = spec.ranks;
+    static LAYOUT_RUN: AtomicU64 = AtomicU64::new(0);
+    let layout_dir = std::env::temp_dir().join(format!(
+        "eth-layout-rec-{}-{:x}-{}",
+        spec.name.replace('/', "_"),
+        std::process::id(),
+        LAYOUT_RUN.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&layout_dir);
+    let layout = LayoutFile::create(&layout_dir)?;
+
+    // Liveness covers the simulation application: those are the ranks a
+    // scripted kill can take down mid-run. The supervisor thread declares
+    // deaths; viz ranks only consult the board.
+    let board = HeartbeatBoard::new(r);
+    let supervisor = spawn_supervisor(&board, policy.heartbeat);
+    // Step checkpoints spill through the journal WAL when the run keeps
+    // artifacts, so a post-mortem can replay the adoption decision.
+    let checkpoints = Arc::new(match &spec.artifact_dir {
+        Some(dir) => match crate::journal::Journal::open(&dir.join("recovery")) {
+            Ok(journal) => CheckpointStore::with_spill(r, journal),
+            Err(_) => CheckpointStore::new(r),
+        },
+        None => CheckpointStore::new(r),
+    });
+
+    let obs = eth_obs::current_context();
+    let mut sim_handles = Vec::new();
+    for rank in 0..r {
+        let staged = staged.clone();
+        let layout = layout.clone();
+        let spec_sim = spec.clone();
+        let obs = obs.clone();
+        let board = board.clone();
+        let checkpoints = checkpoints.clone();
+        sim_handles.push(thread::spawn(move || -> Result<RankOutput> {
+            let _obs = obs.attach();
+            eth_obs::set_rank(rank);
+            let plan = spec_sim.fault_plan.clone().unwrap_or_default();
+            let chan = ChaosChannel::new(listen_as(&layout, rank)?, plan.clone());
+            let mut beater = Beater::spawn(&board, rank, policy.heartbeat);
+            let mut phases = PhaseTimes::default();
+            let mut degradation = Degradation::default();
+            for step in 0..spec_sim.steps {
+                if plan.kills(rank, step) {
+                    // Fall silent and wait for the supervisor's verdict;
+                    // dropping `chan` afterwards snaps the pair link, so
+                    // the viz side sees Disconnected rather than a stall.
+                    beater.silence();
+                    board.await_death(rank, recovery_deadline(&spec_sim));
+                    return Ok(RankOutput::tombstone());
+                }
+                let t = Instant::now();
+                let block = staged.blocks[step][rank].clone();
+                let payload = encode_block(&spec_sim, &block);
+                phases.sim_s += t.elapsed().as_secs_f64();
+                let t2 = Instant::now();
+                match chan.send(DATA_TAG_BASE + step as u32, payload) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        // the viz link is gone: keep the remaining steps
+                        // local instead of dying
+                        degradation.count(&e);
+                        break;
+                    }
+                }
+                phases.transfer_s += t2.elapsed().as_secs_f64();
+                checkpoints.record(StepCheckpoint {
+                    rank,
+                    partition: rank,
+                    step,
+                    proxy_cursor: step + 1,
+                    rng_state: spec_sim.seed ^ rank as u64,
+                    degradation,
+                });
+                board.step_done(rank, step);
+            }
+            // an un-killed rank must report completion or the supervisor
+            // would read its silence as a death
+            board.mark_done(rank);
+            Ok(RankOutput {
+                images: Vec::new(),
+                stats: RenderStats::default(),
+                phases,
+                bytes_sent: chan.bytes_sent(),
+                degradation,
+                recovery_latency_s: Vec::new(),
+            })
+        }));
+    }
+
+    let viz_count = spec.viz_ranks.unwrap_or(r).max(1);
+    let viz_comms = LocalFabric::new(viz_count);
+    let mut viz_handles = Vec::new();
+    for (rank, comm) in viz_comms.into_iter().enumerate() {
+        let layout = layout.clone();
+        let spec = spec.clone();
+        let staged = staged.clone();
+        let my_sims: Vec<usize> = (0..r).filter(|s| s % viz_count == rank).collect();
+        let obs = obs.clone();
+        let board = board.clone();
+        let checkpoints = checkpoints.clone();
+        viz_handles.push(thread::spawn(move || -> Result<RankOutput> {
+            let _obs = obs.attach();
+            eth_obs::set_rank(r + rank);
+            let plan = spec.fault_plan.clone().unwrap_or_default();
+            let detection = policy.heartbeat.detection_deadline();
+            let wait = detection * 2 + Duration::from_millis(25);
+            let recv_budget = plan
+                .deadline()
+                .unwrap_or(Duration::from_secs(2))
+                .max(wait);
+            let mut chans = Vec::with_capacity(my_sims.len());
+            for &sim_rank in &my_sims {
+                let chan = connect_to(&layout, sim_rank, rank, Duration::from_secs(30))?;
+                chans.push(ChaosChannel::new(chan, plan.clone()));
+            }
+            let mut adopted = vec![false; my_sims.len()];
+            let mut local_notices: Vec<AdoptNotice> = Vec::new();
+            let mut out = viz_side(&spec, &comm, 0, &staged, |step| {
+                let t = Instant::now();
+                let mut deg = Degradation::default();
+                let mut blocks = Vec::with_capacity(chans.len());
+                for (i, (chan, &sim)) in chans.iter().zip(&my_sims).enumerate() {
+                    if !adopted[i] && !board.is_dead(sim) {
+                        // Sliced receive, re-checking liveness between
+                        // slices: a slow-but-alive sim gets the full
+                        // budget, a confirmed death adopts in O(detection).
+                        let deadline = Instant::now() + recv_budget;
+                        let mut delivered = false;
+                        loop {
+                            if board.is_dead(sim) {
+                                break;
+                            }
+                            let now = Instant::now();
+                            if now >= deadline {
+                                deg.timeouts += 1;
+                                deg.missing_contributions += 1;
+                                delivered = true; // budget spent; not a death
+                                break;
+                            }
+                            match chan
+                                .recv_timeout(DATA_TAG_BASE + step as u32, wait.min(deadline - now))
+                            {
+                                Ok(payload) => {
+                                    match decode_block(&spec, sim, payload) {
+                                        Ok(block) => blocks.push(block),
+                                        Err(_) => {
+                                            deg.corrupt_payloads += 1;
+                                            deg.missing_contributions += 1;
+                                        }
+                                    }
+                                    delivered = true;
+                                    break;
+                                }
+                                Err(TransportError::Timeout { .. }) => continue,
+                                Err(e) => {
+                                    if !board.is_dead(sim) {
+                                        deg.count(&e);
+                                        deg.missing_contributions += 1;
+                                        delivered = true;
+                                    }
+                                    break;
+                                }
+                            }
+                        }
+                        if delivered {
+                            continue;
+                        }
+                    }
+                    if board.is_dead(sim) {
+                        if !adopted[i] {
+                            let _span = eth_obs::span(eth_obs::Phase::Recovery);
+                            adopted[i] = true;
+                            deg.rank_losses += 1;
+                            eth_obs::count("rank_losses", 1.0);
+                            let latency_ns = board
+                                .death_of(sim)
+                                .map(|d| board.now_ns().saturating_sub(d.last_beat_ns))
+                                .unwrap_or(0);
+                            if policy.adopt {
+                                deg.adopted_partitions += 1;
+                                eth_obs::count("adopted_partitions", 1.0);
+                                let resume =
+                                    checkpoints.latest(sim).map(|c| c.proxy_cursor).unwrap_or(0);
+                                debug_assert!(
+                                    step >= resume,
+                                    "adoption cannot precede the checkpoint"
+                                );
+                                let notice = AdoptNotice {
+                                    dead_rank: sim,
+                                    adopted_at_step: step,
+                                    adopter: r + rank,
+                                    latency_ns,
+                                };
+                                if rank == 0 {
+                                    local_notices.push(notice);
+                                } else {
+                                    send_adopt_notice(&comm, 0, &notice)?;
+                                }
+                            }
+                        }
+                        if policy.adopt {
+                            blocks.push(staged.blocks[step][sim].clone());
+                        } else {
+                            deg.missing_contributions += 1;
+                        }
+                    }
+                }
+                Ok(StepIntake {
+                    blocks,
+                    sim_time: Duration::ZERO,
+                    transfer_time: t.elapsed(),
+                    degradation: deg,
+                })
+            })?;
+            for chan in &chans {
+                out.bytes_sent += chan.bytes_sent();
+            }
+            // The root collects one adoption notice per dead simulation
+            // rank from that rank's owner, recording detection-to-adoption
+            // latency for the run's histograms.
+            if rank == 0 {
+                for death in board.deaths() {
+                    let owner = death.rank % viz_count;
+                    let notice = if owner == 0 {
+                        local_notices.iter().find(|n| n.dead_rank == death.rank).copied()
+                    } else if policy.adopt {
+                        recv_adopt_notice(&comm, owner, death.rank, detection * 4).ok()
+                    } else {
+                        None
+                    };
+                    let latency = notice
+                        .map(|n| n.latency_ns as f64 * 1e-9)
+                        .unwrap_or_else(|| death.detection_latency().as_secs_f64());
+                    out.recovery_latency_s.push(latency);
+                    eth_obs::count("adopt_notices", 1.0);
+                }
+            }
+            Ok(out)
+        }));
+    }
+
+    let mut outputs = Vec::new();
+    for h in sim_handles.into_iter().chain(viz_handles) {
+        match h.join() {
+            Ok(result) => outputs.push(result?),
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+    supervisor.stop();
+    let deaths = board.deaths();
+    if deaths.len() > policy.max_rank_losses as usize {
+        let d = &deaths[policy.max_rank_losses as usize];
+        return Err(CoreError::Rank(RankFailure::Hang {
+            rank: d.rank,
+            waited: d.detection_latency(),
+            last_step: d.last_step,
+        }));
     }
     let _ = std::fs::remove_dir_all(&layout_dir);
     Ok(outputs)
@@ -1400,6 +2250,110 @@ mod tests {
         // The cached baseline is exactly the full-fidelity run's output.
         let full = run_native(&base_spec("base")).unwrap();
         assert_eq!(*b1, full.images);
+    }
+
+    /// A recovery policy with a fast heartbeat so tests detect deaths in
+    /// tens of milliseconds instead of the production default.
+    fn fast_recovery() -> RecoveryPolicy {
+        RecoveryPolicy {
+            heartbeat: HeartbeatPolicy {
+                interval_ms: 10,
+                miss_budget: 3,
+            },
+            max_rank_losses: 1,
+            adopt: true,
+        }
+    }
+
+    fn kill_spec(name: &str, coupling: Coupling, victim: usize, step: usize) -> ExperimentSpec {
+        let mut spec = base_spec(name);
+        spec.coupling = coupling;
+        spec.steps = 4;
+        spec.recovery = Some(fast_recovery());
+        spec.fault_plan = Some(FaultPlan::seeded(7).with_kill_rank_at_step(victim, step));
+        spec
+    }
+
+    #[test]
+    fn intercore_kill_is_adopted_and_images_match_the_healthy_run() {
+        let mut healthy = base_spec("ic-kill");
+        healthy.coupling = Coupling::Intercore;
+        healthy.steps = 4;
+        let reference = run_native(&healthy).unwrap();
+
+        let out = run_native(&kill_spec("ic-kill", Coupling::Intercore, 1, 2)).unwrap();
+        assert_eq!(out.degradation.rank_losses, 1, "{:?}", out.degradation);
+        assert_eq!(out.degradation.adopted_partitions, 1);
+        assert_eq!(out.images.len(), reference.images.len());
+        // Adoption re-renders the dead rank's partition from the shared
+        // staged store, so every image — not just the pre-kill ones — is
+        // byte-identical to the run where nobody died.
+        for (i, (a, b)) in reference.images.iter().zip(&out.images).enumerate() {
+            assert_eq!(a, b, "image {i} diverged after adoption");
+        }
+        assert_eq!(out.recovery_latency_s.len(), 1);
+        assert!(
+            out.recovery_latency_s[0] > 0.0 && out.recovery_latency_s[0] < 30.0,
+            "implausible recovery latency {:?}",
+            out.recovery_latency_s
+        );
+    }
+
+    #[test]
+    fn internode_kill_is_adopted_and_prekill_images_are_identical() {
+        let kill_at = 1;
+        let mut healthy = base_spec("in-kill");
+        healthy.coupling = Coupling::Internode;
+        healthy.steps = 4;
+        let reference = run_native(&healthy).unwrap();
+
+        let out = run_native(&kill_spec("in-kill", Coupling::Internode, 2, kill_at)).unwrap();
+        assert_eq!(out.degradation.rank_losses, 1, "{:?}", out.degradation);
+        assert_eq!(out.degradation.adopted_partitions, 1);
+        // the run completes with a full image set despite the death
+        assert_eq!(out.images.len(), reference.images.len());
+        // steps before the kill cannot have been touched by recovery
+        let spec = &reference.spec;
+        for i in 0..kill_at * spec.images_per_step {
+            assert_eq!(reference.images[i], out.images[i], "pre-kill image {i} diverged");
+        }
+        assert_eq!(out.recovery_latency_s.len(), 1);
+        assert!(out.recovery_latency_s[0] > 0.0);
+    }
+
+    #[test]
+    fn kill_without_adoption_completes_dark() {
+        let mut spec = kill_spec("no-adopt", Coupling::Intercore, 0, 1);
+        spec.recovery = Some(RecoveryPolicy {
+            adopt: false,
+            ..fast_recovery()
+        });
+        let out = run_native(&spec).unwrap();
+        assert_eq!(out.degradation.rank_losses, 1);
+        assert_eq!(out.degradation.adopted_partitions, 0);
+        assert!(
+            out.degradation.missing_contributions > 0,
+            "the dead partition's frames must be counted as holes: {:?}",
+            out.degradation
+        );
+        // still a full-length image sequence; the hole is composited around
+        assert_eq!(out.images.len(), 4 * out.spec.images_per_step);
+    }
+
+    #[test]
+    fn recovery_policy_without_faults_changes_nothing() {
+        let reference = run_native(&base_spec("rec-noop")).unwrap();
+        for coupling in [Coupling::Tight, Coupling::Intercore, Coupling::Internode] {
+            let mut spec = base_spec("rec-noop");
+            spec.coupling = coupling;
+            spec.recovery = Some(fast_recovery());
+            let out = run_native(&spec).unwrap();
+            assert_eq!(out.degradation.rank_losses, 0);
+            assert_eq!(out.recovery_latency_s.len(), 0);
+            for (a, b) in reference.images.iter().zip(&out.images) {
+                assert_eq!(a, b, "recovery supervision changed pixels under {coupling:?}");
+            }
+        }
     }
 
     #[test]

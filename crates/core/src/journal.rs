@@ -70,6 +70,12 @@ pub enum JournalRecord {
         elapsed_s: f64,
         outcome: RecordedOutcome,
     },
+    /// A rank's in-run recovery checkpoint, spilled by the fault-tolerance
+    /// layer so a post-mortem can replay a partition-adoption decision.
+    /// Replay ignores these for scheduling; the last one per rank wins.
+    Checkpoint {
+        checkpoint: crate::harness::StepCheckpoint,
+    },
 }
 
 /// How an attempt ended, as recorded in the WAL.
@@ -258,6 +264,10 @@ struct ResultHeader {
     phase_energy: Vec<PhaseEnergy>,
     #[serde(default)]
     counters: CounterSet,
+    // recovery latencies; absent in files written before in-run fault
+    // tolerance existed
+    #[serde(default)]
+    recovery_latency_s: Vec<f64>,
 }
 
 /// Persist a finished point's outcome: JSON header + raw `f32` pixels +
@@ -275,6 +285,7 @@ pub fn save_result(dir: &Path, index: usize, spec_hash: u64, outcome: &NativeOut
         metrics: outcome.metrics.clone(),
         phase_energy: outcome.phase_energy.clone(),
         counters: outcome.counters.clone(),
+        recovery_latency_s: outcome.recovery_latency_s.clone(),
     };
     let json = serde_json::to_string(&header)
         .map_err(|e| CoreError::Config(format!("unserializable result header: {e}")))?;
@@ -399,6 +410,7 @@ pub fn load_result(
         metrics: header.metrics,
         phase_energy: header.phase_energy,
         counters: header.counters,
+        recovery_latency_s: header.recovery_latency_s,
     })
 }
 

@@ -40,11 +40,11 @@ pub mod results;
 pub mod sweep;
 pub mod telemetry;
 
-pub use config::{Algorithm, Application, Coupling, ExperimentSpec};
+pub use config::{Algorithm, Application, Coupling, ExperimentSpec, RecoveryPolicy};
 pub use error::{CoreError, Result};
 pub use harness::{
     run_cluster, run_native, run_native_cached, CacheStats, ClusterExperiment, Degradation,
-    NativeOutcome, PhaseEnergy, RunCaches,
+    NativeOutcome, PhaseEnergy, RunCaches, StepCheckpoint,
 };
 pub use journal::{Journal, JournalRecord, RecordedOutcome};
 pub use results::ResultTable;

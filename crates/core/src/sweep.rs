@@ -274,6 +274,20 @@ impl CampaignOutcome {
         self.results.iter().filter_map(|r| r.as_ref().ok())
     }
 
+    /// Indices of points that completed *degraded*: the run finished (no
+    /// retry, no quarantine) but lost at least one rank along the way and
+    /// recovered in-run. Disjoint from [`CampaignOutcome::quarantined`].
+    pub fn degraded(&self) -> Vec<usize> {
+        self.results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match r {
+                Ok(out) if out.degradation.rank_losses > 0 => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Throughput in design points per second (all points, even failed).
     pub fn points_per_sec(&self) -> f64 {
         if self.wall_s > 0.0 {
@@ -904,6 +918,7 @@ mod tests {
         let hang = CoreError::Rank(RankFailure::Hang {
             rank: 0,
             waited: Duration::from_millis(1),
+            last_step: None,
         });
         assert_eq!(RetryPolicy::classify(&hang), Some(RetryOn::Timeout));
         let gone = CoreError::Transport(TransportError::Disconnected { peer: 1 });

@@ -34,6 +34,7 @@ const SPAN_HISTOGRAMS: &[(eth_obs::Phase, &str)] = &[
     (eth_obs::Phase::CacheLookup, "cache_lookup_s"),
     (eth_obs::Phase::Stage, "stage_s"),
     (eth_obs::Phase::Recv, "recv_s"),
+    (eth_obs::Phase::Recovery, "recovery_span_s"),
 ];
 
 impl CampaignTelemetry {
@@ -73,6 +74,21 @@ impl CampaignTelemetry {
             c.add("degradation_timeouts", d.timeouts as f64);
             c.add("degradation_disconnects", d.disconnects as f64);
             c.add("degradation_corrupt_payloads", d.corrupt_payloads as f64);
+            // In-run fault tolerance: losses survived, partitions adopted,
+            // frames composited around a hole, and the detection-to-
+            // adoption latency distribution (the recovery SLO).
+            c.add("recovery_rank_losses_total", d.rank_losses as f64);
+            c.add(
+                "recovery_adopted_partitions_total",
+                d.adopted_partitions as f64,
+            );
+            c.add(
+                "recovery_missing_contributions_total",
+                d.missing_contributions as f64,
+            );
+            for &latency in &outcome.recovery_latency_s {
+                c.observe("recovery_latency_s", latency);
+            }
         }
 
         // Event counters recorded anywhere under the campaign (cache
@@ -312,6 +328,27 @@ mod tests {
         assert!(names.contains(&"points_total"));
         assert!(names.contains(&"queue_wait_s/count"));
         assert!(!names.contains(&"phase_render_busy_s"));
+    }
+
+    #[test]
+    fn recovery_metrics_export_as_histogram_and_gauges() {
+        let mut c = CounterSet::new();
+        c.add("recovery_rank_losses_total", 1.0);
+        c.add("recovery_adopted_partitions_total", 1.0);
+        for v in [0.031, 0.044] {
+            c.observe("recovery_latency_s", v);
+        }
+        let t = CampaignTelemetry { counters: c };
+        let prom = t.to_prometheus();
+        assert!(prom.contains("eth_campaign_recovery_rank_losses_total 1"));
+        assert!(prom.contains("# TYPE eth_campaign_recovery_latency_s histogram"));
+        assert!(prom.contains("eth_campaign_recovery_latency_s_count 2"));
+        let jsonl = t.to_jsonl();
+        assert!(jsonl.contains("recovery_latency_s"));
+        // losses/adoptions are deterministic; latency only counts
+        let view = t.deterministic_view();
+        assert!(view.contains(&("recovery_rank_losses_total".to_string(), 1)));
+        assert!(view.contains(&("recovery_latency_s/count".to_string(), 2)));
     }
 
     #[test]

@@ -49,6 +49,8 @@ pub enum Phase {
     Backoff,
     /// Connection bootstrap (layout polling + dial, internode runs).
     Bootstrap,
+    /// In-run recovery: detecting a dead rank and adopting its partition.
+    Recovery,
 }
 
 impl Phase {
@@ -68,6 +70,7 @@ impl Phase {
             Phase::QueueWait => "queue_wait",
             Phase::Backoff => "backoff",
             Phase::Bootstrap => "bootstrap",
+            Phase::Recovery => "recovery",
         }
     }
 
@@ -87,6 +90,7 @@ impl Phase {
             Phase::QueueWait,
             Phase::Backoff,
             Phase::Bootstrap,
+            Phase::Recovery,
         ]
     }
 }

@@ -22,6 +22,57 @@ pub struct CompositeStats {
     pub bytes_exchanged: u64,
     /// Number of per-pixel merge operations performed.
     pub merge_ops: u64,
+    /// Contributors absent from this composite (dead or silent ranks whose
+    /// images never arrived). Non-zero marks a degraded frame.
+    pub missing_contributions: u64,
+}
+
+/// Which contributor ranks are missing from a composite. Between a rank's
+/// death and its partition's adoption, compositing proceeds over the
+/// survivors: the mask names the holes so the schedule skips them (instead
+/// of deadlocking on a peer that will never send) and the degradation is
+/// counted per frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankMask {
+    missing: Vec<bool>,
+}
+
+impl RankMask {
+    /// A mask over `size` contributors with nobody missing.
+    pub fn none(size: usize) -> RankMask {
+        RankMask {
+            missing: vec![false; size],
+        }
+    }
+
+    /// A mask with the given contributors missing.
+    pub fn from_missing(size: usize, missing: &[usize]) -> RankMask {
+        let mut mask = RankMask::none(size);
+        for &r in missing {
+            mask.mark_missing(r);
+        }
+        mask
+    }
+
+    pub fn mark_missing(&mut self, rank: usize) {
+        self.missing[rank] = true;
+    }
+
+    pub fn is_missing(&self, rank: usize) -> bool {
+        self.missing.get(rank).copied().unwrap_or(false)
+    }
+
+    pub fn len(&self) -> usize {
+        self.missing.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    pub fn missing_count(&self) -> u64 {
+        self.missing.iter().filter(|&&m| m).count() as u64
+    }
 }
 
 /// Bytes one full framebuffer occupies on the wire (RGB f32 + depth f32).
@@ -107,6 +158,69 @@ pub fn composite_binary_swap(buffers: Vec<Framebuffer>) -> (Framebuffer, Composi
         group = half;
     }
     (bufs.remove(0), stats)
+}
+
+/// Pull the surviving buffers out of per-rank slots, validating the slots
+/// against the mask and charging the missing count.
+fn surviving(
+    slots: Vec<Option<Framebuffer>>,
+    mask: &RankMask,
+) -> (Vec<Framebuffer>, u64) {
+    assert_eq!(
+        slots.len(),
+        mask.len(),
+        "rank mask covers {} contributors but {} slots were provided",
+        mask.len(),
+        slots.len()
+    );
+    let mut missing = 0u64;
+    let mut out = Vec::with_capacity(slots.len());
+    for (rank, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(fb) => {
+                assert!(
+                    !mask.is_missing(rank),
+                    "rank {rank} is masked missing but contributed a buffer"
+                );
+                out.push(fb);
+            }
+            None => missing += 1,
+        }
+    }
+    assert!(
+        !out.is_empty(),
+        "every contributor is missing: nothing to composite"
+    );
+    (out, missing)
+}
+
+/// [`composite_direct`] over per-rank slots with missing contributors.
+/// Slots are indexed by contributor rank; `None` marks a hole (which must
+/// be masked or have silently timed out). The surviving images composite
+/// exactly as the unmasked schedule would, and
+/// [`CompositeStats::missing_contributions`] counts the holes — with an
+/// all-present mask the result is byte-identical to [`composite_direct`].
+pub fn composite_direct_masked(
+    slots: Vec<Option<Framebuffer>>,
+    mask: &RankMask,
+) -> (Framebuffer, CompositeStats) {
+    let (bufs, missing) = surviving(slots, mask);
+    let (fb, mut stats) = composite_direct(bufs);
+    stats.missing_contributions = missing;
+    (fb, stats)
+}
+
+/// [`composite_binary_swap`] over per-rank slots with missing
+/// contributors; see [`composite_direct_masked`]. The swap schedule runs
+/// over the survivors only, so no round ever waits on a dead peer.
+pub fn composite_binary_swap_masked(
+    slots: Vec<Option<Framebuffer>>,
+    mask: &RankMask,
+) -> (Framebuffer, CompositeStats) {
+    let (bufs, missing) = surviving(slots, mask);
+    let (fb, mut stats) = composite_binary_swap(bufs);
+    stats.missing_contributions = missing;
+    (fb, stats)
 }
 
 #[cfg(test)]
@@ -224,5 +338,81 @@ mod tests {
             Framebuffer::new(8, 8, Vec3::ZERO),
             Framebuffer::new(8, 4, Vec3::ZERO),
         ]);
+    }
+
+    #[test]
+    fn rank_mask_accounting() {
+        let mut mask = RankMask::none(4);
+        assert_eq!(mask.missing_count(), 0);
+        assert!(!mask.is_empty());
+        mask.mark_missing(2);
+        assert!(mask.is_missing(2) && !mask.is_missing(0));
+        assert_eq!(mask.missing_count(), 1);
+        assert_eq!(mask, RankMask::from_missing(4, &[2]));
+        // out-of-range queries are simply not missing
+        assert!(!mask.is_missing(99));
+    }
+
+    #[test]
+    fn masked_composite_with_everyone_present_is_byte_identical() {
+        let count = 4;
+        let make = || {
+            (0..count)
+                .map(|i| striped(16, 8, i, count, (i + 1) as f32))
+                .collect::<Vec<_>>()
+        };
+        let (plain, _) = composite_direct(make());
+        let slots: Vec<Option<Framebuffer>> = make().into_iter().map(Some).collect();
+        let (masked, stats) = composite_direct_masked(slots, &RankMask::none(count));
+        assert_eq!(plain, masked);
+        assert_eq!(stats.missing_contributions, 0);
+        let slots: Vec<Option<Framebuffer>> = make().into_iter().map(Some).collect();
+        let (swapped, sstats) = composite_binary_swap_masked(slots, &RankMask::none(count));
+        assert_eq!(plain, swapped);
+        assert_eq!(sstats.missing_contributions, 0);
+    }
+
+    #[test]
+    fn masked_composite_skips_the_dead_and_counts_the_hole() {
+        let count = 4;
+        let dead = 1usize;
+        let full: Vec<Framebuffer> = (0..count)
+            .map(|i| striped(16, 8, i, count, (i + 1) as f32))
+            .collect();
+        // expected image: composite of the survivors only
+        let survivors: Vec<Framebuffer> = full
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != dead)
+            .map(|(_, fb)| fb.clone())
+            .collect();
+        let (want, _) = composite_direct(survivors);
+        let mask = RankMask::from_missing(count, &[dead]);
+        let slots: Vec<Option<Framebuffer>> = full
+            .iter()
+            .enumerate()
+            .map(|(i, fb)| (i != dead).then(|| fb.clone()))
+            .collect();
+        let (got, stats) = composite_direct_masked(slots.clone(), &mask);
+        assert_eq!(got, want);
+        assert_eq!(stats.missing_contributions, 1);
+        let (swapped, sstats) = composite_binary_swap_masked(slots, &mask);
+        assert_eq!(swapped, want);
+        assert_eq!(sstats.missing_contributions, 1);
+    }
+
+    #[test]
+    fn masked_composite_tolerates_unmasked_timeouts() {
+        // a hole the mask did not predict (a live rank that missed its
+        // deadline) still counts as a missing contribution
+        let slots = vec![Some(striped(8, 8, 0, 2, 1.0)), None];
+        let (_, stats) = composite_direct_masked(slots, &RankMask::none(2));
+        assert_eq!(stats.missing_contributions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to composite")]
+    fn masked_composite_rejects_all_missing() {
+        composite_direct_masked(vec![None, None], &RankMask::from_missing(2, &[0, 1]));
     }
 }

@@ -17,6 +17,10 @@ use std::path::Path;
 /// A rank of the simulation proxy.
 pub struct SimulationProxy {
     source: Box<dyn SimulationSource + Send>,
+    /// Next step to produce: advances past each completed (or degraded)
+    /// step so recovery can resume a rank's traversal from its last
+    /// checkpoint instead of replaying from step zero.
+    cursor: usize,
 }
 
 /// Source backed by a recorded time series on disk.
@@ -84,6 +88,7 @@ impl SimulationProxy {
         }
         Ok(SimulationProxy {
             source: Box::new(DiskSource { reader, rank }),
+            cursor: 0,
         })
     }
 
@@ -105,12 +110,13 @@ impl SimulationProxy {
                 num_ranks,
                 num_steps,
             }),
+            cursor: 0,
         }
     }
 
     /// Proxy over any custom source.
     pub fn from_source(source: Box<dyn SimulationSource + Send>) -> SimulationProxy {
-        SimulationProxy { source }
+        SimulationProxy { source, cursor: 0 }
     }
 
     pub fn rank(&self) -> usize {
@@ -127,7 +133,16 @@ impl SimulationProxy {
 
     /// Produce the data for one step (the "simulation compute" phase).
     pub fn step(&mut self, step: usize) -> Result<DataObject> {
-        self.source.timestep(step)
+        let data = self.source.timestep(step)?;
+        self.cursor = self.cursor.max(step + 1);
+        Ok(data)
+    }
+
+    /// The next step this proxy would produce: the number of steps it has
+    /// completed so far. A recovery checkpoint records this so an adopting
+    /// rank can [`SimulationProxy::run_from`] the dead rank's position.
+    pub fn cursor(&self) -> usize {
+        self.cursor
     }
 
     /// Drive a sink through every timestep (tight coupling: source and sink
@@ -139,18 +154,32 @@ impl SimulationProxy {
     /// frame, not the whole rank. Every other failure (bad shape, decode
     /// errors from a generator, sink errors) still aborts the run.
     pub fn run(&mut self, sink: &mut dyn InSituSink) -> Result<ProxyRunStats> {
+        self.run_from(0, sink)
+    }
+
+    /// [`SimulationProxy::run`], starting at `start_step` instead of zero.
+    /// This is the adoption path: a rank that inherits a dead peer's
+    /// partition replays only the steps the peer had not completed.
+    pub fn run_from(
+        &mut self,
+        start_step: usize,
+        sink: &mut dyn InSituSink,
+    ) -> Result<ProxyRunStats> {
         let mut stats = ProxyRunStats::default();
-        for step in 0..self.source.num_timesteps() {
+        for step in start_step..self.source.num_timesteps() {
+            self.cursor = self.cursor.max(step);
             let sim_span = eth_obs::span(eth_obs::Phase::Sim);
             let data = match self.source.timestep(step) {
                 Ok(data) => data,
                 Err(DataError::Corrupt(_)) => {
                     stats.skipped_steps += 1;
+                    self.cursor = self.cursor.max(step + 1);
                     eth_obs::count("proxy_skipped_steps", 1.0);
                     continue;
                 }
                 Err(DataError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                     stats.skipped_steps += 1;
+                    self.cursor = self.cursor.max(step + 1);
                     eth_obs::count("proxy_skipped_steps", 1.0);
                     continue;
                 }
@@ -161,6 +190,7 @@ impl SimulationProxy {
             stats.elements += data.num_elements() as u64;
             stats.bytes_presented += data.payload_bytes() as u64;
             sink.consume(step, &data)?;
+            self.cursor = self.cursor.max(step + 1);
         }
         sink.finish()?;
         Ok(stats)
@@ -298,6 +328,46 @@ mod tests {
         let err = proxy.run(&mut sink).unwrap_err();
         assert!(err.to_string().contains("synthesis bug"));
         assert!(!sink.finished);
+    }
+
+    #[test]
+    fn run_from_replays_only_the_tail() {
+        let cfg = HaccConfig::with_particles(200);
+        let make = || {
+            let cfg = cfg.clone();
+            SimulationProxy::from_generator(0, 1, 5, move |step, _rank| {
+                Ok(DataObject::Points(cfg.generate(step)?))
+            })
+        };
+        let mut full_sink = CountingSink::default();
+        let mut full = make();
+        full.run(&mut full_sink).unwrap();
+        assert_eq!(full.cursor(), 5);
+
+        // an adopter resuming from a checkpoint at step 3 sees steps 3..5
+        let mut tail_sink = CountingSink::default();
+        let mut tail = make();
+        let stats = tail.run_from(3, &mut tail_sink).unwrap();
+        assert_eq!(stats.steps, 2);
+        assert_eq!(tail_sink.steps, 2);
+        assert!(tail_sink.finished);
+        assert_eq!(tail.cursor(), 5);
+    }
+
+    #[test]
+    fn cursor_tracks_completed_steps() {
+        let cfg = HaccConfig::with_particles(100);
+        let mut proxy = SimulationProxy::from_generator(0, 1, 4, move |step, _| {
+            Ok(DataObject::Points(cfg.generate(step)?))
+        });
+        assert_eq!(proxy.cursor(), 0);
+        proxy.step(0).unwrap();
+        assert_eq!(proxy.cursor(), 1);
+        proxy.step(2).unwrap();
+        assert_eq!(proxy.cursor(), 3);
+        // stepping an earlier step never rewinds the cursor
+        proxy.step(1).unwrap();
+        assert_eq!(proxy.cursor(), 3);
     }
 
     #[test]

@@ -8,10 +8,17 @@
 //!
 //! Tags: collectives use the top tag bits (`0xC0xx_xxxx`) with the round
 //! number encoded, so user traffic (low tags) never collides as long as it
-//! stays below [`COLLECTIVE_TAG_BASE`].
+//! stays below [`COLLECTIVE_TAG_BASE`]. Above the collectives sits the
+//! **control plane** (`0xE0xx_xxxx`): liveness and recovery notices such as
+//! partition-adoption announcements. Both classes are outside the default
+//! fault-plan tag window — chaos may lose *data*, never the messages that
+//! coordinate reacting to the loss — but unlike collectives the control
+//! plane is liveness-aware: control receives always carry a deadline, so a
+//! dead peer degrades the run instead of deadlocking it.
 
-use crate::comm::{Communicator, Result};
+use crate::comm::{Communicator, Result, TransportError};
 use bytes::Bytes;
+use std::time::{Duration, Instant};
 
 /// Tags at or above this value are reserved for collectives.
 pub const COLLECTIVE_TAG_BASE: u32 = 0xC000_0000;
@@ -20,6 +27,78 @@ const TAG_BARRIER: u32 = COLLECTIVE_TAG_BASE;
 const TAG_BCAST: u32 = COLLECTIVE_TAG_BASE + 0x0100_0000;
 const TAG_GATHER: u32 = COLLECTIVE_TAG_BASE + 0x0200_0000;
 const TAG_REDUCE: u32 = COLLECTIVE_TAG_BASE + 0x0300_0000;
+
+/// Tags at or above this value are reserved for the control plane
+/// (rank-liveness and recovery coordination). Sits above
+/// [`COLLECTIVE_TAG_BASE`], so control traffic is exempt from the default
+/// chaos window exactly like collectives are.
+pub const CONTROL_TAG_BASE: u32 = 0xE000_0000;
+
+/// Adoption notice: `TAG_ADOPT_NOTICE + dead_rank`, sent by the rank that
+/// adopted a dead rank's partition to the root, carrying an
+/// [`AdoptNotice`].
+pub const TAG_ADOPT_NOTICE: u32 = CONTROL_TAG_BASE + 0x0100_0000;
+
+/// The control-plane message announcing a partition adoption: who died,
+/// where their work stopped, who took over, and how long detection +
+/// takeover took from the dead rank's last sign of life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdoptNotice {
+    /// The rank that stopped beating.
+    pub dead_rank: usize,
+    /// The step at which the adopter resumed the partition.
+    pub adopted_at_step: usize,
+    /// The adopting rank.
+    pub adopter: usize,
+    /// Nanoseconds from the dead rank's last heartbeat to the adoption.
+    pub latency_ns: u64,
+}
+
+impl AdoptNotice {
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&(self.dead_rank as u64).to_le_bytes());
+        out.extend_from_slice(&(self.adopted_at_step as u64).to_le_bytes());
+        out.extend_from_slice(&(self.adopter as u64).to_le_bytes());
+        out.extend_from_slice(&self.latency_ns.to_le_bytes());
+        Bytes::from(out)
+    }
+
+    pub fn decode(bytes: &Bytes) -> Result<AdoptNotice> {
+        if bytes.len() != 32 {
+            return Err(TransportError::Decode(format!(
+                "adopt notice of {} bytes (want 32)",
+                bytes.len()
+            )));
+        }
+        let word = |i: usize| {
+            u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8-byte word"))
+        };
+        Ok(AdoptNotice {
+            dead_rank: word(0) as usize,
+            adopted_at_step: word(1) as usize,
+            adopter: word(2) as usize,
+            latency_ns: word(3),
+        })
+    }
+}
+
+/// Send an adoption notice to `root` on the control plane.
+pub fn send_adopt_notice(comm: &dyn Communicator, root: usize, notice: &AdoptNotice) -> Result<()> {
+    comm.send(root, TAG_ADOPT_NOTICE + notice.dead_rank as u32, notice.encode())
+}
+
+/// Receive the adoption notice for `dead_rank`, bounded by `timeout` (a
+/// control receive must never block on a fabric that just lost a rank).
+pub fn recv_adopt_notice(
+    comm: &dyn Communicator,
+    from: usize,
+    dead_rank: usize,
+    timeout: Duration,
+) -> Result<AdoptNotice> {
+    let bytes = comm.recv_timeout(from, TAG_ADOPT_NOTICE + dead_rank as u32, timeout)?;
+    AdoptNotice::decode(&bytes)
+}
 
 /// Dissemination barrier: log2(P) rounds; returns when all ranks entered.
 pub fn barrier(comm: &dyn Communicator) -> Result<()> {
@@ -103,6 +182,67 @@ pub fn gather(
         Ok(Some(out))
     } else {
         comm.send(root, TAG_GATHER, payload)?;
+        Ok(None)
+    }
+}
+
+/// Tag base for [`gather_surviving`]: salted per call (the harness salts
+/// by step × image), so a contribution that arrives *after* its step timed
+/// out can never be mistaken for the next step's payload.
+const TAG_GATHER_LIVE: u32 = COLLECTIVE_TAG_BASE + 0x0400_0000;
+
+/// Gather that tolerates dead contributors. Like [`gather`], but the root
+/// skips ranks the caller believes dead (`is_dead`) and bounds every other
+/// receive by `timeout`, so a rank that died between liveness checks costs
+/// one timeout, never a deadlock. Returns `Some(per-rank slots)` on the
+/// root — `None` in a slot is a missing contribution (dead, disconnected,
+/// or past deadline) — and `None` elsewhere. `salt` must be unique per
+/// logical gather (e.g. step index) so late payloads cannot cross steps.
+pub fn gather_surviving(
+    comm: &dyn Communicator,
+    root: usize,
+    salt: u32,
+    payload: Bytes,
+    is_dead: &dyn Fn(usize) -> bool,
+    timeout: Duration,
+) -> Result<Option<Vec<Option<Bytes>>>> {
+    let size = comm.size();
+    let rank = comm.rank();
+    comm.check_peer(root)?;
+    let tag = TAG_GATHER_LIVE + salt;
+    if rank == root {
+        let mut out: Vec<Option<Bytes>> = Vec::with_capacity(size);
+        // Receive in short slices, re-checking liveness between them: a
+        // rank that is declared dead mid-gather resolves to a hole in
+        // O(detection latency), while a live straggler keeps the whole
+        // `timeout` budget.
+        let slice = Duration::from_millis(5).min(timeout.max(Duration::from_millis(1)));
+        for from in 0..size {
+            if from == root {
+                out.push(Some(payload.clone()));
+                continue;
+            }
+            let deadline = Instant::now() + timeout;
+            let slot = loop {
+                if is_dead(from) {
+                    break None;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break None;
+                }
+                match comm.recv_timeout(from, tag, slice.min(deadline - now)) {
+                    Ok(bytes) => break Some(bytes),
+                    Err(TransportError::Timeout { .. }) => continue,
+                    Err(TransportError::Disconnected { .. }) => break None,
+                    Err(e) => return Err(e),
+                }
+            };
+            out.push(slot);
+        }
+        Ok(Some(out))
+    } else {
+        comm.send(root, tag, payload)?;
         Ok(None)
     }
 }
@@ -301,5 +441,105 @@ mod tests {
         let v = vec![1.5, -2.25, 1e300];
         assert_eq!(decode_f64s(&encode_f64s(&v)).unwrap(), v);
         assert!(decode_f64s(&Bytes::from_static(b"12345")).is_err());
+    }
+
+    #[test]
+    fn control_tags_sit_above_collectives_and_outside_the_chaos_window() {
+        const { assert!(CONTROL_TAG_BASE > COLLECTIVE_TAG_BASE) };
+        const { assert!(TAG_ADOPT_NOTICE >= CONTROL_TAG_BASE) };
+        // the default fault-plan window ends at the collective base, so
+        // control traffic is chaos-exempt by construction
+        let plan = crate::fault::FaultPlan::seeded(1).with_drop(1.0);
+        assert!(!plan.targets(TAG_ADOPT_NOTICE));
+    }
+
+    #[test]
+    fn adopt_notice_roundtrips_and_rejects_short_payloads() {
+        let notice = AdoptNotice {
+            dead_rank: 3,
+            adopted_at_step: 7,
+            adopter: 1,
+            latency_ns: 12_345_678,
+        };
+        assert_eq!(AdoptNotice::decode(&notice.encode()).unwrap(), notice);
+        assert!(AdoptNotice::decode(&Bytes::from_static(b"short")).is_err());
+    }
+
+    #[test]
+    fn adopt_notice_travels_the_control_plane() {
+        let results = on_ranks(3, |c| {
+            if c.rank() == 1 {
+                let notice = AdoptNotice {
+                    dead_rank: 2,
+                    adopted_at_step: 4,
+                    adopter: 1,
+                    latency_ns: 99,
+                };
+                send_adopt_notice(c, 0, &notice).unwrap();
+                None
+            } else if c.rank() == 0 {
+                Some(recv_adopt_notice(c, 1, 2, Duration::from_secs(5)).unwrap())
+            } else {
+                None
+            }
+        });
+        let got = results[0].unwrap();
+        assert_eq!(got.dead_rank, 2);
+        assert_eq!(got.adopter, 1);
+        assert_eq!(got.adopted_at_step, 4);
+    }
+
+    #[test]
+    fn gather_surviving_skips_the_dead_and_never_blocks_on_them() {
+        use std::time::Instant;
+        // rank 2 is "dead": it never calls the gather at all. The root
+        // must still return, with rank 2's slot empty, well inside the
+        // per-receive timeout budget.
+        let t0 = Instant::now();
+        let results = on_ranks(4, |c| {
+            if c.rank() == 2 {
+                return None; // dead rank: no participation
+            }
+            gather_surviving(
+                c,
+                0,
+                5,
+                Bytes::from(vec![c.rank() as u8]),
+                &|r| r == 2,
+                Duration::from_secs(5),
+            )
+            .unwrap()
+        });
+        let slots = results[0].as_ref().unwrap();
+        assert_eq!(slots.len(), 4);
+        assert_eq!(slots[0].as_ref().unwrap()[0], 0);
+        assert_eq!(slots[1].as_ref().unwrap()[0], 1);
+        assert!(slots[2].is_none(), "dead rank contributes nothing");
+        assert_eq!(slots[3].as_ref().unwrap()[0], 3);
+        // the dead slot was skipped, not waited out
+        assert!(t0.elapsed() < Duration::from_secs(4), "root waited on a dead rank");
+    }
+
+    #[test]
+    fn gather_surviving_counts_a_silent_live_rank_as_missing() {
+        // rank 1 is believed alive but never sends: the root times out on
+        // it (bounded) and records a missing contribution.
+        let results = on_ranks(3, |c| {
+            if c.rank() == 1 {
+                return None;
+            }
+            gather_surviving(
+                c,
+                0,
+                9,
+                Bytes::from(vec![c.rank() as u8]),
+                &|_| false,
+                Duration::from_millis(50),
+            )
+            .unwrap()
+        });
+        let slots = results[0].as_ref().unwrap();
+        assert!(slots[1].is_none(), "silent rank must surface as missing");
+        assert!(slots[2].is_some());
     }
 }

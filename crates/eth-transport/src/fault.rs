@@ -82,6 +82,21 @@ pub struct DisconnectSpec {
     pub after_messages: u64,
 }
 
+/// Kill rank `rank` outright when it reaches step `step`: the rank stops
+/// beating and stops sending, as if its node dropped off the fabric. Unlike
+/// [`DisconnectSpec`] (which severs one link), a kill takes the whole rank
+/// out — every peer loses it at once, and only a recovery policy (heartbeat
+/// detection + partition adoption) lets the run complete. Deterministic by
+/// construction: the same `(rank, step)` kills at the same point every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KillSpec {
+    /// Rank to kill (a simulation-side rank under intercore/internode).
+    pub rank: usize,
+    /// Step index (0-based) at which the rank dies, before producing that
+    /// step's data.
+    pub step: usize,
+}
+
 /// A complete, serializable fault scenario.
 ///
 /// The default plan is inert: zero probabilities, no disconnect, no
@@ -108,6 +123,10 @@ pub struct FaultPlan {
     /// Kill one peer's link mid-run.
     #[serde(default)]
     pub disconnect: Option<DisconnectSpec>,
+    /// Kill one whole rank at a given step (requires a recovery policy on
+    /// the experiment for the run to survive).
+    #[serde(default)]
+    pub kill_rank_at_step: Option<KillSpec>,
     /// Faults (and receive deadlines) apply only to tags in
     /// `[min_tag, max_tag)`.
     #[serde(default = "default_min_tag")]
@@ -141,6 +160,7 @@ impl Default for FaultPlan {
             delay_prob: 0.0,
             delay_ms: 0,
             disconnect: None,
+            kill_rank_at_step: None,
             min_tag: default_min_tag(),
             max_tag: default_max_tag(),
             recv_deadline_ms: 0,
@@ -186,6 +206,11 @@ impl FaultPlan {
         self
     }
 
+    pub fn with_kill_rank_at_step(mut self, rank: usize, step: usize) -> Self {
+        self.kill_rank_at_step = Some(KillSpec { rank, step });
+        self
+    }
+
     pub fn with_recv_deadline_ms(mut self, ms: u64) -> Self {
         self.recv_deadline_ms = ms;
         self
@@ -223,6 +248,13 @@ impl FaultPlan {
     /// `seq` (0-based) crosses it?
     pub fn disconnects(&self, peer: usize, seq: u64) -> bool {
         matches!(self.disconnect, Some(d) if d.peer == peer && seq >= d.after_messages)
+    }
+
+    /// Does the plan kill `rank` at (or before) `step`? The harness checks
+    /// this at each step boundary; a killed rank stops beating and stops
+    /// producing data from that step on.
+    pub fn kills(&self, rank: usize, step: usize) -> bool {
+        matches!(self.kill_rank_at_step, Some(k) if k.rank == rank && step >= k.step)
     }
 
     /// Check every numeric field is inside its legal domain, naming the
@@ -492,7 +524,8 @@ mod tests {
         let plan = FaultPlan::seeded(11)
             .with_drop(0.25)
             .with_delay(0.1, 15)
-            .with_disconnect(1, 3);
+            .with_disconnect(1, 3)
+            .with_kill_rank_at_step(1, 2);
         let text = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&text).unwrap();
         assert_eq!(plan, back);
@@ -500,6 +533,19 @@ mod tests {
         let empty: FaultPlan = serde_json::from_str("{}").unwrap();
         assert_eq!(empty, FaultPlan::default());
         assert!(!empty.is_active());
+    }
+
+    #[test]
+    fn kill_spec_is_deterministic_and_scoped_to_its_rank() {
+        let plan = FaultPlan::seeded(3).with_kill_rank_at_step(1, 2);
+        // the kill is not a message fault: the data path stays inert
+        assert!(!plan.is_active());
+        assert!(!plan.kills(1, 0));
+        assert!(!plan.kills(1, 1));
+        assert!(plan.kills(1, 2), "rank dies at its kill step");
+        assert!(plan.kills(1, 5), "…and stays dead afterwards");
+        assert!(!plan.kills(0, 2), "other ranks are untouched");
+        assert!(!FaultPlan::default().kills(1, 2));
     }
 
     #[test]

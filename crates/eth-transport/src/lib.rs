@@ -34,6 +34,9 @@ pub mod socket;
 
 pub use chaos::{ChaosChannel, ChaosComm};
 pub use comm::{Communicator, TransportError};
-pub use fault::{Backoff, BackoffShape, FaultPlan};
+pub use fault::{Backoff, BackoffShape, FaultPlan, KillSpec};
 pub use local::LocalFabric;
-pub use runner::{run_ranks, run_ranks_supervised, RankFailure};
+pub use runner::{
+    run_ranks, run_ranks_heartbeat, run_ranks_supervised, spawn_supervisor, DeathNotice,
+    HeartbeatBoard, HeartbeatPolicy, HeartbeatRun, RankFailure, Supervisor,
+};

@@ -11,8 +11,11 @@ use crate::comm::{Communicator, Result};
 use crate::layout::LayoutFile;
 use crate::local::{LocalComm, LocalFabric};
 use crate::socket::SocketFabric;
-use crossbeam::channel::unbounded;
+use crossbeam::channel::{unbounded, RecvTimeoutError};
+use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -118,9 +121,16 @@ pub enum RankFailure {
     /// A rank's body panicked; `message` is the panic payload when it was
     /// a string.
     Panic { rank: usize, message: String },
-    /// A rank did not finish within the budget. The rank reported is one
-    /// that had not completed when the budget expired.
-    Hang { rank: usize, waited: Duration },
+    /// A rank did not finish within the budget. Under the global-deadline
+    /// fallback the rank reported is one that had not completed when the
+    /// budget expired and `last_step` is `None`; under heartbeat
+    /// supervision it is the rank that *stopped beating*, with the last
+    /// step it completed before going silent.
+    Hang {
+        rank: usize,
+        waited: Duration,
+        last_step: Option<usize>,
+    },
 }
 
 impl std::fmt::Display for RankFailure {
@@ -129,7 +139,21 @@ impl std::fmt::Display for RankFailure {
             RankFailure::Panic { rank, message } => {
                 write!(f, "rank {rank} panicked: {message}")
             }
-            RankFailure::Hang { rank, waited } => write!(
+            RankFailure::Hang {
+                rank,
+                waited,
+                last_step: Some(step),
+            } => write!(
+                f,
+                "rank {rank} stopped beating after completing step {step} \
+                 (silent for {:.3}s)",
+                waited.as_secs_f64()
+            ),
+            RankFailure::Hang {
+                rank,
+                waited,
+                last_step: None,
+            } => write!(
                 f,
                 "rank {rank} did not finish within {:.3}s",
                 waited.as_secs_f64()
@@ -212,11 +236,432 @@ where
                 return Err(RankFailure::Hang {
                     rank,
                     waited: rank_timeout,
+                    last_step: None,
                 });
             }
         }
     }
     Ok(slots.into_iter().map(|s| s.expect("all slots filled")).collect())
+}
+
+/// Per-rank liveness beacons: how often a healthy rank must beat, and how
+/// many missed intervals mark it dead. Replaces the single global hang
+/// deadline for detection (the global budget stays as a backstop): a dead
+/// rank is noticed in `interval_ms × miss_budget` milliseconds instead of
+/// at the end of the whole run's wall-clock budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatPolicy {
+    /// Expected beacon interval, milliseconds.
+    #[serde(default = "default_heartbeat_interval_ms")]
+    pub interval_ms: u64,
+    /// Consecutive missed intervals before a rank is declared dead.
+    #[serde(default = "default_heartbeat_miss_budget")]
+    pub miss_budget: u32,
+}
+
+fn default_heartbeat_interval_ms() -> u64 {
+    25
+}
+
+fn default_heartbeat_miss_budget() -> u32 {
+    4
+}
+
+impl Default for HeartbeatPolicy {
+    fn default() -> HeartbeatPolicy {
+        HeartbeatPolicy {
+            interval_ms: default_heartbeat_interval_ms(),
+            miss_budget: default_heartbeat_miss_budget(),
+        }
+    }
+}
+
+impl HeartbeatPolicy {
+    /// Silence longer than this marks a rank dead.
+    pub fn detection_deadline(&self) -> Duration {
+        Duration::from_millis(self.interval_ms.max(1) * self.miss_budget.max(1) as u64)
+    }
+
+    /// How often the supervisor scans the board (half the beat interval,
+    /// floored at 1 ms, so detection latency stays O(interval)).
+    pub fn poll_interval(&self) -> Duration {
+        Duration::from_millis((self.interval_ms / 2).max(1))
+    }
+
+    /// Sanity-check the policy, naming the offending field.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.interval_ms == 0 {
+            return Err("heartbeat interval_ms must be > 0".into());
+        }
+        if self.miss_budget == 0 {
+            return Err("heartbeat miss_budget must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
+const RANK_ALIVE: u8 = 0;
+const RANK_DONE: u8 = 1;
+const RANK_DEAD: u8 = 2;
+
+struct RankSlot {
+    /// Nanoseconds since board origin of the last beacon.
+    last_beat_ns: AtomicU64,
+    /// Last *completed* step + 1 (0 = none completed yet).
+    last_step: AtomicU64,
+    state: AtomicU8,
+}
+
+/// One confirmed rank death, as recorded by the supervisor scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeathNotice {
+    /// The rank that stopped beating.
+    pub rank: usize,
+    /// The last step it completed before going silent, if any.
+    pub last_step: Option<usize>,
+    /// Board-origin nanoseconds of its last beacon.
+    pub last_beat_ns: u64,
+    /// Board-origin nanoseconds when the supervisor declared it dead.
+    pub detected_ns: u64,
+}
+
+impl DeathNotice {
+    /// Silence between the last beacon and the declaration — the
+    /// detection half of recovery latency.
+    pub fn detection_latency(&self) -> Duration {
+        Duration::from_nanos(self.detected_ns.saturating_sub(self.last_beat_ns))
+    }
+}
+
+/// Shared liveness board: every rank posts beacons, a supervisor scans for
+/// silence, and survivors consult it to learn who died (and at which step)
+/// without ever messaging the dead peer. Lock-free on the beat path — one
+/// atomic store per beacon.
+pub struct HeartbeatBoard {
+    origin: Instant,
+    slots: Vec<RankSlot>,
+    notices: Mutex<Vec<DeathNotice>>,
+}
+
+impl HeartbeatBoard {
+    /// A board for `size` ranks; every rank starts alive with a beacon at
+    /// the origin, so a rank that dies before its first beat is still
+    /// detected one detection-deadline after the board is created.
+    pub fn new(size: usize) -> Arc<HeartbeatBoard> {
+        Arc::new(HeartbeatBoard {
+            origin: Instant::now(),
+            slots: (0..size)
+                .map(|_| RankSlot {
+                    last_beat_ns: AtomicU64::new(0),
+                    last_step: AtomicU64::new(0),
+                    state: AtomicU8::new(RANK_ALIVE),
+                })
+                .collect(),
+            notices: Mutex::new(Vec::new()),
+        })
+    }
+
+    pub fn size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Nanoseconds since the board's origin (the liveness clock).
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Post a liveness beacon for `rank`.
+    pub fn beat(&self, rank: usize) {
+        self.slots[rank].last_beat_ns.store(self.now_ns(), Ordering::Release);
+    }
+
+    /// Record that `rank` completed `step`, which doubles as a beacon.
+    pub fn step_done(&self, rank: usize, step: usize) {
+        self.slots[rank].last_step.store(step as u64 + 1, Ordering::Release);
+        self.beat(rank);
+    }
+
+    /// Mark `rank` cleanly finished: it stops beating and must not be
+    /// declared dead. Keeps an existing DEAD state (a dead rank's
+    /// tombstone return does not resurrect it).
+    pub fn mark_done(&self, rank: usize) {
+        let _ = self.slots[rank].state.compare_exchange(
+            RANK_ALIVE,
+            RANK_DONE,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.slots[rank].state.load(Ordering::Acquire) == RANK_DEAD
+    }
+
+    pub fn is_done(&self, rank: usize) -> bool {
+        self.slots[rank].state.load(Ordering::Acquire) == RANK_DONE
+    }
+
+    /// The last step `rank` completed, if any.
+    pub fn last_step(&self, rank: usize) -> Option<usize> {
+        match self.slots[rank].last_step.load(Ordering::Acquire) {
+            0 => None,
+            s => Some(s as usize - 1),
+        }
+    }
+
+    /// Board-origin nanoseconds of `rank`'s last beacon.
+    pub fn last_beat_ns(&self, rank: usize) -> u64 {
+        self.slots[rank].last_beat_ns.load(Ordering::Acquire)
+    }
+
+    /// Declare `rank` dead (idempotent). Returns the notice when this call
+    /// made the transition.
+    pub fn declare_dead(&self, rank: usize) -> Option<DeathNotice> {
+        let flipped = self.slots[rank]
+            .state
+            .compare_exchange(RANK_ALIVE, RANK_DEAD, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if !flipped {
+            return None;
+        }
+        let notice = DeathNotice {
+            rank,
+            last_step: self.last_step(rank),
+            last_beat_ns: self.last_beat_ns(rank),
+            detected_ns: self.now_ns(),
+        };
+        self.notices.lock().unwrap().push(notice);
+        Some(notice)
+    }
+
+    /// One supervisor scan: declare dead every alive rank silent for
+    /// longer than `detection`. Returns the *new* notices.
+    pub fn scan(&self, detection: Duration) -> Vec<DeathNotice> {
+        let now = self.now_ns();
+        let limit = detection.as_nanos() as u64;
+        let mut fresh = Vec::new();
+        for rank in 0..self.slots.len() {
+            if self.slots[rank].state.load(Ordering::Acquire) != RANK_ALIVE {
+                continue;
+            }
+            if now.saturating_sub(self.last_beat_ns(rank)) > limit {
+                if let Some(n) = self.declare_dead(rank) {
+                    fresh.push(n);
+                }
+            }
+        }
+        fresh
+    }
+
+    /// All deaths declared so far, in declaration order.
+    pub fn deaths(&self) -> Vec<DeathNotice> {
+        self.notices.lock().unwrap().clone()
+    }
+
+    /// The first death declared for `rank`, if any.
+    pub fn death_of(&self, rank: usize) -> Option<DeathNotice> {
+        self.notices.lock().unwrap().iter().find(|n| n.rank == rank).copied()
+    }
+
+    /// The stalest still-alive rank — the best hang suspect when the
+    /// global budget expires before any detection fires.
+    pub fn stalest_alive(&self) -> Option<usize> {
+        (0..self.slots.len())
+            .filter(|&r| self.slots[r].state.load(Ordering::Acquire) == RANK_ALIVE)
+            .min_by_key(|&r| self.last_beat_ns(r))
+    }
+
+    /// Block until `rank` is declared dead (the parked tombstone path a
+    /// kill-injected rank takes: a dead node does not "finish early", it
+    /// goes silent until the supervisor notices). Bounded by `budget`.
+    pub fn await_death(&self, rank: usize, budget: Duration) -> Option<DeathNotice> {
+        let deadline = Instant::now() + budget;
+        while Instant::now() < deadline {
+            if self.is_dead(rank) {
+                return self.death_of(rank);
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        self.death_of(rank)
+    }
+}
+
+/// A background heartbeat supervisor scanning a shared board. Used by run
+/// modes that spawn their rank threads directly (internode coupling);
+/// [`run_ranks_heartbeat`] folds the same scan into its collector loop.
+pub struct Supervisor {
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+/// Spawn a supervisor over `board` scanning at the policy's poll interval.
+/// It stops (and its thread joins) when the returned handle is dropped or
+/// [`Supervisor::stop`] is called, or on its own once every rank is done
+/// or dead.
+pub fn spawn_supervisor(board: &Arc<HeartbeatBoard>, policy: HeartbeatPolicy) -> Supervisor {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = stop.clone();
+    let board = board.clone();
+    let detection = policy.detection_deadline();
+    let poll = policy.poll_interval();
+    let handle = thread::Builder::new()
+        .name("eth-heartbeat-supervisor".into())
+        .spawn(move || {
+            while !flag.load(Ordering::Acquire) {
+                board.scan(detection);
+                if (0..board.size()).all(|r| board.is_done(r) || board.is_dead(r)) {
+                    break;
+                }
+                thread::sleep(poll);
+            }
+        })
+        .expect("spawn supervisor thread");
+    Supervisor {
+        stop,
+        handle: Some(handle),
+    }
+}
+
+impl Supervisor {
+    /// Stop scanning and join the supervisor thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Result of a heartbeat-supervised run: per-rank outputs (`None` for a
+/// rank that died and never reported) plus the deaths that occurred.
+#[derive(Debug)]
+pub struct HeartbeatRun<T> {
+    pub outputs: Vec<Option<T>>,
+    pub deaths: Vec<DeathNotice>,
+}
+
+/// Like [`run_ranks_supervised`], but liveness comes from per-rank
+/// heartbeats instead of one global deadline. Each rank body receives the
+/// shared [`HeartbeatBoard`] and must beat at least once per policy
+/// interval; the collector doubles as the supervisor, scanning the board
+/// between joins. A silent rank is declared dead after
+/// `interval × miss_budget` — O(interval), not O(run) — and the run keeps
+/// going as long as at most `max_losses` ranks die (survivors consult the
+/// board to adopt the dead rank's work). One death too many fails the run
+/// with a heartbeat-attributed [`RankFailure::Hang`] naming the rank and
+/// its last completed step; `rank_timeout` stays as the global backstop.
+pub fn run_ranks_heartbeat<T, F>(
+    size: usize,
+    policy: HeartbeatPolicy,
+    max_losses: usize,
+    rank_timeout: Duration,
+    body: F,
+) -> std::result::Result<HeartbeatRun<T>, RankFailure>
+where
+    T: Send + 'static,
+    F: Fn(LocalComm, Arc<HeartbeatBoard>) -> T + Send + Sync + Clone + 'static,
+{
+    let board = HeartbeatBoard::new(size);
+    let comms = LocalFabric::new(size);
+    let (tx, rx) = unbounded::<(usize, thread::Result<T>)>();
+    let obs = eth_obs::current_context();
+    for comm in comms {
+        let body = body.clone();
+        let tx = tx.clone();
+        let obs = obs.clone();
+        let board = board.clone();
+        thread::Builder::new()
+            .name(format!("eth-rank-{}", comm.rank()))
+            .spawn(move || {
+                let _obs = obs.attach();
+                eth_obs::set_rank(comm.rank());
+                let rank = comm.rank();
+                board.beat(rank);
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(comm, board)));
+                let _ = tx.send((rank, result));
+            })
+            .expect("spawn rank thread");
+    }
+    drop(tx);
+    let deadline = Instant::now() + rank_timeout;
+    let detection = policy.detection_deadline();
+    let poll = policy.poll_interval();
+    let mut slots: Vec<Option<T>> = (0..size).map(|_| None).collect();
+    let mut reported = vec![false; size];
+    let mut reported_count = 0usize;
+    // Once every live rank has reported, dead ranks get one more detection
+    // window to deliver a parked tombstone before we give up on them.
+    let mut tombstone_grace: Option<Instant> = None;
+    loop {
+        match rx.recv_timeout(poll) {
+            Ok((rank, Ok(value))) => {
+                board.mark_done(rank);
+                slots[rank] = Some(value);
+                reported[rank] = true;
+                reported_count += 1;
+            }
+            Ok((rank, Err(payload))) => {
+                return Err(RankFailure::Panic {
+                    rank,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // every rank thread exited and the queue is drained
+                break;
+            }
+        }
+        board.scan(detection);
+        let deaths = board.deaths();
+        if deaths.len() > max_losses {
+            let d = deaths[deaths.len() - 1];
+            return Err(RankFailure::Hang {
+                rank: d.rank,
+                waited: d.detection_latency(),
+                last_step: d.last_step,
+            });
+        }
+        if reported_count == size {
+            break;
+        }
+        if (0..size).all(|r| reported[r] || board.is_dead(r)) {
+            // only dead ranks outstanding: wait out the tombstone grace
+            let since = *tombstone_grace.get_or_insert_with(Instant::now);
+            if since.elapsed() > detection {
+                break;
+            }
+        } else {
+            tombstone_grace = None;
+        }
+        if Instant::now() > deadline {
+            // global backstop, with heartbeat attribution when possible
+            let rank = board
+                .stalest_alive()
+                .or_else(|| (0..size).find(|&r| !reported[r]))
+                .unwrap_or(0);
+            return Err(RankFailure::Hang {
+                rank,
+                waited: rank_timeout,
+                last_step: board.last_step(rank),
+            });
+        }
+    }
+    Ok(HeartbeatRun {
+        outputs: slots,
+        deaths: board.deaths(),
+    })
 }
 
 #[cfg(test)]
@@ -323,6 +768,207 @@ mod tests {
         );
         // the supervisor must give up at the budget, not wait out the hang
         assert!(start.elapsed() < Duration::from_secs(4));
+    }
+
+    fn fast_policy() -> HeartbeatPolicy {
+        HeartbeatPolicy {
+            interval_ms: 10,
+            miss_budget: 3,
+        }
+    }
+
+    #[test]
+    fn heartbeat_policy_defaults_and_serde() {
+        let p = HeartbeatPolicy::default();
+        assert!(p.validate().is_ok());
+        assert_eq!(
+            p.detection_deadline(),
+            Duration::from_millis(p.interval_ms * p.miss_budget as u64)
+        );
+        let empty: HeartbeatPolicy = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, HeartbeatPolicy::default());
+        let back: HeartbeatPolicy =
+            serde_json::from_str(&serde_json::to_string(&fast_policy()).unwrap()).unwrap();
+        assert_eq!(back, fast_policy());
+        assert!(HeartbeatPolicy { interval_ms: 0, miss_budget: 3 }.validate().is_err());
+        assert!(HeartbeatPolicy { interval_ms: 5, miss_budget: 0 }.validate().is_err());
+    }
+
+    #[test]
+    fn heartbeat_clean_run_matches_unsupervised() {
+        let run = run_ranks_heartbeat(
+            4,
+            fast_policy(),
+            0,
+            Duration::from_secs(30),
+            |c, board| {
+                for step in 0..3 {
+                    board.step_done(c.rank(), step);
+                }
+                c.rank() * c.rank()
+            },
+        )
+        .unwrap();
+        let values: Vec<usize> = run.outputs.into_iter().map(|o| o.unwrap()).collect();
+        assert_eq!(values, vec![0, 1, 4, 9]);
+        assert!(run.deaths.is_empty());
+    }
+
+    #[test]
+    fn heartbeat_detects_the_silent_rank_and_its_last_step() {
+        // rank 1 completes step 4, then goes silent forever. With a zero
+        // loss budget the run must fail in O(detection deadline) — far
+        // under the 30 s global budget — naming rank 1 and step 4.
+        let start = Instant::now();
+        let err = run_ranks_heartbeat(
+            3,
+            fast_policy(),
+            0,
+            Duration::from_secs(30),
+            |c, board| {
+                board.step_done(c.rank(), 4);
+                if c.rank() == 1 {
+                    thread::sleep(Duration::from_secs(10));
+                }
+                c.rank()
+            },
+        )
+        .unwrap_err();
+        match err {
+            RankFailure::Hang {
+                rank,
+                last_step,
+                waited,
+            } => {
+                assert_eq!(rank, 1);
+                assert_eq!(last_step, Some(4));
+                assert!(waited >= fast_policy().detection_deadline());
+            }
+            other => panic!("expected heartbeat Hang, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "detection took {:?}, not O(interval)",
+            start.elapsed()
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("rank 1") && msg.contains("step 4"), "{msg}");
+    }
+
+    #[test]
+    fn heartbeat_run_survives_a_death_within_the_loss_budget() {
+        // rank 2 "dies" at step 1: stops beating and parks until the
+        // supervisor declares it dead (the kill-injection protocol), then
+        // returns a tombstone. Survivors keep beating until the death is
+        // on the board, then finish. max_losses = 1 ⇒ the run completes.
+        let run = run_ranks_heartbeat(
+            3,
+            fast_policy(),
+            1,
+            Duration::from_secs(30),
+            |c, board| {
+                let rank = c.rank();
+                if rank == 2 {
+                    board.step_done(rank, 0);
+                    board.await_death(rank, Duration::from_secs(10));
+                    return usize::MAX; // tombstone
+                }
+                for step in 0..5 {
+                    board.step_done(rank, step);
+                    thread::sleep(Duration::from_millis(5));
+                }
+                // survivors must be able to observe the death
+                while !board.is_dead(2) {
+                    board.beat(rank);
+                    thread::sleep(Duration::from_millis(2));
+                }
+                rank
+            },
+        )
+        .unwrap();
+        assert_eq!(run.deaths.len(), 1);
+        let death = run.deaths[0];
+        assert_eq!(death.rank, 2);
+        assert_eq!(death.last_step, Some(0));
+        assert!(death.detection_latency() >= fast_policy().detection_deadline());
+        assert_eq!(run.outputs[0], Some(0));
+        assert_eq!(run.outputs[1], Some(1));
+        assert_eq!(run.outputs[2], Some(usize::MAX), "tombstone must be kept");
+    }
+
+    #[test]
+    fn global_deadline_backstop_still_fires_under_heartbeats() {
+        // every rank keeps beating but rank 0 never finishes: detection
+        // cannot fire (it is not silent), so the global budget must.
+        let err = run_ranks_heartbeat(
+            2,
+            fast_policy(),
+            1,
+            Duration::from_millis(200),
+            |c, board| {
+                let rank = c.rank();
+                board.step_done(rank, 7);
+                if rank == 0 {
+                    let t = Instant::now();
+                    while t.elapsed() < Duration::from_secs(5) {
+                        board.beat(rank);
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                }
+                rank
+            },
+        )
+        .unwrap_err();
+        match err {
+            RankFailure::Hang {
+                rank, last_step, ..
+            } => {
+                assert_eq!(rank, 0);
+                assert_eq!(last_step, Some(7), "backstop keeps step attribution");
+            }
+            other => panic!("expected Hang, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn board_state_machine_is_idempotent_and_monotonic() {
+        let board = HeartbeatBoard::new(2);
+        assert_eq!(board.last_step(0), None);
+        board.step_done(0, 3);
+        assert_eq!(board.last_step(0), Some(3));
+        // first declaration yields a notice, the second does not
+        assert!(board.declare_dead(0).is_some());
+        assert!(board.declare_dead(0).is_none());
+        assert!(board.is_dead(0));
+        // a dead rank's tombstone return must not resurrect it
+        board.mark_done(0);
+        assert!(board.is_dead(0) && !board.is_done(0));
+        // a done rank can never be declared dead
+        board.mark_done(1);
+        assert!(board.declare_dead(1).is_none());
+        assert!(board.scan(Duration::from_nanos(0)).is_empty());
+        assert_eq!(board.deaths().len(), 1);
+        assert_eq!(board.death_of(0).unwrap().last_step, Some(3));
+        assert!(board.death_of(1).is_none());
+    }
+
+    #[test]
+    fn standalone_supervisor_declares_silent_ranks() {
+        let board = HeartbeatBoard::new(2);
+        let sup = spawn_supervisor(&board, fast_policy());
+        board.beat(0);
+        board.beat(1);
+        // rank 1 goes silent; rank 0 keeps beating then finishes
+        let t = Instant::now();
+        while board.death_of(1).is_none() && t.elapsed() < Duration::from_secs(5) {
+            board.beat(0);
+            thread::sleep(Duration::from_millis(2));
+        }
+        let death = board.death_of(1).expect("supervisor never declared rank 1");
+        assert_eq!(death.rank, 1);
+        assert!(!board.is_dead(0), "a beating rank must stay alive");
+        board.mark_done(0);
+        sup.stop();
     }
 
     #[test]
