@@ -10,6 +10,8 @@
 //! reproduce chaos-campaign       # lossy campaign demo with retries
 //! reproduce chaos-campaign --seed 42
 //! reproduce chaos-campaign --kill-rank     # in-run rank-loss recovery demo
+//! reproduce migrate              # elasticity benchmark (BENCH_migration.json)
+//! reproduce migrate --smoke      # CI-sized: byte-identity + counters only
 //! reproduce bench                # campaign-throughput benchmark
 //! reproduce bench --smoke        # CI-sized benchmark
 //! reproduce bench --out FILE     # where to write the JSON report
@@ -19,14 +21,14 @@
 //!
 //! ```text
 //! --trace FILE      # export a Chrome trace-event JSON (Perfetto-loadable)
-//! --metrics FILE    # export campaign telemetry as Prometheus text,
-//!                   # plus FILE.jsonl (needs table2 or chaos-campaign)
+//! --metrics FILE    # export campaign telemetry as Prometheus text, plus
+//!                   # FILE.jsonl (needs table2, chaos-campaign, or migrate)
 //! --verbose         # per-artifact progress on stderr
 //! --quiet           # artifacts only, no progress chatter
 //! ```
 
 use eth_bench::progress::{Progress, Verbosity};
-use eth_bench::{campaign, chaos, runs};
+use eth_bench::{campaign, chaos, migrate, runs};
 use eth_core::CampaignTelemetry;
 use std::path::PathBuf;
 
@@ -71,6 +73,59 @@ fn run_bench(args: &[String], progress: &Progress) {
     }
     progress.done("bench", "complete");
     progress.note(&format!("wrote {}", out_path.display()));
+}
+
+/// `reproduce migrate [--smoke] [--samples N] [--out PATH]`: run the
+/// elasticity benchmark — every migration schedule measured for per-
+/// handoff disruption against a byte-identity contract — and write
+/// `BENCH_migration.json`. Returns the campaign pass's telemetry so
+/// `--metrics` exports the migration counters.
+fn run_migrate(args: &[String], progress: &Progress) -> CampaignTelemetry {
+    let mut samples = migrate::FULL_SAMPLES;
+    let mut out_path = PathBuf::from("BENCH_migration.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => samples = migrate::SMOKE_SAMPLES,
+            "--samples" => {
+                samples = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--samples needs a positive integer argument");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                out_path = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a file argument");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown migrate option '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    progress.begin("migrate");
+    let (report, telemetry) = match migrate::run_migration_bench(samples) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("migration bench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.summary());
+    if !report.byte_identical {
+        eprintln!("migration changed the images: the zero-loss contract is broken");
+        std::process::exit(1);
+    }
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out_path, json + "\n") {
+        eprintln!("failed to write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    progress.done("migrate", "complete");
+    progress.note(&format!("wrote {}", out_path.display()));
+    telemetry
 }
 
 /// `reproduce chaos-campaign [--seed N] [--kill-rank]`: run the lossy
@@ -194,7 +249,7 @@ fn write_exports(
     }
     if let Some(path) = metrics_path {
         let Some(t) = telemetry else {
-            eprintln!("--metrics: no campaign ran (use table2 or chaos-campaign)");
+            eprintln!("--metrics: no campaign ran (use table2, chaos-campaign, or migrate)");
             std::process::exit(2);
         };
         if let Err(e) = std::fs::write(path, t.to_prometheus()) {
@@ -219,7 +274,7 @@ fn write_exports(
 fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Option<CampaignTelemetry> {
     if args.first().map(String::as_str) == Some("bench") {
         if want_metrics {
-            eprintln!("--metrics does not apply to bench (use table2 or chaos-campaign)");
+            eprintln!("--metrics does not apply to bench (use table2, chaos-campaign, or migrate)");
             std::process::exit(2);
         }
         run_bench(&args[1..], progress);
@@ -227,6 +282,9 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
     }
     if args.first().map(String::as_str) == Some("chaos-campaign") {
         return Some(run_chaos(&args[1..], progress));
+    }
+    if args.first().map(String::as_str) == Some("migrate") {
+        return Some(run_migrate(&args[1..], progress));
     }
 
     let mut csv_dir: Option<PathBuf> = None;
@@ -258,6 +316,7 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
                     "usage: reproduce [--csv DIR] [--journal DIR [--resume]] \
                      [table2 --recovery] [table1 table2 fig8 .. fig15]\n\
                      \x20      reproduce chaos-campaign [--seed N] [--kill-rank]\n\
+                     \x20      reproduce migrate [--smoke] [--samples N] [--out FILE]\n\
                      \x20      reproduce bench [--smoke] [--out FILE]\n\
                      global: [--trace FILE] [--metrics FILE] [--verbose | --quiet]"
                 );
@@ -289,7 +348,7 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
     }
     let table2_selected = wanted.is_empty() || wanted.iter().any(|w| w == "table2");
     if want_metrics && !table2_selected {
-        eprintln!("--metrics needs a campaign artifact (table2) or chaos-campaign");
+        eprintln!("--metrics needs a campaign artifact (table2), chaos-campaign, or migrate");
         std::process::exit(2);
     }
 

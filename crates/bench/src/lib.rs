@@ -9,5 +9,6 @@
 
 pub mod campaign;
 pub mod chaos;
+pub mod migrate;
 pub mod progress;
 pub mod runs;

@@ -64,6 +64,72 @@ impl RecoveryPolicy {
     }
 }
 
+/// Megaphone-style migration schedules (DESIGN.md §13): which partitions
+/// move between visualization ranks, and when. `from`/`to` index the
+/// visualization side (intercore: one viz rank per sim rank; internode:
+/// the viz application's own rank space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationPattern {
+    /// Every partition the source owns moves in one step.
+    Sudden { from: usize, to: usize, at_step: usize },
+    /// One partition per step, ascending partition id, starting at
+    /// `start_step` — the smooth end of the disruption spectrum.
+    Fluid { from: usize, to: usize, start_step: usize },
+    /// `batch` partitions per step: the dial between Sudden and Fluid.
+    BatchedFluid {
+        from: usize,
+        to: usize,
+        start_step: usize,
+        batch: usize,
+    },
+    /// Internode only: switch the viz rank count to `viz_ranks` at
+    /// `at_step`. Growing adds ranks that take over their round-robin
+    /// share; shrinking drains the retired ranks' partitions onto the
+    /// survivors.
+    Rescale { viz_ranks: usize, at_step: usize },
+}
+
+/// The migration axis of a design point: a schedule plus the handoff
+/// protocol's patience. Serde-able so elasticity sweeps record exactly
+/// like any other axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationPlan {
+    pub pattern: MigrationPattern,
+    /// Per-handoff budget for the offer → state → ack round trip; past it
+    /// the handoff degrades to "no migration happened".
+    #[serde(default = "default_handoff_timeout_ms")]
+    pub handoff_timeout_ms: u64,
+}
+
+fn default_handoff_timeout_ms() -> u64 {
+    1_000
+}
+
+impl MigrationPlan {
+    pub fn new(pattern: MigrationPattern) -> MigrationPlan {
+        MigrationPlan {
+            pattern,
+            handoff_timeout_ms: default_handoff_timeout_ms(),
+        }
+    }
+
+    pub fn handoff_timeout(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.handoff_timeout_ms.max(1))
+    }
+}
+
+/// One planned partition handoff, fully resolved against a spec: partition
+/// `partition` moves from viz rank `from` to viz rank `to` at the start of
+/// `step`. Derived deterministically by [`ExperimentSpec::migration_handoffs`];
+/// the handoff's position in that list is its control-plane identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handoff {
+    pub partition: usize,
+    pub from: usize,
+    pub to: usize,
+    pub step: usize,
+}
+
 /// Which science workload feeds the experiment (Section IV-A).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Application {
@@ -316,6 +382,12 @@ pub struct ExperimentSpec {
     /// rank; harmless (pure overhead accounting) when no fault fires.
     #[serde(default)]
     pub recovery: Option<RecoveryPolicy>,
+    /// Planned elasticity: live partition migration between viz ranks or a
+    /// viz-rank rescale mid-run (DESIGN.md §13). Requires a recovery policy
+    /// — the handoff protocol rides the same heartbeat/control plane — and
+    /// a coupling with a viz side (intercore or internode).
+    #[serde(default)]
+    pub migration: Option<MigrationPlan>,
 }
 
 impl ExperimentSpec {
@@ -327,6 +399,96 @@ impl ExperimentSpec {
     pub fn sampling(&self) -> Result<SamplingSpec> {
         SamplingSpec::new(self.sampling_ratio, SamplingMethod::Random, self.seed)
             .map_err(CoreError::from)
+    }
+
+    /// Viz-side rank count at step 0: intercore pairs one viz rank per sim
+    /// rank; internode uses the configured split. (Tight has no separate
+    /// viz side; its value is only used for validation messages.)
+    pub fn initial_viz_count(&self) -> usize {
+        match self.coupling {
+            Coupling::Internode => self.viz_ranks.unwrap_or(self.ranks).max(1),
+            _ => self.ranks,
+        }
+    }
+
+    /// Largest viz rank count the run ever needs: the initial split, or the
+    /// rescale target when a `Rescale` migration grows the viz side.
+    pub fn max_viz_count(&self) -> usize {
+        let base = self.initial_viz_count();
+        match self.migration.map(|m| m.pattern) {
+            Some(MigrationPattern::Rescale { viz_ranks, .. }) => base.max(viz_ranks),
+            _ => base,
+        }
+    }
+
+    /// The viz rank that owns sim partition `p` before any migration:
+    /// identity for intercore (one viz rank per sim rank), round-robin for
+    /// internode.
+    pub fn initial_owner(&self, partition: usize) -> usize {
+        match self.coupling {
+            Coupling::Internode => partition % self.initial_viz_count(),
+            _ => partition,
+        }
+    }
+
+    /// Resolve the migration plan into its ordered handoff list — a pure
+    /// function of the spec, so every rank (and the bench baseline) derives
+    /// the same schedule independently. Empty when no plan is set.
+    pub fn migration_handoffs(&self) -> Vec<Handoff> {
+        let Some(plan) = self.migration else {
+            return Vec::new();
+        };
+        let owned_by = |rank: usize| -> Vec<usize> {
+            (0..self.ranks).filter(|&p| self.initial_owner(p) == rank).collect()
+        };
+        match plan.pattern {
+            MigrationPattern::Sudden { from, to, at_step } => owned_by(from)
+                .into_iter()
+                .map(|partition| Handoff { partition, from, to, step: at_step })
+                .collect(),
+            MigrationPattern::Fluid { from, to, start_step } => owned_by(from)
+                .into_iter()
+                .enumerate()
+                .map(|(i, partition)| Handoff { partition, from, to, step: start_step + i })
+                .collect(),
+            MigrationPattern::BatchedFluid { from, to, start_step, batch } => owned_by(from)
+                .into_iter()
+                .enumerate()
+                .map(|(i, partition)| Handoff {
+                    partition,
+                    from,
+                    to,
+                    step: start_step + i / batch.max(1),
+                })
+                .collect(),
+            MigrationPattern::Rescale { viz_ranks, at_step } => {
+                let old = self.initial_viz_count();
+                let new = viz_ranks.max(1);
+                (0..self.ranks)
+                    .filter(|p| p % old != p % new)
+                    .map(|partition| Handoff {
+                        partition,
+                        from: partition % old,
+                        to: partition % new,
+                        step: at_step,
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The viz rank *planned* to own partition `p` when rendering step
+    /// `step`, assuming every handoff commits. The run-time ownership table
+    /// additionally folds in handoffs that aborted (source keeps the
+    /// partition) — see the harness.
+    pub fn planned_owner(&self, partition: usize, step: usize) -> usize {
+        let mut owner = self.initial_owner(partition);
+        for h in self.migration_handoffs() {
+            if h.partition == partition && h.step <= step {
+                owner = h.to;
+            }
+        }
+        owner
     }
 
     pub fn validate(&self) -> Result<()> {
@@ -375,7 +537,7 @@ impl ExperimentSpec {
         // the spec checks it — the victim and step must exist, the coupling
         // must have independent rank lifetimes, and someone must be
         // listening for the death.
-        if let Some(kill) = self.fault_plan.as_ref().and_then(|p| p.kill_rank_at_step) {
+        if let Some(plan) = self.fault_plan.as_ref().filter(|p| p.kill_rank_at_step.is_some()) {
             if self.recovery.is_none() {
                 return Err(CoreError::Config(
                     "kill_rank_at_step requires a recovery policy: without \
@@ -391,17 +553,96 @@ impl ExperimentSpec {
                         .into(),
                 ));
             }
-            if kill.rank >= self.ranks {
-                return Err(CoreError::Config(format!(
-                    "kill_rank_at_step.rank {} outside {} sim ranks",
-                    kill.rank, self.ranks
-                )));
+            // bound checks (victim and step must exist) live with the plan
+            plan.validate_kill(self.ranks, self.steps)
+                .map_err(CoreError::Config)?;
+        }
+        // Migration is contextual in the same way: the schedule must name
+        // viz ranks and steps that exist for this run shape.
+        if let Some(plan) = &self.migration {
+            if plan.handoff_timeout_ms == 0 {
+                return Err(CoreError::Config(
+                    "migration.handoff_timeout_ms must be >= 1".into(),
+                ));
             }
-            if kill.step >= self.steps {
-                return Err(CoreError::Config(format!(
-                    "kill_rank_at_step.step {} outside {} steps",
-                    kill.step, self.steps
-                )));
+            if self.recovery.is_none() {
+                return Err(CoreError::Config(
+                    "migration requires a recovery policy: the handoff \
+                     protocol rides the heartbeat control plane"
+                        .into(),
+                ));
+            }
+            if self.coupling == Coupling::Tight {
+                return Err(CoreError::Config(
+                    "migration requires intercore or internode coupling \
+                     (tight coupling has no viz ranks to move work between)"
+                        .into(),
+                ));
+            }
+            let viz = self.initial_viz_count();
+            match plan.pattern {
+                MigrationPattern::Sudden { from, to, .. }
+                | MigrationPattern::Fluid { from, to, .. }
+                | MigrationPattern::BatchedFluid { from, to, .. } => {
+                    if from == to {
+                        return Err(CoreError::Config(
+                            "migration source and target viz ranks must differ".into(),
+                        ));
+                    }
+                    if from >= viz || to >= viz {
+                        return Err(CoreError::Config(format!(
+                            "migration ranks {from} -> {to} outside {viz} viz ranks"
+                        )));
+                    }
+                    if let MigrationPattern::BatchedFluid { batch, .. } = plan.pattern {
+                        if batch == 0 {
+                            return Err(CoreError::Config(
+                                "migration batch must be >= 1".into(),
+                            ));
+                        }
+                    }
+                    let handoffs = self.migration_handoffs();
+                    if handoffs.is_empty() {
+                        return Err(CoreError::Config(format!(
+                            "migration source viz rank {from} owns no partitions"
+                        )));
+                    }
+                    if let Some(last) = handoffs.iter().map(|h| h.step).max() {
+                        if last >= self.steps {
+                            return Err(CoreError::Config(format!(
+                                "migration schedule reaches step {last}, outside {} steps",
+                                self.steps
+                            )));
+                        }
+                    }
+                }
+                MigrationPattern::Rescale { viz_ranks, at_step } => {
+                    if self.coupling != Coupling::Internode {
+                        return Err(CoreError::Config(
+                            "rescale migration requires internode coupling \
+                             (intercore pairs one viz rank per sim rank)"
+                                .into(),
+                        ));
+                    }
+                    if viz_ranks == 0 {
+                        return Err(CoreError::Config(
+                            "rescale target viz_ranks must be >= 1".into(),
+                        ));
+                    }
+                    if viz_ranks == viz {
+                        return Err(CoreError::Config(format!(
+                            "rescale to {viz_ranks} viz ranks is a no-op \
+                             (run already has {viz})"
+                        )));
+                    }
+                    if at_step == 0 || at_step >= self.steps {
+                        return Err(CoreError::Config(format!(
+                            "rescale at_step {at_step} must fall strictly inside \
+                             the run (1..{})",
+                            self.steps
+                        )));
+                    }
+                }
             }
         }
         Ok(())
@@ -433,6 +674,7 @@ impl ExperimentSpecBuilder {
                 viz_ranks: None,
                 fault_plan: None,
                 recovery: None,
+                migration: None,
             },
         }
     }
@@ -508,6 +750,12 @@ impl ExperimentSpecBuilder {
     /// Run with in-run rank fault tolerance (heartbeats + adoption).
     pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.spec.recovery = Some(policy);
+        self
+    }
+
+    /// Schedule a live migration or rescale (requires `.recovery(..)`).
+    pub fn migration(mut self, plan: MigrationPlan) -> Self {
+        self.spec.migration = Some(plan);
         self
     }
 
@@ -699,6 +947,167 @@ mod tests {
         let old: ExperimentSpec = serde_json::from_str(&old_text).unwrap();
         assert!(old.recovery.is_none());
         assert!(old.fault_plan.unwrap().kill_rank_at_step.is_none());
+    }
+
+    #[test]
+    fn migration_plan_is_validated_against_the_run_shape() {
+        let base = || {
+            ExperimentSpec::builder("mig")
+                .coupling(Coupling::Intercore)
+                .ranks(3)
+                .steps(4)
+                .recovery(RecoveryPolicy::default())
+        };
+        let sudden = |from, to, at| {
+            MigrationPlan::new(MigrationPattern::Sudden { from, to, at_step: at })
+        };
+        // valid intercore sudden migration
+        let spec = base().migration(sudden(1, 2, 2)).build().unwrap();
+        assert_eq!(spec.migration.unwrap().handoff_timeout_ms, 1_000);
+        assert_eq!(
+            spec.migration_handoffs(),
+            vec![Handoff { partition: 1, from: 1, to: 2, step: 2 }]
+        );
+        assert_eq!(spec.planned_owner(1, 1), 1);
+        assert_eq!(spec.planned_owner(1, 2), 2);
+        // migration without recovery has no control plane to ride
+        let err = ExperimentSpec::builder("mig")
+            .coupling(Coupling::Intercore)
+            .ranks(3)
+            .steps(4)
+            .migration(sudden(1, 2, 2))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("recovery"), "{err}");
+        // tight coupling has nothing to migrate between
+        let err = ExperimentSpec::builder("mig")
+            .ranks(3)
+            .steps(4)
+            .recovery(RecoveryPolicy::default())
+            .migration(sudden(1, 2, 2))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("tight"), "{err}");
+        // self-migration, out-of-range ranks and steps
+        assert!(base().migration(sudden(1, 1, 2)).build().is_err());
+        assert!(base().migration(sudden(1, 9, 2)).build().is_err());
+        assert!(base().migration(sudden(1, 2, 9)).build().is_err());
+        // zero batch is rejected
+        let bad = MigrationPlan::new(MigrationPattern::BatchedFluid {
+            from: 0,
+            to: 1,
+            start_step: 0,
+            batch: 0,
+        });
+        assert!(base().migration(bad).build().is_err());
+        // rescale needs internode
+        let rescale = MigrationPlan::new(MigrationPattern::Rescale {
+            viz_ranks: 2,
+            at_step: 2,
+        });
+        let err = base().migration(rescale).build().unwrap_err();
+        assert!(err.to_string().contains("internode"), "{err}");
+        // and a no-op rescale is flagged
+        let noop = MigrationPlan::new(MigrationPattern::Rescale {
+            viz_ranks: 3,
+            at_step: 2,
+        });
+        assert!(ExperimentSpec::builder("mig")
+            .coupling(Coupling::Internode)
+            .ranks(3)
+            .steps(4)
+            .recovery(RecoveryPolicy::default())
+            .migration(noop)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn migration_handoffs_derive_from_the_schedule() {
+        // internode, 6 sim ranks onto 2 viz ranks: viz 0 owns {0, 2, 4}
+        let base = || {
+            ExperimentSpec::builder("mig")
+                .coupling(Coupling::Internode)
+                .ranks(6)
+                .steps(8)
+                .viz_ranks(2)
+                .recovery(RecoveryPolicy::default())
+        };
+        let spec = base()
+            .migration(MigrationPlan::new(MigrationPattern::Fluid {
+                from: 0,
+                to: 1,
+                start_step: 3,
+            }))
+            .build()
+            .unwrap();
+        let steps: Vec<(usize, usize)> = spec
+            .migration_handoffs()
+            .iter()
+            .map(|h| (h.partition, h.step))
+            .collect();
+        assert_eq!(steps, vec![(0, 3), (2, 4), (4, 5)]);
+        // batched: two per step
+        let spec = base()
+            .migration(MigrationPlan::new(MigrationPattern::BatchedFluid {
+                from: 0,
+                to: 1,
+                start_step: 3,
+                batch: 2,
+            }))
+            .build()
+            .unwrap();
+        let steps: Vec<(usize, usize)> = spec
+            .migration_handoffs()
+            .iter()
+            .map(|h| (h.partition, h.step))
+            .collect();
+        assert_eq!(steps, vec![(0, 3), (2, 3), (4, 4)]);
+        // rescale 2 -> 3 moves exactly the partitions whose round-robin
+        // owner changes
+        let spec = base()
+            .migration(MigrationPlan::new(MigrationPattern::Rescale {
+                viz_ranks: 3,
+                at_step: 4,
+            }))
+            .build()
+            .unwrap();
+        assert_eq!(spec.max_viz_count(), 3);
+        for h in spec.migration_handoffs() {
+            assert_eq!(h.from, h.partition % 2);
+            assert_eq!(h.to, h.partition % 3);
+            assert_eq!(h.step, 4);
+            assert_eq!(spec.planned_owner(h.partition, 4), h.to);
+        }
+        // a fluid schedule that runs off the end of the run is rejected
+        assert!(base()
+            .migration(MigrationPlan::new(MigrationPattern::Fluid {
+                from: 0,
+                to: 1,
+                start_step: 6,
+            }))
+            .build()
+            .is_err());
+        // the plan rides along through serde, and older spec files without
+        // the migration field still parse
+        let spec = base()
+            .migration(MigrationPlan::new(MigrationPattern::Sudden {
+                from: 0,
+                to: 1,
+                at_step: 2,
+            }))
+            .build()
+            .unwrap();
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: ExperimentSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(spec, back);
+        let mut value: serde::Value = serde_json::from_str(&text).unwrap();
+        if let serde::Value::Object(fields) = &mut value {
+            fields.retain(|(k, _)| k != "migration");
+        }
+        let old_text = serde_json::to_string(&value).unwrap();
+        let old: ExperimentSpec = serde_json::from_str(&old_text).unwrap();
+        assert!(old.migration.is_none());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //!   sockets and wait; viz ranks poll the file and connect (the paper's
 //!   Section III-C bootstrap), then receive blocks over TCP.
 
-use crate::config::{Coupling, ExperimentSpec, RecoveryPolicy};
+use crate::config::{Coupling, ExperimentSpec, Handoff, RecoveryPolicy};
 use crate::error::{CoreError, Result};
 use crate::pipeline::{accumulate, VizPipeline};
 use bytes::Bytes;
@@ -36,20 +36,23 @@ use eth_cluster::power::{self, BusyInterval};
 use eth_cluster::task::NodeGroup;
 use eth_data::partition::{partition_grid_slabs, partition_points};
 use eth_data::{Aabb, DataObject};
-use eth_render::composite::{composite_direct, composite_direct_masked, RankMask};
+use eth_render::composite::{composite_direct, composite_direct_masked, composite_owned, RankMask};
 use eth_render::framebuffer::Framebuffer;
 use eth_render::pipeline::RenderStats;
 use eth_render::Image;
 use eth_transport::chaos::{ChaosChannel, ChaosComm};
 use eth_transport::collectives::{
-    gather, gather_surviving, recv_adopt_notice, send_adopt_notice, AdoptNotice,
+    gather, gather_surviving, recv_adopt_notice, recv_migrate_ack, recv_migrate_offer,
+    send_adopt_notice, send_migrate_ack, send_migrate_offer, AdoptNotice, MigrateAck, MigrateOffer,
 };
 use eth_transport::comm::{Communicator, TransportError};
 use eth_transport::layout::LayoutFile;
 use eth_data::compress;
 use eth_transport::local::LocalComm;
 use eth_transport::message::{decode_dataset_from, encode_dataset};
-use eth_transport::runner::{run_ranks, run_ranks_heartbeat, run_ranks_supervised};
+use eth_transport::runner::{
+    run_ranks, run_ranks_heartbeat, run_ranks_supervised, spawn_migration_supervisor, MigrationBook,
+};
 use eth_transport::socket::{connect_to, listen_as};
 use eth_transport::{HeartbeatBoard, HeartbeatPolicy};
 use serde::{Deserialize, Serialize};
@@ -105,6 +108,16 @@ pub struct Degradation {
     /// live rank failed to deliver in time).
     #[serde(default)]
     pub missing_contributions: u64,
+    /// Planned partition handoffs that committed: the target acked, took
+    /// ownership, and rendered from that step on (only possible under a
+    /// [`crate::config::MigrationPlan`]).
+    #[serde(default)]
+    pub migrations: u64,
+    /// Planned handoffs that degraded to "no migration happened": the
+    /// offer was aborted (source partition's rank died first), refused,
+    /// or timed out — the source kept rendering, no frame was lost.
+    #[serde(default)]
+    pub migration_failures: u64,
 }
 
 impl Degradation {
@@ -126,6 +139,8 @@ impl Degradation {
         self.rank_losses += other.rank_losses;
         self.adopted_partitions += other.adopted_partitions;
         self.missing_contributions += other.missing_contributions;
+        self.migrations += other.migrations;
+        self.migration_failures += other.migration_failures;
     }
 
     /// Classify one transport fault into the matching counter.
@@ -163,6 +178,12 @@ pub struct NativeOutcome {
     /// runs without a [`RecoveryPolicy`]). Feeds the campaign telemetry's
     /// `recovery_latency_s` histogram.
     pub recovery_latency_s: Vec<f64>,
+    /// Per-handoff step-latency disruption: seconds the source rank spent
+    /// stalled in the three-phase handshake (offer → state transfer →
+    /// ack), one sample per attempted handoff. Empty without a
+    /// [`crate::config::MigrationPlan`]. Feeds the campaign telemetry's
+    /// `migration_disruption_s` histogram (p50/p95 per pattern).
+    pub migration_disruption_s: Vec<f64>,
     /// Power/energy of this run on the modeled cluster, driven by the
     /// recorded span trace instead of a synthetic phase graph: each span
     /// is a busy interval on its rank's node at the phase's modeled
@@ -239,6 +260,20 @@ impl NativeOutcome {
                     base.push_str(&format!(" (worst detection-to-adoption {worst:.3}s)"));
                 }
             }
+            if d.migrations + d.migration_failures > 0 {
+                base.push_str(&format!(
+                    "; migrated: {} handoffs committed, {} degraded to no-op",
+                    d.migrations, d.migration_failures
+                ));
+                if let Some(worst) = self
+                    .migration_disruption_s
+                    .iter()
+                    .copied()
+                    .reduce(f64::max)
+                {
+                    base.push_str(&format!(" (worst handoff stall {worst:.3}s)"));
+                }
+            }
         }
         base
     }
@@ -275,6 +310,8 @@ struct RankOutput {
     degradation: Degradation,
     /// Detection-to-adoption latencies this rank observed (root only).
     recovery_latency_s: Vec<f64>,
+    /// Handoff handshake stalls this rank observed (migration sources).
+    migration_disruption_s: Vec<f64>,
 }
 
 impl RankOutput {
@@ -288,6 +325,7 @@ impl RankOutput {
             bytes_sent: 0,
             degradation: Degradation::default(),
             recovery_latency_s: Vec::new(),
+            migration_disruption_s: Vec::new(),
         }
     }
 }
@@ -654,6 +692,7 @@ pub fn baseline_spec(spec: &ExperimentSpec) -> ExperimentSpec {
     base.viz_ranks = None;
     base.fault_plan = None;
     base.recovery = None;
+    base.migration = None;
     base.artifact_dir = None;
     base
 }
@@ -753,6 +792,7 @@ fn viz_side(
         bytes_sent: comm.traffic().bytes_sent,
         degradation,
         recovery_latency_s: Vec::new(),
+        migration_disruption_s: Vec::new(),
     })
 }
 
@@ -773,6 +813,7 @@ fn merge_outputs(spec: &ExperimentSpec, wall_s: f64, outputs: Vec<RankOutput>) -
     let mut bytes_moved = 0;
     let mut degradation = Degradation::default();
     let mut recovery_latency_s = Vec::new();
+    let mut migration_disruption_s = Vec::new();
     for out in outputs {
         if !out.images.is_empty() {
             images = out.images;
@@ -782,6 +823,7 @@ fn merge_outputs(spec: &ExperimentSpec, wall_s: f64, outputs: Vec<RankOutput>) -
         bytes_moved += out.bytes_sent;
         degradation.absorb(&out.degradation);
         recovery_latency_s.extend(out.recovery_latency_s);
+        migration_disruption_s.extend(out.migration_disruption_s);
     }
     NativeOutcome {
         spec: spec.clone(),
@@ -792,6 +834,7 @@ fn merge_outputs(spec: &ExperimentSpec, wall_s: f64, outputs: Vec<RankOutput>) -
         bytes_moved,
         degradation,
         recovery_latency_s,
+        migration_disruption_s,
         // filled in by attribute_run once the span trace is drained
         metrics: RunMetrics::default(),
         phase_energy: Vec::new(),
@@ -989,6 +1032,10 @@ fn attribute_run(outcome: &mut NativeOutcome, trace: &eth_obs::Trace, t0_ns: u64
                 d.missing_contributions as f64,
             );
         }
+        if d.migrations + d.migration_failures > 0 {
+            counters.add("recovery_migrations", d.migrations as f64);
+            counters.add("recovery_migration_failures", d.migration_failures as f64);
+        }
     }
     outcome.counters = counters;
 }
@@ -1064,6 +1111,10 @@ fn run_tight(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<Rank
 const DATA_TAG_BASE: u32 = 0x1000;
 
 fn run_intercore(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<RankOutput>> {
+    if spec.migration.is_some() {
+        let policy = spec.recovery.expect("validated: migration requires recovery");
+        return run_intercore_migrating(spec, staged, policy);
+    }
     if let Some(policy) = spec.recovery {
         return run_intercore_recovering(spec, staged, policy);
     }
@@ -1116,6 +1167,7 @@ fn run_intercore(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
                 bytes_sent: comm.traffic().bytes_sent,
                 degradation,
                 recovery_latency_s: Vec::new(),
+                migration_disruption_s: Vec::new(),
             })
         } else {
             // visualization proxy side
@@ -1250,6 +1302,7 @@ fn intercore_sim_recovering(
         bytes_sent: comm.traffic().bytes_sent,
         degradation,
         recovery_latency_s: Vec::new(),
+        migration_disruption_s: Vec::new(),
     })
 }
 
@@ -1473,6 +1526,472 @@ fn intercore_viz_recovering(
         bytes_sent: comm.traffic().bytes_sent,
         degradation,
         recovery_latency_s,
+        migration_disruption_s: Vec::new(),
+    })
+}
+
+/// Encode one visualization rank's contribution to a composite as a
+/// framed list of `(partition, framebuffer)` entries, so the root can
+/// fold in ascending *partition* order regardless of which rank rendered
+/// what. This is what decouples the image bytes from the ownership map:
+/// a migrated partition moves to a different sender but lands in the
+/// same composite slot.
+fn encode_contribution(entries: &[(usize, &Framebuffer)]) -> Bytes {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (partition, fb) in entries {
+        let body = fb.to_bytes();
+        buf.extend_from_slice(&(*partition as u32).to_le_bytes());
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&body);
+    }
+    Bytes::from(buf)
+}
+
+/// Inverse of [`encode_contribution`].
+fn decode_contribution(raw: &[u8]) -> Result<Vec<(usize, Framebuffer)>> {
+    fn malformed() -> CoreError {
+        CoreError::Config("malformed framed contribution on the wire".into())
+    }
+    if raw.len() < 4 {
+        return Err(malformed());
+    }
+    let count = u32::from_le_bytes(raw[0..4].try_into().unwrap()) as usize;
+    let mut entries = Vec::with_capacity(count);
+    let mut at = 4;
+    for _ in 0..count {
+        if raw.len() < at + 8 {
+            return Err(malformed());
+        }
+        let partition = u32::from_le_bytes(raw[at..at + 4].try_into().unwrap()) as usize;
+        let len = u32::from_le_bytes(raw[at + 4..at + 8].try_into().unwrap()) as usize;
+        at += 8;
+        if raw.len() < at + len {
+            return Err(malformed());
+        }
+        let fb = Framebuffer::from_bytes(&raw[at..at + len]).ok_or_else(malformed)?;
+        at += len;
+        entries.push((partition, fb));
+    }
+    Ok(entries)
+}
+
+/// Decode a gather of framed contributions and composite them in
+/// partition order; an empty round (every contributor lost) yields a dark
+/// frame rather than a panic. Returns the image plus the contributor
+/// holes the root composited around.
+fn composite_contributions<'a>(
+    spec: &ExperimentSpec,
+    parts: impl Iterator<Item = &'a Bytes>,
+) -> Result<(Image, u64)> {
+    let mut contribs = Vec::new();
+    for part in parts {
+        if part.is_empty() {
+            continue;
+        }
+        contribs.extend(decode_contribution(part)?);
+    }
+    if contribs.is_empty() {
+        let dark = Framebuffer::new(spec.width, spec.height, eth_data::Vec3::ZERO);
+        return Ok((dark.into_image(), spec.ranks as u64));
+    }
+    let (merged, cstats) = composite_owned(spec.ranks, contribs);
+    Ok((merged.into_image(), cstats.missing_contributions))
+}
+
+/// The fallback handoff state when the partition has no checkpoint yet
+/// (a migration scheduled before the first step completed).
+fn synthetic_checkpoint(spec: &ExperimentSpec, partition: usize, step: usize) -> StepCheckpoint {
+    StepCheckpoint {
+        rank: partition,
+        partition,
+        step: step.saturating_sub(1),
+        proxy_cursor: step,
+        rng_state: spec.seed ^ partition as u64,
+        degradation: Degradation::default(),
+    }
+}
+
+/// Run the three-phase handshakes scheduled for `step` that involve viz
+/// index `me`: offer → checkpoint-state transfer → ack, all on the
+/// chaos-exempt control plane. Every rank walks the handoff list in the
+/// same (index) order, so a rank that sources one handoff and targets
+/// another can never cross-wait with a peer. Commits flip the local
+/// ownership map on both ends; a refused, aborted, or timed-out handoff
+/// degrades to "no migration happened" — the source keeps rendering.
+///
+/// Death wins the migration-vs-death race deterministically: intake runs
+/// before the handshake, and a killed simulation rank parks until the
+/// board confirms its death, so by offer time `board.is_dead` already
+/// reflects any death scheduled at or before this step.
+#[allow(clippy::too_many_arguments)]
+fn migrate_handshakes(
+    spec: &ExperimentSpec,
+    comm: &dyn Communicator,
+    is_dead: &dyn Fn(usize) -> bool,
+    checkpoints: &CheckpointStore,
+    book: &MigrationBook,
+    handoffs: &[Handoff],
+    owners: &mut [usize],
+    me: usize,
+    step: usize,
+    fabric: &dyn Fn(usize) -> usize,
+    deg: &mut Degradation,
+    disruption: &mut Vec<f64>,
+) -> Result<()> {
+    let timeout = spec
+        .migration
+        .as_ref()
+        .map(|plan| plan.handoff_timeout())
+        .unwrap_or(Duration::from_secs(1));
+    for (index, h) in handoffs.iter().enumerate() {
+        if h.step != step {
+            continue;
+        }
+        if h.from == me {
+            let t = Instant::now();
+            // Death wins: never offer a partition whose simulation rank is
+            // confirmed dead — the adoption path keeps rendering it here.
+            if is_dead(h.partition) || !book.is_pending(index) {
+                book.abort(index);
+                deg.migration_failures += 1;
+                eth_obs::count("migration_failures", 1.0);
+                disruption.push(t.elapsed().as_secs_f64());
+                continue;
+            }
+            let state = checkpoints
+                .latest(h.partition)
+                .unwrap_or_else(|| synthetic_checkpoint(spec, h.partition, step));
+            let payload = serde_json::to_vec(&state).map(Bytes::from).unwrap_or_default();
+            let offer = MigrateOffer {
+                handoff: index,
+                partition: h.partition,
+                source: fabric(me),
+                step,
+            };
+            send_migrate_offer(comm, fabric(h.to), &offer, payload)?;
+            match recv_migrate_ack(comm, fabric(h.to), index, timeout) {
+                Ok(MigrateAck { committed: true, .. }) => {
+                    owners[h.partition] = h.to;
+                    deg.migrations += 1;
+                    eth_obs::count("migrations", 1.0);
+                }
+                _ => {
+                    // refused, aborted, or the ack never landed: keep the
+                    // partition (the target commits only through the book's
+                    // CAS, so a lost ack can at worst double-render one
+                    // step — idempotent under the partition-ordered
+                    // composite).
+                    book.abort(index);
+                    deg.migration_failures += 1;
+                    eth_obs::count("migration_failures", 1.0);
+                }
+            }
+            disruption.push(t.elapsed().as_secs_f64());
+        } else if h.to == me {
+            // The source skips offering a dead partition, so don't burn
+            // the timeout waiting for an offer that will never come.
+            if is_dead(h.partition) || book.is_aborted(index) {
+                continue;
+            }
+            // A receive error means the source never offered (it saw the
+            // death or aborted first); the source owns the failure
+            // accounting, so nothing to do here on that path.
+            if let Ok((offer, state)) = recv_migrate_offer(comm, fabric(h.from), index, timeout) {
+                debug_assert_eq!(offer.partition, h.partition);
+                let committed = !is_dead(h.partition) && book.try_commit(index);
+                send_migrate_ack(
+                    comm,
+                    fabric(h.from),
+                    &MigrateAck {
+                        handoff: index,
+                        committed,
+                    },
+                )?;
+                if committed {
+                    owners[h.partition] = h.to;
+                    if let Ok(ckpt) = serde_json::from_slice::<StepCheckpoint>(&state) {
+                        // the simulation side streams ahead of the viz
+                        // steps (sends are non-blocking), so the cursor
+                        // may already be past `step`; it can never be
+                        // past the end of the run
+                        debug_assert!(
+                            ckpt.proxy_cursor <= spec.steps,
+                            "handoff cursor {} past the run ({} steps)",
+                            ckpt.proxy_cursor,
+                            spec.steps
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Intercore coupling under a [`crate::config::MigrationPlan`]: the
+/// recovering 2R-rank fabric plus voluntary, zero-loss partition handoffs
+/// between visualization ranks. The simulation side is exactly the
+/// recovering one. Every visualization rank always drains its wire pair
+/// (identical backpressure and fault accounting to a run without
+/// migration) but renders only the partitions it currently *owns* —
+/// migrated-in partitions render from the shared staged store, which is
+/// byte-identical to the wire block — and composites through framed
+/// per-partition contributions.
+fn run_intercore_migrating(
+    spec: &ExperimentSpec,
+    staged: &Arc<StagedData>,
+    policy: RecoveryPolicy,
+) -> Result<Vec<RankOutput>> {
+    let r = spec.ranks;
+    let spec_body = spec.clone();
+    let staged = staged.clone();
+    let checkpoints = Arc::new(CheckpointStore::new(r));
+    let handoffs = spec.migration_handoffs();
+    let book = MigrationBook::new(handoffs.len());
+    run_ranks_recovering(spec, policy, 2 * r, move |comm, board| -> Result<RankOutput> {
+        let spec = &spec_body;
+        let rank = comm.rank();
+        let comm: Box<dyn Communicator> = match spec.fault_plan.clone() {
+            Some(plan) => Box::new(ChaosComm::new(comm, plan)),
+            None => Box::new(comm),
+        };
+        let comm = comm.as_ref();
+        let mut beater = Beater::spawn(&board, rank, policy.heartbeat);
+        if rank < r {
+            intercore_sim_recovering(spec, comm, &board, &staged, &checkpoints, &mut beater)
+        } else {
+            intercore_viz_migrating(
+                spec,
+                policy,
+                comm,
+                &board,
+                &staged,
+                &checkpoints,
+                &book,
+                &handoffs,
+            )
+        }
+    })
+}
+
+/// The visualization side of a migrating intercore run. Step shape:
+/// drain the wire pair, run this step's handshakes (intake first, so a
+/// death racing a migration is already on the board), render the owned
+/// partitions in ascending order, then gather framed contributions to
+/// the root for the ownership-mapped composite.
+#[allow(clippy::too_many_arguments)]
+fn intercore_viz_migrating(
+    spec: &ExperimentSpec,
+    policy: RecoveryPolicy,
+    comm: &dyn Communicator,
+    board: &Arc<HeartbeatBoard>,
+    staged: &StagedData,
+    checkpoints: &CheckpointStore,
+    book: &MigrationBook,
+    handoffs: &[Handoff],
+) -> Result<RankOutput> {
+    let r = spec.ranks;
+    let root = r;
+    let rank = comm.rank();
+    let me = rank - r; // viz index == initially owned partition
+    let detection = policy.heartbeat.detection_deadline();
+    let wait = detection * 2 + Duration::from_millis(25);
+    let recv_budget = spec
+        .fault_plan
+        .as_ref()
+        .and_then(|p| p.deadline())
+        .unwrap_or(Duration::from_secs(2))
+        .max(wait);
+    let gather_budget = recovery_deadline(spec);
+    let mut owners: Vec<usize> = (0..r).map(|p| spec.initial_owner(p)).collect();
+    let mut images = Vec::new();
+    let mut stats = RenderStats::default();
+    let mut phases = PhaseTimes::default();
+    let mut degradation = Degradation::default();
+    let mut recovery_latency_s = Vec::new();
+    let mut migration_disruption_s = Vec::new();
+    let mut adopted = false;
+    let mut own_notice: Option<AdoptNotice> = None;
+
+    for step in 0..spec.steps {
+        let t = Instant::now();
+        let mut step_deg = Degradation::default();
+
+        // 1. Intake: always drain the wire pair, owner or not.
+        let mut wire_block = None;
+        if !adopted && !board.is_dead(me) {
+            let deadline = Instant::now() + recv_budget;
+            loop {
+                if board.is_dead(me) {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    step_deg.timeouts += 1;
+                    break;
+                }
+                match comm.recv_timeout(me, DATA_TAG_BASE + step as u32, wait.min(deadline - now)) {
+                    Ok(payload) => {
+                        match decode_block(spec, me, payload) {
+                            Ok(block) => wire_block = Some(block),
+                            Err(_) => step_deg.corrupt_payloads += 1,
+                        }
+                        break;
+                    }
+                    Err(TransportError::Timeout { .. }) => continue,
+                    Err(e) => {
+                        if !board.is_dead(me) {
+                            step_deg.count(&e);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        if wire_block.is_none() && board.is_dead(me) && !adopted {
+            // The drainer accounts the loss exactly once; the partition's
+            // *current* owner (maybe another rank, post-migration) keeps
+            // rendering it from the shared staged store.
+            let _span = eth_obs::span(eth_obs::Phase::Recovery);
+            adopted = true;
+            step_deg.rank_losses += 1;
+            eth_obs::count("rank_losses", 1.0);
+            let latency_ns = board
+                .death_of(me)
+                .map(|d| board.now_ns().saturating_sub(d.last_beat_ns))
+                .unwrap_or(0);
+            if policy.adopt {
+                step_deg.adopted_partitions += 1;
+                eth_obs::count("adopted_partitions", 1.0);
+                let notice = AdoptNotice {
+                    dead_rank: me,
+                    adopted_at_step: step,
+                    adopter: r + owners[me],
+                    latency_ns,
+                };
+                if rank == root {
+                    own_notice = Some(notice);
+                } else {
+                    send_adopt_notice(comm, root, &notice)?;
+                }
+            }
+        }
+        if step_deg.faults() > 0 {
+            if wire_block.is_none() {
+                step_deg.dropped_steps += 1;
+            } else {
+                step_deg.degraded_steps += 1;
+            }
+        }
+        phases.transfer_s += t.elapsed().as_secs_f64();
+
+        // 2. This step's handshakes (after intake: death wins the race).
+        migrate_handshakes(
+            spec,
+            comm,
+            &|p| board.is_dead(p),
+            checkpoints,
+            book,
+            handoffs,
+            &mut owners,
+            me,
+            step,
+            &|viz| r + viz,
+            &mut step_deg,
+            &mut migration_disruption_s,
+        )?;
+
+        // 3. Render the owned partitions, each one separately so the
+        //    composite can place it by partition id.
+        let pipeline = pipeline_for_step(spec, staged, step);
+        let t_viz = Instant::now();
+        let mut rendered: Vec<(usize, Vec<Framebuffer>)> = Vec::new();
+        for (p, &owner) in owners.iter().enumerate() {
+            if owner != me {
+                continue;
+            }
+            let block = if p == me && wire_block.is_some() {
+                wire_block.take().unwrap()
+            } else if board.is_dead(p) || p != me {
+                // dead pair (adoption) or migrated-in partition: the
+                // shared staged store is byte-identical to the wire block
+                if board.is_dead(p) && !policy.adopt {
+                    continue; // the hole is counted at the composite
+                }
+                staged.blocks[step][p].clone()
+            } else {
+                // own pair, alive, but the message was lost: a hole
+                continue;
+            };
+            let out = pipeline.execute_step(step, &block, &staged.bounds[step])?;
+            stats = accumulate(stats, out.stats);
+            rendered.push((p, out.frames));
+        }
+        phases.viz_s += t_viz.elapsed().as_secs_f64();
+
+        // 4. Framed gather and ownership-mapped composite at the root.
+        let t_comp = Instant::now();
+        for image_index in 0..spec.images_per_step {
+            let entries: Vec<(usize, &Framebuffer)> = rendered
+                .iter()
+                .filter_map(|(p, frames)| frames.get(image_index).map(|fb| (*p, fb)))
+                .collect();
+            let payload = if entries.is_empty() {
+                Bytes::new()
+            } else {
+                encode_contribution(&entries)
+            };
+            let salt = (step * spec.images_per_step + image_index) as u32;
+            let gathered = gather_surviving(
+                comm,
+                root,
+                salt,
+                payload,
+                &|peer| board.is_dead(peer),
+                gather_budget,
+            )?;
+            if let Some(parts) = gathered {
+                let (image, missing) = composite_contributions(spec, parts.iter().flatten())?;
+                step_deg.missing_contributions += missing;
+                pipeline.write_artifact(step, image_index, &image)?;
+                images.push(image);
+            }
+        }
+        phases.composite_s += t_comp.elapsed().as_secs_f64();
+        degradation.absorb(&step_deg);
+        board.step_done(rank, step);
+    }
+
+    // The root drains the control plane exactly as the recovering path.
+    if rank == root {
+        for death in board.deaths() {
+            if death.rank >= r {
+                continue;
+            }
+            let notice = if root == r + death.rank {
+                own_notice.filter(|n| n.dead_rank == death.rank)
+            } else if policy.adopt {
+                recv_adopt_notice(comm, r + death.rank, death.rank, detection * 4).ok()
+            } else {
+                None
+            };
+            let latency = notice
+                .map(|n| n.latency_ns as f64 * 1e-9)
+                .unwrap_or_else(|| death.detection_latency().as_secs_f64());
+            recovery_latency_s.push(latency);
+            eth_obs::count("adopt_notices", 1.0);
+        }
+    }
+
+    Ok(RankOutput {
+        images,
+        stats,
+        phases,
+        bytes_sent: comm.traffic().bytes_sent,
+        degradation,
+        recovery_latency_s,
+        migration_disruption_s,
     })
 }
 
@@ -1480,6 +1999,10 @@ fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
     use eth_transport::local::LocalFabric;
     use std::thread;
 
+    if spec.migration.is_some() {
+        let policy = spec.recovery.expect("validated: migration requires recovery");
+        return run_internode_migrating(spec, staged, policy);
+    }
     if let Some(policy) = spec.recovery {
         return run_internode_recovering(spec, staged, policy);
     }
@@ -1545,6 +2068,7 @@ fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
                 bytes_sent: chan.bytes_sent(),
                 degradation,
                 recovery_latency_s: Vec::new(),
+                migration_disruption_s: Vec::new(),
             })
         }));
     }
@@ -1721,6 +2245,7 @@ fn run_internode_recovering(
                 bytes_sent: chan.bytes_sent(),
                 degradation,
                 recovery_latency_s: Vec::new(),
+                migration_disruption_s: Vec::new(),
             })
         }));
     }
@@ -1885,6 +2410,367 @@ fn run_internode_recovering(
         }
     }
     supervisor.stop();
+    let deaths = board.deaths();
+    if deaths.len() > policy.max_rank_losses as usize {
+        let d = &deaths[policy.max_rank_losses as usize];
+        return Err(CoreError::Rank(RankFailure::Hang {
+            rank: d.rank,
+            waited: d.detection_latency(),
+            last_step: d.last_step,
+        }));
+    }
+    let _ = std::fs::remove_dir_all(&layout_dir);
+    Ok(outputs)
+}
+
+/// Internode coupling under a [`crate::config::MigrationPlan`]: the
+/// recovering two-application layout made elastic. The visualization
+/// fabric is sized to [`ExperimentSpec::max_viz_count`], so a `Rescale`
+/// that grows the application has fresh ranks ready to adopt partitions,
+/// and one that shrinks leaves the retiring ranks draining their wires
+/// with nothing to render. Wire pairings are fixed by the *initial*
+/// layout — a migrated partition's original feeder keeps draining the
+/// TCP stream (identical backpressure and fault accounting) while the
+/// new owner renders from the shared staged store. A dedicated migration
+/// supervisor aborts pending handoffs whose partition's simulation rank
+/// died: death wins, the PR-5-style adoption path takes over.
+fn run_internode_migrating(
+    spec: &ExperimentSpec,
+    staged: &Arc<StagedData>,
+    policy: RecoveryPolicy,
+) -> Result<Vec<RankOutput>> {
+    use eth_transport::local::LocalFabric;
+    use eth_transport::runner::{spawn_supervisor, RankFailure};
+    use std::thread;
+
+    let r = spec.ranks;
+    static LAYOUT_RUN: AtomicU64 = AtomicU64::new(0);
+    let layout_dir = std::env::temp_dir().join(format!(
+        "eth-layout-mig-{}-{:x}-{}",
+        spec.name.replace('/', "_"),
+        std::process::id(),
+        LAYOUT_RUN.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&layout_dir);
+    let layout = LayoutFile::create(&layout_dir)?;
+
+    let board = HeartbeatBoard::new(r);
+    let supervisor = spawn_supervisor(&board, policy.heartbeat);
+    let handoffs = spec.migration_handoffs();
+    let book = MigrationBook::new(handoffs.len());
+    // Death arbitration: the supervisor aborts any still-pending handoff
+    // whose partition's simulation rank stopped beating.
+    let watch: Vec<(usize, usize)> = handoffs.iter().enumerate().map(|(i, h)| (i, h.partition)).collect();
+    let migration_supervisor = spawn_migration_supervisor(&board, &book, watch, policy.heartbeat);
+    let checkpoints = Arc::new(match &spec.artifact_dir {
+        Some(dir) => match crate::journal::Journal::open(&dir.join("recovery")) {
+            Ok(journal) => CheckpointStore::with_spill(r, journal),
+            Err(_) => CheckpointStore::new(r),
+        },
+        None => CheckpointStore::new(r),
+    });
+
+    let obs = eth_obs::current_context();
+    let mut sim_handles = Vec::new();
+    for rank in 0..r {
+        let staged = staged.clone();
+        let layout = layout.clone();
+        let spec_sim = spec.clone();
+        let obs = obs.clone();
+        let board = board.clone();
+        let checkpoints = checkpoints.clone();
+        sim_handles.push(thread::spawn(move || -> Result<RankOutput> {
+            let _obs = obs.attach();
+            eth_obs::set_rank(rank);
+            let plan = spec_sim.fault_plan.clone().unwrap_or_default();
+            let chan = ChaosChannel::new(listen_as(&layout, rank)?, plan.clone());
+            let mut beater = Beater::spawn(&board, rank, policy.heartbeat);
+            let mut phases = PhaseTimes::default();
+            let mut degradation = Degradation::default();
+            for step in 0..spec_sim.steps {
+                if plan.kills(rank, step) {
+                    beater.silence();
+                    board.await_death(rank, recovery_deadline(&spec_sim));
+                    return Ok(RankOutput::tombstone());
+                }
+                let t = Instant::now();
+                let block = staged.blocks[step][rank].clone();
+                let payload = encode_block(&spec_sim, &block);
+                phases.sim_s += t.elapsed().as_secs_f64();
+                let t2 = Instant::now();
+                match chan.send(DATA_TAG_BASE + step as u32, payload) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        degradation.count(&e);
+                        break;
+                    }
+                }
+                phases.transfer_s += t2.elapsed().as_secs_f64();
+                checkpoints.record(StepCheckpoint {
+                    rank,
+                    partition: rank,
+                    step,
+                    proxy_cursor: step + 1,
+                    rng_state: spec_sim.seed ^ rank as u64,
+                    degradation,
+                });
+                board.step_done(rank, step);
+            }
+            board.mark_done(rank);
+            Ok(RankOutput {
+                images: Vec::new(),
+                stats: RenderStats::default(),
+                phases,
+                bytes_sent: chan.bytes_sent(),
+                degradation,
+                recovery_latency_s: Vec::new(),
+                migration_disruption_s: Vec::new(),
+            })
+        }));
+    }
+
+    let initial_viz = spec.initial_viz_count();
+    let viz_count = spec.max_viz_count();
+    let viz_comms = LocalFabric::new(viz_count);
+    let mut viz_handles = Vec::new();
+    for (vrank, comm) in viz_comms.into_iter().enumerate() {
+        let layout = layout.clone();
+        let spec = spec.clone();
+        let staged = staged.clone();
+        // Wire pairing is the *initial* layout's: ranks past it (Rescale
+        // headroom) hold no sockets until a handoff gives them work.
+        let my_sims: Vec<usize> = if vrank < initial_viz {
+            (0..r).filter(|s| s % initial_viz == vrank).collect()
+        } else {
+            Vec::new()
+        };
+        let obs = obs.clone();
+        let board = board.clone();
+        let checkpoints = checkpoints.clone();
+        let book = book.clone();
+        let handoffs = handoffs.clone();
+        viz_handles.push(thread::spawn(move || -> Result<RankOutput> {
+            let _obs = obs.attach();
+            eth_obs::set_rank(r + vrank);
+            let plan = spec.fault_plan.clone().unwrap_or_default();
+            let detection = policy.heartbeat.detection_deadline();
+            let wait = detection * 2 + Duration::from_millis(25);
+            let recv_budget = plan
+                .deadline()
+                .unwrap_or(Duration::from_secs(2))
+                .max(wait);
+            let mut chans = Vec::with_capacity(my_sims.len());
+            for &sim_rank in &my_sims {
+                let chan = connect_to(&layout, sim_rank, vrank, Duration::from_secs(30))?;
+                chans.push(ChaosChannel::new(chan, plan.clone()));
+            }
+            let mut owners: Vec<usize> = (0..r).map(|p| spec.initial_owner(p)).collect();
+            let mut adopted = vec![false; r];
+            let mut local_notices: Vec<AdoptNotice> = Vec::new();
+            let mut images = Vec::new();
+            let mut stats = RenderStats::default();
+            let mut phases = PhaseTimes::default();
+            let mut degradation = Degradation::default();
+            let mut recovery_latency_s = Vec::new();
+            let mut migration_disruption_s = Vec::new();
+
+            for step in 0..spec.steps {
+                let t = Instant::now();
+                let mut step_deg = Degradation::default();
+
+                // 1. Drain every wire this rank holds, owner or not.
+                let mut wire_blocks: Vec<Option<DataObject>> = vec![None; r];
+                for (chan, &sim) in chans.iter().zip(&my_sims) {
+                    if !adopted[sim] && !board.is_dead(sim) {
+                        let deadline = Instant::now() + recv_budget;
+                        let mut delivered = false;
+                        loop {
+                            if board.is_dead(sim) {
+                                break;
+                            }
+                            let now = Instant::now();
+                            if now >= deadline {
+                                step_deg.timeouts += 1;
+                                delivered = true; // budget spent; not a death
+                                break;
+                            }
+                            match chan
+                                .recv_timeout(DATA_TAG_BASE + step as u32, wait.min(deadline - now))
+                            {
+                                Ok(payload) => {
+                                    match decode_block(&spec, sim, payload) {
+                                        Ok(block) => wire_blocks[sim] = Some(block),
+                                        Err(_) => step_deg.corrupt_payloads += 1,
+                                    }
+                                    delivered = true;
+                                    break;
+                                }
+                                Err(TransportError::Timeout { .. }) => continue,
+                                Err(e) => {
+                                    if !board.is_dead(sim) {
+                                        step_deg.count(&e);
+                                        delivered = true;
+                                    }
+                                    break;
+                                }
+                            }
+                        }
+                        if delivered {
+                            continue;
+                        }
+                    }
+                    if board.is_dead(sim) && !adopted[sim] {
+                        // The drainer accounts the loss exactly once; the
+                        // partition's current owner keeps rendering it.
+                        let _span = eth_obs::span(eth_obs::Phase::Recovery);
+                        adopted[sim] = true;
+                        step_deg.rank_losses += 1;
+                        eth_obs::count("rank_losses", 1.0);
+                        let latency_ns = board
+                            .death_of(sim)
+                            .map(|d| board.now_ns().saturating_sub(d.last_beat_ns))
+                            .unwrap_or(0);
+                        if policy.adopt {
+                            step_deg.adopted_partitions += 1;
+                            eth_obs::count("adopted_partitions", 1.0);
+                            let notice = AdoptNotice {
+                                dead_rank: sim,
+                                adopted_at_step: step,
+                                adopter: r + owners[sim],
+                                latency_ns,
+                            };
+                            if vrank == 0 {
+                                local_notices.push(notice);
+                            } else {
+                                send_adopt_notice(&comm, 0, &notice)?;
+                            }
+                        }
+                    }
+                }
+                if step_deg.faults() > 0 {
+                    if wire_blocks.iter().all(Option::is_none) {
+                        step_deg.dropped_steps += 1;
+                    } else {
+                        step_deg.degraded_steps += 1;
+                    }
+                }
+                phases.transfer_s += t.elapsed().as_secs_f64();
+
+                // 2. This step's handshakes (after intake: death wins).
+                migrate_handshakes(
+                    &spec,
+                    &comm,
+                    &|p| board.is_dead(p),
+                    &checkpoints,
+                    &book,
+                    &handoffs,
+                    &mut owners,
+                    vrank,
+                    step,
+                    &|viz| viz,
+                    &mut step_deg,
+                    &mut migration_disruption_s,
+                )?;
+
+                // 3. Render the owned partitions in ascending order.
+                let pipeline = pipeline_for_step(&spec, &staged, step);
+                let t_viz = Instant::now();
+                let mut rendered: Vec<(usize, Vec<Framebuffer>)> = Vec::new();
+                for p in 0..r {
+                    if owners[p] != vrank {
+                        continue;
+                    }
+                    let block = match wire_blocks[p].take() {
+                        Some(block) => block,
+                        None if board.is_dead(p) => {
+                            if !policy.adopt {
+                                continue; // the hole is counted at the root
+                            }
+                            staged.blocks[step][p].clone()
+                        }
+                        // migrated-in partition (no wire here): the shared
+                        // staged store is byte-identical to the wire block
+                        None if my_sims.binary_search(&p).is_err() => {
+                            staged.blocks[step][p].clone()
+                        }
+                        // own wire, alive, message lost: a hole this frame
+                        None => continue,
+                    };
+                    let out = pipeline.execute_step(step, &block, &staged.bounds[step])?;
+                    stats = accumulate(stats, out.stats);
+                    rendered.push((p, out.frames));
+                }
+                phases.viz_s += t_viz.elapsed().as_secs_f64();
+
+                // 4. Framed gather + ownership-mapped composite at root 0.
+                let t_comp = Instant::now();
+                for image_index in 0..spec.images_per_step {
+                    let entries: Vec<(usize, &Framebuffer)> = rendered
+                        .iter()
+                        .filter_map(|(p, frames)| frames.get(image_index).map(|fb| (*p, fb)))
+                        .collect();
+                    let payload = if entries.is_empty() {
+                        Bytes::new()
+                    } else {
+                        encode_contribution(&entries)
+                    };
+                    let gathered = gather(&comm, 0, payload)?;
+                    if let Some(parts) = gathered {
+                        let (image, missing) = composite_contributions(&spec, parts.iter())?;
+                        step_deg.missing_contributions += missing;
+                        pipeline.write_artifact(step, image_index, &image)?;
+                        images.push(image);
+                    }
+                }
+                phases.composite_s += t_comp.elapsed().as_secs_f64();
+                degradation.absorb(&step_deg);
+            }
+
+            let mut bytes_sent = comm.traffic().bytes_sent;
+            for chan in &chans {
+                bytes_sent += chan.bytes_sent();
+            }
+            // Root collects one adoption notice per dead simulation rank
+            // from that rank's *drainer* (the wire holder observes the
+            // death even when the partition lives elsewhere now).
+            if vrank == 0 {
+                for death in board.deaths() {
+                    let drainer = death.rank % initial_viz;
+                    let notice = if drainer == 0 {
+                        local_notices.iter().find(|n| n.dead_rank == death.rank).copied()
+                    } else if policy.adopt {
+                        recv_adopt_notice(&comm, drainer, death.rank, detection * 4).ok()
+                    } else {
+                        None
+                    };
+                    let latency = notice
+                        .map(|n| n.latency_ns as f64 * 1e-9)
+                        .unwrap_or_else(|| death.detection_latency().as_secs_f64());
+                    recovery_latency_s.push(latency);
+                    eth_obs::count("adopt_notices", 1.0);
+                }
+            }
+            Ok(RankOutput {
+                images,
+                stats,
+                phases,
+                bytes_sent,
+                degradation,
+                recovery_latency_s,
+                migration_disruption_s,
+            })
+        }));
+    }
+
+    let mut outputs = Vec::new();
+    for h in sim_handles.into_iter().chain(viz_handles) {
+        match h.join() {
+            Ok(result) => outputs.push(result?),
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+    supervisor.stop();
+    migration_supervisor.stop();
     let deaths = board.deaths();
     if deaths.len() > policy.max_rank_losses as usize {
         let d = &deaths[policy.max_rank_losses as usize];
@@ -2354,6 +3240,154 @@ mod tests {
                 assert_eq!(a, b, "recovery supervision changed pixels under {coupling:?}");
             }
         }
+    }
+
+    /// Recovery policy for the migration tests: same fast 10 ms beat, but
+    /// a miss budget wide enough that a beater thread starved by a loaded
+    /// parallel test run is not falsely declared dead (a spurious death
+    /// would nondeterministically abort a planned handoff).
+    fn sturdy_recovery() -> RecoveryPolicy {
+        RecoveryPolicy {
+            heartbeat: HeartbeatPolicy {
+                interval_ms: 10,
+                miss_budget: 30,
+            },
+            max_rank_losses: 1,
+            adopt: true,
+        }
+    }
+
+    fn migrating(mut spec: ExperimentSpec, pattern: crate::config::MigrationPattern) -> ExperimentSpec {
+        spec.recovery = Some(sturdy_recovery());
+        spec.migration = Some(crate::config::MigrationPlan::new(pattern));
+        spec
+    }
+
+    #[test]
+    fn intercore_sudden_migration_is_byte_identical_and_counted() {
+        use crate::config::MigrationPattern;
+        let mut healthy = base_spec("mig-sudden");
+        healthy.coupling = Coupling::Intercore;
+        healthy.steps = 4;
+        let reference = run_native(&healthy).unwrap();
+
+        let spec = migrating(
+            healthy.clone(),
+            MigrationPattern::Sudden { from: 1, to: 2, at_step: 2 },
+        );
+        let out = run_native(&spec).unwrap();
+        assert_eq!(out.degradation.migrations, 1, "{:?}", out.degradation);
+        assert_eq!(out.degradation.migration_failures, 0);
+        assert_eq!(out.degradation.rank_losses, 0);
+        assert_eq!(out.images.len(), reference.images.len());
+        // The migrated partition renders from the shared staged store and
+        // lands in the same composite slot: no frame drops, no pixel moves.
+        for (i, (a, b)) in reference.images.iter().zip(&out.images).enumerate() {
+            assert_eq!(a, b, "image {i} diverged under migration");
+        }
+        assert_eq!(out.migration_disruption_s.len(), 1);
+        assert!(out.migration_disruption_s[0] >= 0.0);
+        assert!(out.report().contains("migrated"));
+    }
+
+    #[test]
+    fn internode_fluid_and_batched_migrations_are_byte_identical() {
+        use crate::config::MigrationPattern;
+        let mut healthy = base_spec("mig-fluid");
+        healthy.coupling = Coupling::Internode;
+        healthy.steps = 4;
+        healthy.ranks = 4;
+        healthy.viz_ranks = Some(2);
+        let reference = run_native(&healthy).unwrap();
+
+        for (tag, pattern) in [
+            ("fluid", MigrationPattern::Fluid { from: 0, to: 1, start_step: 1 }),
+            (
+                "batched",
+                MigrationPattern::BatchedFluid { from: 0, to: 1, start_step: 1, batch: 2 },
+            ),
+        ] {
+            let out = run_native(&migrating(healthy.clone(), pattern)).unwrap();
+            // viz 0 initially owns partitions {0, 2}: two handoffs
+            assert_eq!(out.degradation.migrations, 2, "{tag}: {:?}", out.degradation);
+            assert_eq!(out.degradation.migration_failures, 0, "{tag}");
+            assert_eq!(out.images.len(), reference.images.len(), "{tag}");
+            for (i, (a, b)) in reference.images.iter().zip(&out.images).enumerate() {
+                assert_eq!(a, b, "{tag}: image {i} diverged under migration");
+            }
+            assert_eq!(out.migration_disruption_s.len(), 2, "{tag}");
+        }
+    }
+
+    #[test]
+    fn internode_rescale_grows_and_shrinks_without_dropping_a_frame() {
+        use crate::config::MigrationPattern;
+        let mut healthy = base_spec("mig-rescale");
+        healthy.coupling = Coupling::Internode;
+        healthy.steps = 4;
+        healthy.ranks = 4;
+        healthy.viz_ranks = Some(2);
+        let reference = run_native(&healthy).unwrap();
+
+        for (tag, viz, target) in [("grow", 2usize, 3usize), ("shrink", 3, 2)] {
+            let mut spec = healthy.clone();
+            spec.viz_ranks = Some(viz);
+            let spec = migrating(spec, MigrationPattern::Rescale { viz_ranks: target, at_step: 2 });
+            let out = run_native(&spec).unwrap();
+            let expected = (0..4).filter(|p| p % viz != p % target).count() as u64;
+            assert_eq!(out.degradation.migrations, expected, "{tag}: {:?}", out.degradation);
+            assert_eq!(out.degradation.migration_failures, 0, "{tag}");
+            assert_eq!(out.images.len(), reference.images.len(), "{tag}");
+            for (i, (a, b)) in reference.images.iter().zip(&out.images).enumerate() {
+                assert_eq!(a, b, "{tag}: image {i} diverged under rescale");
+            }
+        }
+    }
+
+    #[test]
+    fn migration_racing_a_death_resolves_deterministically() {
+        use crate::config::MigrationPattern;
+        // Death first: the owning sim rank is killed the step before the
+        // handoff. Death wins — the handoff degrades to "no migration
+        // happened" — and adoption keeps every image byte-identical.
+        let run = || {
+            let mut spec = kill_spec("mig-race", Coupling::Intercore, 1, 1);
+            spec.recovery = Some(sturdy_recovery());
+            spec.migration = Some(crate::config::MigrationPlan::new(MigrationPattern::Sudden {
+                from: 1,
+                to: 0,
+                at_step: 2,
+            }));
+            run_native(&spec).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.degradation.migrations, 0, "{:?}", a.degradation);
+        assert_eq!(a.degradation.migration_failures, 1);
+        assert_eq!(a.degradation.rank_losses, 1);
+        assert_eq!(a.degradation, b.degradation, "racing death was nondeterministic");
+        assert_eq!(a.images, b.images, "racing death changed pixels across runs");
+
+        let mut healthy = base_spec("mig-race");
+        healthy.coupling = Coupling::Intercore;
+        healthy.steps = 4;
+        let reference = run_native(&healthy).unwrap();
+        assert_eq!(a.images, reference.images, "failed handoff + adoption dropped a frame");
+
+        // Death after the handoff: the migration commits, the new owner
+        // rides out the death, and the drainer still accounts the loss.
+        let mut spec = kill_spec("mig-race", Coupling::Intercore, 1, 3);
+        spec.recovery = Some(sturdy_recovery());
+        spec.migration = Some(crate::config::MigrationPlan::new(MigrationPattern::Sudden {
+            from: 1,
+            to: 0,
+            at_step: 1,
+        }));
+        let late = run_native(&spec).unwrap();
+        assert_eq!(late.degradation.migrations, 1, "{:?}", late.degradation);
+        assert_eq!(late.degradation.migration_failures, 0);
+        assert_eq!(late.degradation.rank_losses, 1);
+        assert_eq!(late.images, reference.images, "committed handoff diverged under a late death");
     }
 
     #[test]

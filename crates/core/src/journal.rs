@@ -268,6 +268,10 @@ struct ResultHeader {
     // tolerance existed
     #[serde(default)]
     recovery_latency_s: Vec<f64>,
+    // handoff disruption samples; absent in files written before live
+    // migration existed
+    #[serde(default)]
+    migration_disruption_s: Vec<f64>,
 }
 
 /// Persist a finished point's outcome: JSON header + raw `f32` pixels +
@@ -286,6 +290,7 @@ pub fn save_result(dir: &Path, index: usize, spec_hash: u64, outcome: &NativeOut
         phase_energy: outcome.phase_energy.clone(),
         counters: outcome.counters.clone(),
         recovery_latency_s: outcome.recovery_latency_s.clone(),
+        migration_disruption_s: outcome.migration_disruption_s.clone(),
     };
     let json = serde_json::to_string(&header)
         .map_err(|e| CoreError::Config(format!("unserializable result header: {e}")))?;
@@ -411,6 +416,7 @@ pub fn load_result(
         phase_energy: header.phase_energy,
         counters: header.counters,
         recovery_latency_s: header.recovery_latency_s,
+        migration_disruption_s: header.migration_disruption_s,
     })
 }
 

@@ -40,7 +40,10 @@ pub mod results;
 pub mod sweep;
 pub mod telemetry;
 
-pub use config::{Algorithm, Application, Coupling, ExperimentSpec, RecoveryPolicy};
+pub use config::{
+    Algorithm, Application, Coupling, ExperimentSpec, Handoff, MigrationPattern, MigrationPlan,
+    RecoveryPolicy,
+};
 pub use error::{CoreError, Result};
 pub use harness::{
     run_cluster, run_native, run_native_cached, CacheStats, ClusterExperiment, Degradation,
@@ -50,5 +53,6 @@ pub use journal::{Journal, JournalRecord, RecordedOutcome};
 pub use results::ResultTable;
 pub use telemetry::CampaignTelemetry;
 pub use sweep::{
-    spec_for_attempt, Campaign, CampaignOutcome, PointResult, RetryOn, RetryPolicy, Sweep,
+    spec_for_attempt, Campaign, CampaignOutcome, DegradedReason, PointResult, RetryOn,
+    RetryPolicy, Sweep,
 };

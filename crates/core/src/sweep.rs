@@ -238,6 +238,19 @@ impl RetryPolicy {
     }
 }
 
+/// Why a completed design point counts as degraded in
+/// [`CampaignOutcome::degraded`]: an involuntary rank loss recovered
+/// in-run, or a voluntary (planned) partition migration — operators slice
+/// campaign health on this distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DegradedReason {
+    /// At least one rank died and its partition was adopted or dropped.
+    RankLoss,
+    /// At least one planned partition handoff committed, or degraded to
+    /// "no migration happened" after losing its race with a death.
+    PlannedMigration,
+}
+
 /// Result of a [`Campaign`] run.
 pub struct CampaignOutcome {
     /// One entry per input spec, **in input order** regardless of the
@@ -275,15 +288,32 @@ impl CampaignOutcome {
     }
 
     /// Indices of points that completed *degraded*: the run finished (no
-    /// retry, no quarantine) but lost at least one rank along the way and
-    /// recovered in-run. Disjoint from [`CampaignOutcome::quarantined`].
+    /// retry, no quarantine) but either lost a rank and recovered in-run
+    /// or rebalanced itself through planned partition handoffs. Disjoint
+    /// from [`CampaignOutcome::quarantined`].
     pub fn degraded(&self) -> Vec<usize> {
+        self.degraded_reasons().into_iter().map(|(i, _)| i).collect()
+    }
+
+    /// [`CampaignOutcome::degraded`] with *why* each point counts: a rank
+    /// loss, a planned migration, or both. Indices stay in input order and
+    /// appear once, so callers can separate involuntary degradation from
+    /// elasticity the operator asked for.
+    pub fn degraded_reasons(&self) -> Vec<(usize, Vec<DegradedReason>)> {
         self.results
             .iter()
             .enumerate()
-            .filter_map(|(i, r)| match r {
-                Ok(out) if out.degradation.rank_losses > 0 => Some(i),
-                _ => None,
+            .filter_map(|(i, r)| {
+                let out = r.as_ref().ok()?;
+                let d = &out.degradation;
+                let mut reasons = Vec::new();
+                if d.rank_losses > 0 {
+                    reasons.push(DegradedReason::RankLoss);
+                }
+                if d.migrations > 0 || d.migration_failures > 0 {
+                    reasons.push(DegradedReason::PlannedMigration);
+                }
+                (!reasons.is_empty()).then_some((i, reasons))
             })
             .collect()
     }

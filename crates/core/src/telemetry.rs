@@ -89,6 +89,18 @@ impl CampaignTelemetry {
             for &latency in &outcome.recovery_latency_s {
                 c.observe("recovery_latency_s", latency);
             }
+            // Elasticity: planned handoffs that committed vs degraded to
+            // "no migration happened", and the per-handoff disruption the
+            // source rank observed (its handshake stall — the migration
+            // SLO: frames keep flowing while partitions move).
+            c.add("recovery_migrations_total", d.migrations as f64);
+            c.add(
+                "recovery_migration_failures_total",
+                d.migration_failures as f64,
+            );
+            for &stall in &outcome.migration_disruption_s {
+                c.observe("migration_disruption_s", stall);
+            }
         }
 
         // Event counters recorded anywhere under the campaign (cache
@@ -349,6 +361,28 @@ mod tests {
         let view = t.deterministic_view();
         assert!(view.contains(&("recovery_rank_losses_total".to_string(), 1)));
         assert!(view.contains(&("recovery_latency_s/count".to_string(), 2)));
+    }
+
+    #[test]
+    fn migration_metrics_export_as_histogram_and_gauges() {
+        let mut c = CounterSet::new();
+        c.add("recovery_migrations_total", 3.0);
+        c.add("recovery_migration_failures_total", 1.0);
+        for v in [0.002, 0.004, 0.009] {
+            c.observe("migration_disruption_s", v);
+        }
+        let t = CampaignTelemetry { counters: c };
+        let prom = t.to_prometheus();
+        assert!(prom.contains("eth_campaign_recovery_migrations_total 3"));
+        assert!(prom.contains("eth_campaign_recovery_migration_failures_total 1"));
+        assert!(prom.contains("# TYPE eth_campaign_migration_disruption_s histogram"));
+        assert!(prom.contains("eth_campaign_migration_disruption_s_count 3"));
+        // handoff counts are deterministic; the stall distribution only
+        // contributes its observation count
+        let view = t.deterministic_view();
+        assert!(view.contains(&("recovery_migrations_total".to_string(), 3)));
+        assert!(view.contains(&("migration_disruption_s/count".to_string(), 3)));
+        assert!(!view.iter().any(|(n, _)| n == "migration_disruption_s"));
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! dies at whichever step.
 
 use eth_core::{
-    run_native, Algorithm, Application, Campaign, Coupling, ExperimentSpec, RecoveryPolicy,
-    RunCaches,
+    run_native, Algorithm, Application, Campaign, Coupling, DegradedReason, ExperimentSpec,
+    MigrationPattern, MigrationPlan, RecoveryPolicy, RunCaches,
 };
 use eth_transport::{FaultPlan, HeartbeatPolicy};
 use std::time::{Duration, Instant};
@@ -129,4 +129,83 @@ fn any_single_rank_kill_at_any_step_never_deadlocks() {
             }
         }
     }
+}
+
+/// Interleaving a planned migration with a seeded kill: whichever handoff
+/// the death races, the run completes in-run (no campaign retry), the
+/// outcome is deterministic across repeats, and the campaign tags the
+/// point with *both* degradation reasons — the involuntary rank loss and
+/// the planned (here: lost-to-the-death) migration.
+#[test]
+fn migration_interleaved_with_kill_is_deterministic_and_tagged() {
+    let (ranks, steps) = (3usize, 4usize);
+
+    // A wider miss budget than fast_recovery(): a beater thread starved
+    // by a loaded parallel test run must not be falsely declared dead,
+    // or a spurious death would nondeterministically abort the handoff.
+    let sturdy = RecoveryPolicy {
+        heartbeat: HeartbeatPolicy {
+            interval_ms: 10,
+            miss_budget: 30,
+        },
+        max_rank_losses: 1,
+        adopt: true,
+    };
+
+    // Point 0: pure elasticity — one Sudden handoff, nobody dies.
+    let mut elastic = spec("mx-elastic", Coupling::Intercore, ranks, steps);
+    elastic.recovery = Some(sturdy);
+    elastic.migration = Some(MigrationPlan::new(MigrationPattern::Sudden {
+        from: 1,
+        to: 2,
+        at_step: 2,
+    }));
+
+    // Point 1: the same schedule racing a kill of the migrating
+    // partition's simulation rank one step before the handoff — death
+    // wins, the handoff degrades to "no migration happened".
+    let mut raced = kill_spec("mx-raced", Coupling::Intercore, ranks, steps, 1, 1);
+    raced.recovery = Some(sturdy);
+    raced.migration = elastic.migration;
+
+    let run = |tag: &str| {
+        let mut specs = [elastic.clone(), raced.clone()];
+        for s in specs.iter_mut() {
+            s.name = format!("{}-{tag}", s.name);
+        }
+        Campaign::new().run_with(&specs, &RunCaches::new())
+    };
+
+    let a = run("a");
+    assert_eq!(a.attempts, vec![1, 1], "both points must complete in-run");
+    assert!(a.quarantined.is_empty());
+
+    let elastic_out = a.results[0].as_ref().expect("elastic point");
+    assert_eq!(elastic_out.degradation.migrations, 1, "{:?}", elastic_out.degradation);
+    assert_eq!(elastic_out.degradation.rank_losses, 0);
+
+    let raced_out = a.results[1].as_ref().expect("raced point");
+    assert_eq!(raced_out.degradation.migrations, 0, "{:?}", raced_out.degradation);
+    assert_eq!(raced_out.degradation.migration_failures, 1);
+    assert_eq!(raced_out.degradation.rank_losses, 1);
+    assert_eq!(raced_out.images.len(), steps * raced.images_per_step);
+
+    // the campaign separates voluntary from involuntary degradation
+    assert_eq!(
+        a.degraded_reasons(),
+        vec![
+            (0, vec![DegradedReason::PlannedMigration]),
+            (1, vec![DegradedReason::RankLoss, DegradedReason::PlannedMigration]),
+        ]
+    );
+    assert_eq!(a.degraded(), vec![0, 1]);
+
+    // seeded determinism: a second campaign resolves the race identically
+    let b = run("b");
+    let (ra, rb) = (
+        a.results[1].as_ref().unwrap(),
+        b.results[1].as_ref().unwrap(),
+    );
+    assert_eq!(ra.degradation, rb.degradation, "race resolution must be seeded-deterministic");
+    assert_eq!(ra.images, rb.images);
 }

@@ -223,6 +223,58 @@ pub fn composite_binary_swap_masked(
     (fb, stats)
 }
 
+/// Ownership-mapped compositing (DESIGN.md §13): contributions arrive as
+/// `(partition, framebuffer)` pairs from whichever rank currently owns
+/// each partition, and the fold runs in ascending **partition** order —
+/// never contributor order — so the image bytes are independent of which
+/// rank rendered which partition. This is what makes a migrated run
+/// byte-identical to the undisturbed one.
+///
+/// Duplicate contributions for one partition (a handoff whose ack was
+/// lost after commit: both owners render it) merge idempotently; a
+/// partition nobody contributed counts as a missing contribution.
+///
+/// Panics when *no* partition has a contribution (callers handle the
+/// all-dead dark frame themselves, as with the masked schedules).
+pub fn composite_owned(
+    partitions: usize,
+    contribs: Vec<(usize, Framebuffer)>,
+) -> (Framebuffer, CompositeStats) {
+    let mut stats = CompositeStats::default();
+    let mut slots: Vec<Option<Framebuffer>> = (0..partitions).map(|_| None).collect();
+    for (partition, fb) in contribs {
+        assert!(
+            partition < partitions,
+            "contribution for partition {partition} but only {partitions} exist"
+        );
+        match &mut slots[partition] {
+            Some(existing) => {
+                let _span = eth_obs::span(eth_obs::Phase::Composite);
+                stats.merge_ops += (fb.width() * fb.height()) as u64;
+                existing.composite_in(&fb);
+            }
+            empty => *empty = Some(fb),
+        }
+    }
+    let mut missing = 0u64;
+    let bufs: Vec<Framebuffer> = slots
+        .into_iter()
+        .filter_map(|slot| {
+            if slot.is_none() {
+                missing += 1;
+            }
+            slot
+        })
+        .collect();
+    assert!(!bufs.is_empty(), "nothing to composite");
+    let (fb, fold) = composite_direct(bufs);
+    stats.rounds = fold.rounds;
+    stats.bytes_exchanged += fold.bytes_exchanged;
+    stats.merge_ops += fold.merge_ops;
+    stats.missing_contributions = missing;
+    (fb, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,5 +466,46 @@ mod tests {
     #[should_panic(expected = "nothing to composite")]
     fn masked_composite_rejects_all_missing() {
         composite_direct_masked(vec![None, None], &RankMask::from_missing(2, &[0, 1]));
+    }
+
+    #[test]
+    fn owned_composite_is_contributor_order_independent() {
+        let count = 4;
+        let make = |i: usize| striped(16, 8, i, count, (i + 1) as f32);
+        let (want, _) = composite_direct((0..count).map(make).collect());
+        // contributions arrive in a scrambled contributor order, as they
+        // would after a migration moved partitions between ranks
+        let scrambled: Vec<(usize, Framebuffer)> =
+            [2usize, 0, 3, 1].iter().map(|&p| (p, make(p))).collect();
+        let (got, stats) = composite_owned(count, scrambled);
+        assert_eq!(got, want, "ownership must not leak into image bytes");
+        assert_eq!(stats.missing_contributions, 0);
+    }
+
+    #[test]
+    fn owned_composite_merges_duplicates_idempotently() {
+        // both the old and new owner rendered partition 1 (ack lost after
+        // commit): the duplicate merges away
+        let count = 3;
+        let make = |i: usize| striped(16, 8, i, count, (i + 1) as f32);
+        let (want, _) = composite_direct((0..count).map(make).collect());
+        let contribs = vec![(0, make(0)), (1, make(1)), (1, make(1)), (2, make(2))];
+        let (got, stats) = composite_owned(count, contribs);
+        assert_eq!(got, want);
+        assert_eq!(stats.missing_contributions, 0);
+    }
+
+    #[test]
+    fn owned_composite_counts_unowned_partitions_as_missing() {
+        let count = 3;
+        let make = |i: usize| striped(16, 8, i, count, (i + 1) as f32);
+        let (_, stats) = composite_owned(count, vec![(0, make(0)), (2, make(2))]);
+        assert_eq!(stats.missing_contributions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to composite")]
+    fn owned_composite_rejects_no_contributions() {
+        composite_owned(3, Vec::new());
     }
 }

@@ -145,6 +145,15 @@ impl SimulationProxy {
         self.cursor
     }
 
+    /// The migration cursor handoff: jump the cursor forward to `step`
+    /// without producing data, so a proxy standing in for a migrated-in
+    /// partition resumes exactly where the transferred checkpoint says the
+    /// source left off. Forward-only — applying a stale checkpoint never
+    /// rewinds progress already made.
+    pub fn adopt_cursor(&mut self, step: usize) {
+        self.cursor = self.cursor.max(step);
+    }
+
     /// Drive a sink through every timestep (tight coupling: source and sink
     /// in the same call stack, exactly the paper's unified mode).
     ///
@@ -368,6 +377,29 @@ mod tests {
         // stepping an earlier step never rewinds the cursor
         proxy.step(1).unwrap();
         assert_eq!(proxy.cursor(), 3);
+    }
+
+    #[test]
+    fn adopt_cursor_is_forward_only_and_feeds_run_from() {
+        let cfg = HaccConfig::with_particles(100);
+        let make = || {
+            let cfg = cfg.clone();
+            SimulationProxy::from_generator(0, 1, 5, move |step, _rank| {
+                Ok(DataObject::Points(cfg.generate(step)?))
+            })
+        };
+        let mut proxy = make();
+        proxy.adopt_cursor(3);
+        assert_eq!(proxy.cursor(), 3);
+        // a stale checkpoint never rewinds
+        proxy.adopt_cursor(1);
+        assert_eq!(proxy.cursor(), 3);
+        // resuming from the adopted cursor replays only the tail
+        let mut sink = CountingSink::default();
+        let cursor = proxy.cursor();
+        let stats = proxy.run_from(cursor, &mut sink).unwrap();
+        assert_eq!(stats.steps, 2);
+        assert_eq!(proxy.cursor(), 5);
     }
 
     #[test]

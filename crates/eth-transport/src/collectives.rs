@@ -83,6 +83,143 @@ impl AdoptNotice {
     }
 }
 
+/// Migration handoff protocol (DESIGN.md §13): three chaos-exempt phases
+/// per handoff, each on its own tag family salted by the handoff index so
+/// concurrent handoffs never cross. `offer → state → ack`; the source
+/// keeps rendering the partition until a positive ack lands, so a lost or
+/// refused handoff degrades to "no migration happened".
+pub const TAG_MIGRATE_OFFER: u32 = CONTROL_TAG_BASE + 0x0200_0000;
+/// Checkpoint transfer of the migrating partition (opaque payload).
+pub const TAG_MIGRATE_STATE: u32 = CONTROL_TAG_BASE + 0x0300_0000;
+/// The target's verdict: committed, or refused (death won the race).
+pub const TAG_MIGRATE_ACK: u32 = CONTROL_TAG_BASE + 0x0400_0000;
+
+/// Phase one of a handoff: the source names the partition it is draining,
+/// itself, and the step the target takes over at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrateOffer {
+    /// Index of the handoff in the spec's resolved schedule.
+    pub handoff: usize,
+    /// The partition changing owners.
+    pub partition: usize,
+    /// The source viz rank.
+    pub source: usize,
+    /// First step the target renders the partition.
+    pub step: usize,
+}
+
+impl MigrateOffer {
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&(self.handoff as u64).to_le_bytes());
+        out.extend_from_slice(&(self.partition as u64).to_le_bytes());
+        out.extend_from_slice(&(self.source as u64).to_le_bytes());
+        out.extend_from_slice(&(self.step as u64).to_le_bytes());
+        Bytes::from(out)
+    }
+
+    pub fn decode(bytes: &Bytes) -> Result<MigrateOffer> {
+        if bytes.len() != 32 {
+            return Err(TransportError::Decode(format!(
+                "migrate offer of {} bytes (want 32)",
+                bytes.len()
+            )));
+        }
+        let word = |i: usize| {
+            u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8-byte word"))
+        };
+        Ok(MigrateOffer {
+            handoff: word(0) as usize,
+            partition: word(1) as usize,
+            source: word(2) as usize,
+            step: word(3) as usize,
+        })
+    }
+}
+
+/// Phase three of a handoff: did the target commit?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrateAck {
+    pub handoff: usize,
+    /// `true`: the target owns the partition from the offered step on.
+    /// `false`: the target refused (its sim rank is dying, or the death
+    /// arbitration already aborted the handoff) — the source keeps it.
+    pub committed: bool,
+}
+
+impl MigrateAck {
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&(self.handoff as u64).to_le_bytes());
+        out.extend_from_slice(&(self.committed as u64).to_le_bytes());
+        Bytes::from(out)
+    }
+
+    pub fn decode(bytes: &Bytes) -> Result<MigrateAck> {
+        if bytes.len() != 16 {
+            return Err(TransportError::Decode(format!(
+                "migrate ack of {} bytes (want 16)",
+                bytes.len()
+            )));
+        }
+        let word = |i: usize| {
+            u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8-byte word"))
+        };
+        Ok(MigrateAck {
+            handoff: word(0) as usize,
+            committed: word(1) != 0,
+        })
+    }
+}
+
+/// Send offer + checkpoint state to the target (phases one and two). The
+/// state payload is opaque to the transport — the harness ships the
+/// partition's serialized [`StepCheckpoint`].
+pub fn send_migrate_offer(
+    comm: &dyn Communicator,
+    target: usize,
+    offer: &MigrateOffer,
+    state: Bytes,
+) -> Result<()> {
+    let salt = offer.handoff as u32;
+    comm.send(target, TAG_MIGRATE_OFFER + salt, offer.encode())?;
+    comm.send(target, TAG_MIGRATE_STATE + salt, state)
+}
+
+/// Receive the offer and checkpoint state for handoff `handoff`, bounded
+/// by `timeout` (a control receive must never block past the handoff
+/// budget).
+pub fn recv_migrate_offer(
+    comm: &dyn Communicator,
+    from: usize,
+    handoff: usize,
+    timeout: Duration,
+) -> Result<(MigrateOffer, Bytes)> {
+    let salt = handoff as u32;
+    let deadline = Instant::now() + timeout;
+    let offer = MigrateOffer::decode(&comm.recv_timeout(from, TAG_MIGRATE_OFFER + salt, timeout)?)?;
+    let left = deadline.saturating_duration_since(Instant::now()).max(Duration::from_millis(1));
+    let state = comm.recv_timeout(from, TAG_MIGRATE_STATE + salt, left)?;
+    Ok((offer, state))
+}
+
+/// Send the target's verdict back to the source (phase three).
+pub fn send_migrate_ack(comm: &dyn Communicator, source: usize, ack: &MigrateAck) -> Result<()> {
+    comm.send(source, TAG_MIGRATE_ACK + ack.handoff as u32, ack.encode())
+}
+
+/// Receive the verdict for handoff `handoff`, bounded by `timeout`; a
+/// timeout means the handoff failed and the source keeps the partition.
+pub fn recv_migrate_ack(
+    comm: &dyn Communicator,
+    from: usize,
+    handoff: usize,
+    timeout: Duration,
+) -> Result<MigrateAck> {
+    let bytes = comm.recv_timeout(from, TAG_MIGRATE_ACK + handoff as u32, timeout)?;
+    MigrateAck::decode(&bytes)
+}
+
 /// Send an adoption notice to `root` on the control plane.
 pub fn send_adopt_notice(comm: &dyn Communicator, root: usize, notice: &AdoptNotice) -> Result<()> {
     comm.send(root, TAG_ADOPT_NOTICE + notice.dead_rank as u32, notice.encode())
@@ -447,10 +584,62 @@ mod tests {
     fn control_tags_sit_above_collectives_and_outside_the_chaos_window() {
         const { assert!(CONTROL_TAG_BASE > COLLECTIVE_TAG_BASE) };
         const { assert!(TAG_ADOPT_NOTICE >= CONTROL_TAG_BASE) };
+        const { assert!(TAG_MIGRATE_OFFER >= CONTROL_TAG_BASE) };
+        const { assert!(TAG_MIGRATE_STATE >= CONTROL_TAG_BASE) };
+        const { assert!(TAG_MIGRATE_ACK >= CONTROL_TAG_BASE) };
         // the default fault-plan window ends at the collective base, so
         // control traffic is chaos-exempt by construction
         let plan = crate::fault::FaultPlan::seeded(1).with_drop(1.0);
         assert!(!plan.targets(TAG_ADOPT_NOTICE));
+        assert!(!plan.targets(TAG_MIGRATE_OFFER));
+        assert!(!plan.targets(TAG_MIGRATE_STATE + 7));
+        assert!(!plan.targets(TAG_MIGRATE_ACK + 7));
+    }
+
+    #[test]
+    fn migrate_codecs_roundtrip_and_reject_short_payloads() {
+        let offer = MigrateOffer {
+            handoff: 2,
+            partition: 5,
+            source: 1,
+            step: 9,
+        };
+        assert_eq!(MigrateOffer::decode(&offer.encode()).unwrap(), offer);
+        assert!(MigrateOffer::decode(&Bytes::from_static(b"short")).is_err());
+        for committed in [true, false] {
+            let ack = MigrateAck { handoff: 3, committed };
+            assert_eq!(MigrateAck::decode(&ack.encode()).unwrap(), ack);
+        }
+        assert!(MigrateAck::decode(&Bytes::from_static(b"short")).is_err());
+    }
+
+    #[test]
+    fn migrate_handshake_travels_the_control_plane() {
+        // source rank 0 offers partition 2 to target rank 1; the target
+        // commits and acks. The checkpoint payload arrives byte-identical.
+        let results = on_ranks(2, |c| {
+            if c.rank() == 0 {
+                let offer = MigrateOffer {
+                    handoff: 4,
+                    partition: 2,
+                    source: 0,
+                    step: 3,
+                };
+                send_migrate_offer(c, 1, &offer, Bytes::from_static(b"cursor-state")).unwrap();
+                let ack = recv_migrate_ack(c, 1, 4, Duration::from_secs(5)).unwrap();
+                assert!(ack.committed);
+                None
+            } else {
+                let (offer, state) =
+                    recv_migrate_offer(c, 0, 4, Duration::from_secs(5)).unwrap();
+                assert_eq!(offer.partition, 2);
+                assert_eq!(offer.step, 3);
+                assert_eq!(&state[..], b"cursor-state");
+                send_migrate_ack(c, 0, &MigrateAck { handoff: 4, committed: true }).unwrap();
+                Some(offer)
+            }
+        });
+        assert_eq!(results[1].unwrap().source, 0);
     }
 
     #[test]

@@ -296,6 +296,30 @@ impl FaultPlan {
         Ok(())
     }
 
+    /// Contextual validation for [`FaultPlan::kill_rank_at_step`]: the plan
+    /// alone cannot know the run shape, so callers that do (the experiment
+    /// spec) pass it in. Rejects a victim rank or kill step that the run
+    /// never reaches — a kill that silently never fires is a
+    /// misconfiguration, not a clean run.
+    pub fn validate_kill(&self, ranks: usize, steps: usize) -> std::result::Result<(), String> {
+        let Some(kill) = self.kill_rank_at_step else {
+            return Ok(());
+        };
+        if kill.rank >= ranks {
+            return Err(format!(
+                "kill_rank_at_step.rank {} outside {} sim ranks",
+                kill.rank, ranks
+            ));
+        }
+        if kill.step >= steps {
+            return Err(format!(
+                "kill_rank_at_step.step {} outside {} steps",
+                kill.step, steps
+            ));
+        }
+        Ok(())
+    }
+
     /// Decide the faults for one message: a pure function of the plan and
     /// the message key, so the schedule is identical on every run.
     pub fn decide(&self, side: FaultSide, from: usize, to: usize, tag: u32, seq: u64) -> FaultDecision {
@@ -569,6 +593,20 @@ mod tests {
         // lossy without a deadline would hang instead of degrading
         let bad = FaultPlan::default().with_drop(0.1);
         assert!(bad.validate().unwrap_err().contains("recv_deadline_ms"));
+    }
+
+    #[test]
+    fn kill_spec_bounds_are_checked_against_the_run_shape() {
+        // no kill configured: any shape passes
+        assert!(FaultPlan::default().validate_kill(1, 1).is_ok());
+        let plan = FaultPlan::seeded(1).with_kill_rank_at_step(1, 2);
+        assert!(plan.validate_kill(2, 3).is_ok());
+        // a victim rank the run never spawns
+        let err = plan.validate_kill(1, 3).unwrap_err();
+        assert!(err.contains("rank 1"), "{err}");
+        // a kill step the run never reaches would silently never fire
+        let err = plan.validate_kill(2, 2).unwrap_err();
+        assert!(err.contains("step 2"), "{err}");
     }
 
     #[test]

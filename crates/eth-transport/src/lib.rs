@@ -37,6 +37,7 @@ pub use comm::{Communicator, TransportError};
 pub use fault::{Backoff, BackoffShape, FaultPlan, KillSpec};
 pub use local::LocalFabric;
 pub use runner::{
-    run_ranks, run_ranks_heartbeat, run_ranks_supervised, spawn_supervisor, DeathNotice,
-    HeartbeatBoard, HeartbeatPolicy, HeartbeatRun, RankFailure, Supervisor,
+    run_ranks, run_ranks_heartbeat, run_ranks_supervised, spawn_migration_supervisor,
+    spawn_supervisor, DeathNotice, HeartbeatBoard, HeartbeatPolicy, HeartbeatRun, MigrationBook,
+    RankFailure, Supervisor,
 };

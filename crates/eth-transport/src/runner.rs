@@ -376,8 +376,13 @@ impl HeartbeatBoard {
     }
 
     /// Record that `rank` completed `step`, which doubles as a beacon.
+    /// Monotonic: a late or reordered report of an earlier step never
+    /// rewinds the attribution (fetch_max, not store), so concurrent
+    /// reporters can race without corrupting `last_step`.
     pub fn step_done(&self, rank: usize, step: usize) {
-        self.slots[rank].last_step.store(step as u64 + 1, Ordering::Release);
+        self.slots[rank]
+            .last_step
+            .fetch_max(step as u64 + 1, Ordering::AcqRel);
         self.beat(rank);
     }
 
@@ -539,6 +544,137 @@ impl Supervisor {
 impl Drop for Supervisor {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Handoff states on a [`MigrationBook`]. A handoff starts `PENDING` and
+/// makes exactly one transition: `COMMITTED` (the target accepted and the
+/// ack landed) or `ABORTED` (timeout, refusal, or the source's sim rank
+/// died mid-handoff).
+pub const HANDOFF_PENDING: u8 = 0;
+pub const HANDOFF_COMMITTED: u8 = 1;
+pub const HANDOFF_ABORTED: u8 = 2;
+
+/// Shared arbitration board for live migration: one atomic cell per
+/// planned handoff. The single compare-and-swap out of `PENDING` is the
+/// linearization point that makes a migration racing a rank death resolve
+/// deterministically — whichever transition lands first wins, both sides
+/// observe the same winner, and the loser's path degrades cleanly (a lost
+/// commit means "no migration happened"; a lost abort means the new owner
+/// already has everything it needs).
+pub struct MigrationBook {
+    slots: Vec<AtomicU8>,
+}
+
+impl MigrationBook {
+    /// A book for `handoffs` planned handoffs, all `PENDING`.
+    pub fn new(handoffs: usize) -> Arc<MigrationBook> {
+        Arc::new(MigrationBook {
+            slots: (0..handoffs).map(|_| AtomicU8::new(HANDOFF_PENDING)).collect(),
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Commit handoff `h`: `PENDING → COMMITTED`. `true` iff this call won
+    /// the transition (an already-aborted handoff stays aborted).
+    pub fn try_commit(&self, h: usize) -> bool {
+        self.slots[h]
+            .compare_exchange(
+                HANDOFF_PENDING,
+                HANDOFF_COMMITTED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Abort handoff `h`: `PENDING → ABORTED`. `true` iff this call won
+    /// the transition (an already-committed handoff stays committed).
+    pub fn abort(&self, h: usize) -> bool {
+        self.slots[h]
+            .compare_exchange(
+                HANDOFF_PENDING,
+                HANDOFF_ABORTED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    pub fn status(&self, h: usize) -> u8 {
+        self.slots[h].load(Ordering::Acquire)
+    }
+
+    pub fn is_committed(&self, h: usize) -> bool {
+        self.status(h) == HANDOFF_COMMITTED
+    }
+
+    pub fn is_aborted(&self, h: usize) -> bool {
+        self.status(h) == HANDOFF_ABORTED
+    }
+
+    pub fn is_pending(&self, h: usize) -> bool {
+        self.status(h) == HANDOFF_PENDING
+    }
+
+    /// Handoffs that reached `COMMITTED`.
+    pub fn committed(&self) -> usize {
+        (0..self.len()).filter(|&h| self.is_committed(h)).count()
+    }
+
+    /// Handoffs that reached `ABORTED`.
+    pub fn aborted(&self) -> usize {
+        (0..self.len()).filter(|&h| self.is_aborted(h)).count()
+    }
+}
+
+/// Spawn the migration supervisor beside the heartbeat supervisor: it
+/// watches the heartbeat board and aborts every still-pending handoff
+/// whose partition's sim rank has died — death wins, and the PR 5
+/// adoption path takes over for that partition. `watch` maps handoff
+/// index → the sim rank whose death invalidates it. The supervisor stops
+/// on its own once every watched handoff is resolved or every rank is
+/// done-or-dead.
+pub fn spawn_migration_supervisor(
+    board: &Arc<HeartbeatBoard>,
+    book: &Arc<MigrationBook>,
+    watch: Vec<(usize, usize)>,
+    policy: HeartbeatPolicy,
+) -> Supervisor {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = stop.clone();
+    let board = board.clone();
+    let book = book.clone();
+    let poll = policy.poll_interval();
+    let handle = thread::Builder::new()
+        .name("eth-migration-supervisor".into())
+        .spawn(move || {
+            while !flag.load(Ordering::Acquire) {
+                for &(handoff, sim_rank) in &watch {
+                    if book.is_pending(handoff) && board.is_dead(sim_rank) {
+                        book.abort(handoff);
+                    }
+                }
+                let all_resolved = watch.iter().all(|&(h, _)| !book.is_pending(h));
+                let all_settled =
+                    (0..board.size()).all(|r| board.is_done(r) || board.is_dead(r));
+                if all_resolved || all_settled {
+                    break;
+                }
+                thread::sleep(poll);
+            }
+        })
+        .expect("spawn migration supervisor thread");
+    Supervisor {
+        stop,
+        handle: Some(handle),
     }
 }
 
@@ -969,6 +1105,181 @@ mod tests {
         assert!(!board.is_dead(0), "a beating rank must stay alive");
         board.mark_done(0);
         sup.stop();
+    }
+
+    #[test]
+    fn migration_book_transitions_are_exclusive_and_sticky() {
+        let book = MigrationBook::new(3);
+        assert_eq!(book.len(), 3);
+        assert!(book.is_pending(0));
+        // first transition wins, the loser observes it
+        assert!(book.try_commit(0));
+        assert!(!book.abort(0), "commit already won handoff 0");
+        assert!(book.is_committed(0));
+        assert!(book.abort(1));
+        assert!(!book.try_commit(1), "abort already won handoff 1");
+        assert!(book.is_aborted(1));
+        // transitions are one-shot
+        assert!(!book.try_commit(0));
+        assert!(!book.abort(1));
+        assert_eq!(book.committed(), 1);
+        assert_eq!(book.aborted(), 1);
+        assert!(book.is_pending(2));
+    }
+
+    #[test]
+    fn migration_supervisor_aborts_handoffs_of_dead_ranks() {
+        let board = HeartbeatBoard::new(3);
+        let book = MigrationBook::new(2);
+        // handoff 0 rides sim rank 1, handoff 1 rides sim rank 2
+        let sup = spawn_migration_supervisor(
+            &board,
+            &book,
+            vec![(0, 1), (1, 2)],
+            fast_policy(),
+        );
+        // rank 2's handoff commits before the death lands: commit sticks
+        assert!(book.try_commit(1));
+        board.declare_dead(1);
+        board.declare_dead(2);
+        let t = Instant::now();
+        while book.is_pending(0) && t.elapsed() < Duration::from_secs(5) {
+            thread::sleep(Duration::from_millis(1));
+        }
+        sup.stop();
+        assert!(book.is_aborted(0), "death must abort the pending handoff");
+        assert!(book.is_committed(1), "a committed handoff survives the death");
+    }
+
+    #[test]
+    fn step_done_never_rewinds_attribution() {
+        let board = HeartbeatBoard::new(1);
+        board.step_done(0, 5);
+        // a late report of an earlier step is absorbed, not a rewind
+        board.step_done(0, 2);
+        assert_eq!(board.last_step(0), Some(5));
+        board.step_done(0, 7);
+        assert_eq!(board.last_step(0), Some(7));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Step attribution is monotonic per rank no matter how
+            /// reporters interleave: two writer threads race randomly
+            /// ordered `step_done` calls while a reader samples, and the
+            /// observed sequence never decreases; the final attribution is
+            /// the maximum reported step.
+            #[test]
+            fn step_attribution_is_monotonic_under_interleavings(
+                ops in prop::collection::vec((0usize..2, 0usize..40), 4..40),
+            ) {
+                let board = HeartbeatBoard::new(2);
+                let split = ops.len() / 2;
+                let halves = [ops[..split].to_vec(), ops[split..].to_vec()];
+                let stop = Arc::new(AtomicBool::new(false));
+                let reader = {
+                    let board = board.clone();
+                    let stop = stop.clone();
+                    thread::spawn(move || {
+                        let mut seen: [Vec<Option<usize>>; 2] = [Vec::new(), Vec::new()];
+                        while !stop.load(Ordering::Acquire) {
+                            for (rank, log) in seen.iter_mut().enumerate() {
+                                log.push(board.last_step(rank));
+                            }
+                        }
+                        seen
+                    })
+                };
+                let writers: Vec<_> = halves
+                    .into_iter()
+                    .map(|half| {
+                        let board = board.clone();
+                        thread::spawn(move || {
+                            for (rank, step) in half {
+                                board.step_done(rank, step);
+                            }
+                        })
+                    })
+                    .collect();
+                for w in writers {
+                    w.join().unwrap();
+                }
+                stop.store(true, Ordering::Release);
+                let seen = reader.join().unwrap();
+                for (rank, seen_rank) in seen.iter().enumerate() {
+                    for pair in seen_rank.windows(2) {
+                        prop_assert!(
+                            pair[1] >= pair[0],
+                            "rank {} attribution rewound: {:?} -> {:?}",
+                            rank, pair[0], pair[1]
+                        );
+                    }
+                    let expect = ops
+                        .iter()
+                        .filter(|(r, _)| *r == rank)
+                        .map(|&(_, s)| s)
+                        .max();
+                    prop_assert_eq!(board.last_step(rank), expect);
+                }
+            }
+
+            /// Death notices never report negative silence: whatever the
+            /// interleaving of beats, step reports, and declarations, every
+            /// notice's detection timestamp is at or after the last beacon
+            /// it blames, and each rank dies at most once.
+            #[test]
+            fn death_latency_is_non_negative_under_interleavings(
+                ops in prop::collection::vec((0usize..3, 0u8..4, 0usize..16), 4..48),
+            ) {
+                let board = HeartbeatBoard::new(3);
+                let split = ops.len() / 2;
+                let halves = [ops[..split].to_vec(), ops[split..].to_vec()];
+                let workers: Vec<_> = halves
+                    .into_iter()
+                    .map(|half| {
+                        let board = board.clone();
+                        thread::spawn(move || {
+                            for (rank, op, step) in half {
+                                match op {
+                                    0 => board.beat(rank),
+                                    1 => board.step_done(rank, step),
+                                    2 => {
+                                        board.declare_dead(rank);
+                                    }
+                                    _ => {
+                                        board.scan(Duration::from_nanos(step as u64));
+                                    }
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                for w in workers {
+                    w.join().unwrap();
+                }
+                let deaths = board.deaths();
+                for d in &deaths {
+                    prop_assert!(
+                        d.detected_ns >= d.last_beat_ns,
+                        "rank {} declared dead {}ns before its last beacon",
+                        d.rank,
+                        d.last_beat_ns - d.detected_ns
+                    );
+                    prop_assert!(d.detection_latency() >= Duration::ZERO);
+                }
+                for rank in 0..3 {
+                    prop_assert!(
+                        deaths.iter().filter(|d| d.rank == rank).count() <= 1,
+                        "rank {} died more than once", rank
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub use eth_transport as transport;
 /// Most-used items in one import.
 pub mod prelude {
     pub use eth_cluster::metrics::RunMetrics;
-    pub use eth_core::config::{Algorithm, Application, Coupling, ExperimentSpec, RecoveryPolicy};
+    pub use eth_core::config::{
+        Algorithm, Application, Coupling, ExperimentSpec, MigrationPattern, MigrationPlan,
+        RecoveryPolicy,
+    };
     pub use eth_core::harness;
     pub use eth_core::harness::{run_native, run_native_cached, RunCaches};
     pub use eth_core::results::ResultTable;
