@@ -1,0 +1,67 @@
+//! Render hot path: HLBVH vs median-split build times, and tiled
+//! packet-traversal frame times (DESIGN.md §14). The JSON-report variant
+//! with acceptance gates is `reproduce render-bench`; this is the
+//! statistics-grade criterion view of the same two loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eth_bench::render::scatter;
+use eth_data::{PointCloud, Vec3};
+use eth_render::camera::Camera;
+use eth_render::color::{Colormap, TransferFunction};
+use eth_render::ray::bvh::SphereBvh;
+use eth_render::ray::sphere::SphereRaycaster;
+use eth_render::shading::Lighting;
+
+const RADIUS: f32 = 0.01;
+
+fn bench_build(c: &mut Criterion) {
+    let sizes = [50_000usize, 200_000, 800_000];
+    let mut group = c.benchmark_group("bvh_build");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &sizes {
+        let centers = scatter(n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("hlbvh", n), &n, |b, _| {
+            b.iter(|| SphereBvh::build(&centers, RADIUS))
+        });
+        group.bench_with_input(BenchmarkId::new("median_split", n), &n, |b, _| {
+            b.iter(|| SphereBvh::build_median(&centers, RADIUS))
+        });
+    }
+    group.finish();
+}
+
+fn bench_frame(c: &mut Criterion) {
+    let sizes = [100_000usize, 400_000];
+    let tf = TransferFunction::new(Colormap::Viridis, 0.0, 4.0);
+    let lighting = Lighting::default();
+    let mut group = c.benchmark_group("render_frame");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &sizes {
+        let cloud = PointCloud::from_positions(scatter(n, 42));
+        let rc = SphereRaycaster::build(&cloud, None, RADIUS);
+        let cam = Camera::look_at(
+            Vec3::new(0.0, -3.2, 0.6),
+            Vec3::ZERO,
+            Vec3::new(0.0, 0.0, 1.0),
+            45.0,
+            320,
+            240,
+        );
+        group.throughput(Throughput::Elements((320 * 240) as u64));
+        group.bench_with_input(BenchmarkId::new("tiled_packets", n), &n, |b, _| {
+            b.iter(|| rc.render(&cam, &tf, &lighting, Vec3::ZERO))
+        });
+        group.bench_with_input(BenchmarkId::new("progressive", n), &n, |b, _| {
+            b.iter(|| rc.render_progressive(&cam, &tf, &lighting, Vec3::ZERO, 16))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_frame);
+criterion_main!(benches);

@@ -15,6 +15,8 @@
 //! reproduce bench                # campaign-throughput benchmark
 //! reproduce bench --smoke        # CI-sized benchmark
 //! reproduce bench --out FILE     # where to write the JSON report
+//! reproduce render-bench         # HLBVH/tiling/progressive benchmark
+//! reproduce render-bench --quick # CI smoke: schema + byte-identity
 //! ```
 //!
 //! Flight-recorder flags, valid with any of the above:
@@ -28,7 +30,7 @@
 //! ```
 
 use eth_bench::progress::{Progress, Verbosity};
-use eth_bench::{campaign, chaos, migrate, runs};
+use eth_bench::{campaign, chaos, migrate, render, runs};
 use eth_core::CampaignTelemetry;
 use std::path::PathBuf;
 
@@ -72,6 +74,52 @@ fn run_bench(args: &[String], progress: &Progress) {
         std::process::exit(1);
     }
     progress.done("bench", "complete");
+    progress.note(&format!("wrote {}", out_path.display()));
+}
+
+/// `reproduce render-bench [--quick] [--out PATH]`: run the render
+/// hot-path benchmark — HLBVH vs median-split build curves, tiled frame
+/// times, byte-identity, the progressive RMSE ladder — and write
+/// `BENCH_render.json`. Exits nonzero if the contract is violated
+/// (timing gates only in the full-size run; `--quick` is for CI).
+fn run_render_bench(args: &[String], progress: &Progress) {
+    let mut quick = false;
+    let mut out_path = PathBuf::from("BENCH_render.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a file argument");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown render-bench option '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    progress.begin("render-bench");
+    let report = match render::run_render_bench(quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("render bench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.summary());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out_path, json + "\n") {
+        eprintln!("failed to write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    if let Err(e) = report.check() {
+        eprintln!("render bench contract violated: {e}");
+        std::process::exit(1);
+    }
+    progress.done("render-bench", "complete");
     progress.note(&format!("wrote {}", out_path.display()));
 }
 
@@ -280,6 +328,14 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
         run_bench(&args[1..], progress);
         return None;
     }
+    if args.first().map(String::as_str) == Some("render-bench") {
+        if want_metrics {
+            eprintln!("--metrics does not apply to render-bench");
+            std::process::exit(2);
+        }
+        run_render_bench(&args[1..], progress);
+        return None;
+    }
     if args.first().map(String::as_str) == Some("chaos-campaign") {
         return Some(run_chaos(&args[1..], progress));
     }
@@ -318,6 +374,7 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
                      \x20      reproduce chaos-campaign [--seed N] [--kill-rank]\n\
                      \x20      reproduce migrate [--smoke] [--samples N] [--out FILE]\n\
                      \x20      reproduce bench [--smoke] [--out FILE]\n\
+                     \x20      reproduce render-bench [--quick] [--out FILE]\n\
                      global: [--trace FILE] [--metrics FILE] [--verbose | --quiet]"
                 );
                 std::process::exit(0);

@@ -11,4 +11,5 @@ pub mod campaign;
 pub mod chaos;
 pub mod migrate;
 pub mod progress;
+pub mod render;
 pub mod runs;

@@ -338,6 +338,45 @@ impl Coupling {
     }
 }
 
+/// Render-engine tuning axis: the tile scheduler and progressive
+/// refinement (DESIGN.md §14). Orthogonal to the algorithm choice — tile
+/// size never changes the image, and progressive mode converges to the
+/// same image — so sweeps can vary it freely against any other axis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RenderTuning {
+    /// Framebuffer tile edge in pixels; `None` uses the renderer default
+    /// (16). Must lie in 4..=256.
+    #[serde(default)]
+    pub tile: Option<usize>,
+    /// Initial sampling stride for progressive raycast-spheres refinement
+    /// (power of two in 2..=64); `None` renders full resolution in one
+    /// pass. Backends without progressive support ignore it.
+    #[serde(default)]
+    pub progressive_stride: Option<usize>,
+}
+
+impl RenderTuning {
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if let Some(t) = self.tile {
+            if !(eth_render::tile::MIN_TILE..=eth_render::tile::MAX_TILE).contains(&t) {
+                return Err(format!(
+                    "render.tile {t} outside {}..={}",
+                    eth_render::tile::MIN_TILE,
+                    eth_render::tile::MAX_TILE
+                ));
+            }
+        }
+        if let Some(s) = self.progressive_stride {
+            if !s.is_power_of_two() || !(2..=64).contains(&s) {
+                return Err(format!(
+                    "render.progressive_stride {s} must be a power of two in 2..=64"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A fully-specified experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentSpec {
@@ -388,6 +427,10 @@ pub struct ExperimentSpec {
     /// a coupling with a viz side (intercore or internode).
     #[serde(default)]
     pub migration: Option<MigrationPlan>,
+    /// Render-engine tuning (tile size, progressive refinement); `None`
+    /// uses renderer defaults. Never changes converged image content.
+    #[serde(default)]
+    pub render: Option<RenderTuning>,
 }
 
 impl ExperimentSpec {
@@ -533,6 +576,9 @@ impl ExperimentSpec {
         if let Some(recovery) = &self.recovery {
             recovery.validate().map_err(CoreError::Config)?;
         }
+        if let Some(render) = &self.render {
+            render.validate().map_err(CoreError::Config)?;
+        }
         // A rank kill is contextual: the plan cannot know the run shape, so
         // the spec checks it — the victim and step must exist, the coupling
         // must have independent rank lifetimes, and someone must be
@@ -675,6 +721,7 @@ impl ExperimentSpecBuilder {
                 fault_plan: None,
                 recovery: None,
                 migration: None,
+                render: None,
             },
         }
     }
@@ -759,6 +806,12 @@ impl ExperimentSpecBuilder {
         self
     }
 
+    /// Tune the render engine (tile size, progressive refinement).
+    pub fn render_tuning(mut self, tuning: RenderTuning) -> Self {
+        self.spec.render = Some(tuning);
+        self
+    }
+
     pub fn build(self) -> Result<ExperimentSpec> {
         self.spec.validate()?;
         Ok(self.spec)
@@ -813,6 +866,40 @@ mod tests {
             .algorithm(Algorithm::VtkIsosurface)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn render_tuning_validates_and_round_trips() {
+        let ok = RenderTuning {
+            tile: Some(32),
+            progressive_stride: Some(8),
+        };
+        let spec = ExperimentSpec::builder("t").render_tuning(ok).build().unwrap();
+        assert_eq!(spec.render, Some(ok));
+
+        // out-of-range tile and non-power-of-two stride are rejected
+        assert!(ExperimentSpec::builder("t")
+            .render_tuning(RenderTuning { tile: Some(2), progressive_stride: None })
+            .build()
+            .is_err());
+        assert!(ExperimentSpec::builder("t")
+            .render_tuning(RenderTuning { tile: None, progressive_stride: Some(3) })
+            .build()
+            .is_err());
+        assert!(ExperimentSpec::builder("t")
+            .render_tuning(RenderTuning { tile: None, progressive_stride: Some(128) })
+            .build()
+            .is_err());
+
+        // serde round trip keeps the axis; old specs without it still load
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.render, Some(ok));
+        let legacy = serde_json::to_string(&ExperimentSpec::builder("old").build().unwrap())
+            .unwrap()
+            .replace("\"render\":null,", "");
+        let old: ExperimentSpec = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(old.render, None);
     }
 
     #[test]

@@ -800,6 +800,8 @@ fn viz_side(
 fn pipeline_for_step(spec: &ExperimentSpec, staged: &StagedData, step: usize) -> VizPipeline {
     let mut options = eth_render::pipeline::RenderOptions {
         scalar: Some(spec.application.default_scalar().to_string()),
+        tile: spec.render.and_then(|r| r.tile),
+        progressive: spec.render.and_then(|r| r.progressive_stride),
         ..Default::default()
     };
     options.range = staged.scalar_ranges[step];
@@ -922,12 +924,17 @@ fn phase_utilization(phase: eth_obs::Phase) -> Option<f64> {
         Phase::JournalAppend => Some(0.2),
         // recovery spans wrap adoption bookkeeping; the adopted partition's
         // actual compute bills through its nested render/composite spans,
-        // so billing the wrapper too would double-charge the node
+        // so billing the wrapper too would double-charge the node. The
+        // render-internal spans (build, tiles, progressive passes) nest
+        // inside a Render span for the same reason.
         Phase::CacheLookup
         | Phase::QueueWait
         | Phase::Backoff
         | Phase::Bootstrap
-        | Phase::Recovery => None,
+        | Phase::Recovery
+        | Phase::BvhBuild
+        | Phase::Tile
+        | Phase::ProgressivePass => None,
     }
 }
 

@@ -42,7 +42,7 @@ pub mod telemetry;
 
 pub use config::{
     Algorithm, Application, Coupling, ExperimentSpec, Handoff, MigrationPattern, MigrationPlan,
-    RecoveryPolicy,
+    RecoveryPolicy, RenderTuning,
 };
 pub use error::{CoreError, Result};
 pub use harness::{

@@ -41,6 +41,8 @@ impl VizPipeline {
     pub fn new(spec: &ExperimentSpec) -> VizPipeline {
         let options = RenderOptions {
             scalar: Some(spec.application.default_scalar().to_string()),
+            tile: spec.render.and_then(|r| r.tile),
+            progressive: spec.render.and_then(|r| r.progressive_stride),
             ..Default::default()
         };
         VizPipeline {
@@ -159,6 +161,7 @@ pub fn accumulate(mut a: RenderStats, b: RenderStats) -> RenderStats {
     a.rays += b.rays;
     a.ray_steps += b.ray_steps;
     a.fragments += b.fragments;
+    a.tiles += b.tiles;
     a.build_time += b.build_time;
     a.render_time += b.render_time;
     a

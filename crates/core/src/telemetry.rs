@@ -207,7 +207,7 @@ impl CampaignTelemetry {
     pub fn deterministic_view(&self) -> Vec<(String, u64)> {
         let mut out = Vec::new();
         for (name, value) in self.counters.iter() {
-            if is_timing_metric(name) {
+            if is_timing_metric(name) || is_render_progress_metric(name) {
                 continue;
             }
             out.push((name.to_string(), value.round() as u64));
@@ -223,6 +223,26 @@ impl CampaignTelemetry {
 /// deterministic view; everything else counts events and must reproduce.
 fn is_timing_metric(name: &str) -> bool {
     name.ends_with("_s") || name.ends_with("_rate") || name.ends_with("_per_s")
+}
+
+/// Render work-volume metrics measure how far *into* an attempt the
+/// renderer got (rays, tiles, trees built) rather than a scheduler
+/// event. An attempt truncated by the fault plan's wall-clock receive
+/// deadline keeps its schedule (attempt/retry/drop counts are seeded)
+/// but not its exact render progress, so on an oversubscribed box these
+/// can legitimately differ between reruns. They stay in the trace and
+/// the Prometheus/JSONL exports — just not in the determinism contract.
+fn is_render_progress_metric(name: &str) -> bool {
+    matches!(
+        name,
+        "rays_traced"
+            | "bvh_nodes"
+            | "phase_tile_spans"
+            | "phase_bvh_build_spans"
+            | "phase_progressive_pass_spans"
+            | "phase_render_spans"
+            | "phase_composite_spans"
+    )
 }
 
 /// Prometheus-legal metric name under the campaign namespace.
@@ -334,12 +354,23 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_view_excludes_timing() {
-        let view = sample_telemetry().deterministic_view();
+    fn deterministic_view_excludes_timing_and_render_progress() {
+        let mut t = sample_telemetry();
+        t.counters.add("rays_traced", 4096.0);
+        t.counters.add("bvh_nodes", 899.0);
+        t.counters.add("phase_tile_spans", 48.0);
+        let view = t.deterministic_view();
         let names: Vec<&str> = view.iter().map(|(n, _)| n.as_str()).collect();
         assert!(names.contains(&"points_total"));
         assert!(names.contains(&"queue_wait_s/count"));
         assert!(!names.contains(&"phase_render_busy_s"));
+        // Render work-volume metrics are exported but not part of the
+        // determinism contract (a wall-clock recv deadline can truncate
+        // an attempt mid-render on an oversubscribed box).
+        assert!(!names.contains(&"rays_traced"));
+        assert!(!names.contains(&"bvh_nodes"));
+        assert!(!names.contains(&"phase_tile_spans"));
+        assert!(t.to_prometheus().contains("eth_campaign_rays_traced 4096"));
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub enum Phase {
     Recv,
     /// Rendering one algorithm over one block.
     Render,
+    /// Acceleration-structure construction (HLBVH / median-split build).
+    BvhBuild,
+    /// One framebuffer tile rendered as a work unit (nested under Render).
+    Tile,
+    /// One progressive-refinement pass over the frame (nested under Render).
+    ProgressivePass,
     /// Image compositing across ranks.
     Composite,
     /// Journal append + fsync.
@@ -64,6 +70,9 @@ impl Phase {
             Phase::Send => "send",
             Phase::Recv => "recv",
             Phase::Render => "render",
+            Phase::BvhBuild => "bvh_build",
+            Phase::Tile => "tile",
+            Phase::ProgressivePass => "progressive_pass",
             Phase::Composite => "composite",
             Phase::JournalAppend => "journal_append",
             Phase::CacheLookup => "cache_lookup",
@@ -84,6 +93,9 @@ impl Phase {
             Phase::Send,
             Phase::Recv,
             Phase::Render,
+            Phase::BvhBuild,
+            Phase::Tile,
+            Phase::ProgressivePass,
             Phase::Composite,
             Phase::JournalAppend,
             Phase::CacheLookup,

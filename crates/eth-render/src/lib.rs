@@ -31,6 +31,7 @@ pub mod pipeline;
 pub mod raster;
 pub mod ray;
 pub mod shading;
+pub mod tile;
 
 pub use camera::Camera;
 pub use framebuffer::Framebuffer;

@@ -16,6 +16,7 @@ use crate::raster::splat::render_splats;
 use crate::raster::triangle::rasterize_mesh;
 use crate::ray::plane::render_slices;
 use crate::ray::raymarch::render_isosurface;
+pub use crate::ray::sphere::ProgressivePass;
 use crate::ray::sphere::SphereRaycaster;
 use crate::shading::Lighting;
 use eth_data::error::{DataError, Result};
@@ -99,6 +100,17 @@ pub struct RenderOptions {
     pub range: Option<(f32, f32)>,
     pub lighting: Lighting,
     pub background: Vec3,
+    /// Framebuffer tile edge for the tiled renderers; `None` uses
+    /// [`crate::tile::DEFAULT_TILE`]. Tile size never changes the image,
+    /// only the parallel work decomposition.
+    #[serde(default)]
+    pub tile: Option<usize>,
+    /// Progressive refinement for raycast-spheres: the initial sampling
+    /// stride (rounded to a power of two in 2..=64). The frame converges
+    /// to the exact image; [`RenderOutput::passes`] reports per-pass RMSE.
+    /// Other backends ignore this.
+    #[serde(default)]
+    pub progressive: Option<usize>,
 }
 
 impl Default for RenderOptions {
@@ -109,6 +121,8 @@ impl Default for RenderOptions {
             range: None,
             lighting: Lighting::default(),
             background: Vec3::ZERO,
+            tile: None,
+            progressive: None,
         }
     }
 }
@@ -131,6 +145,9 @@ pub struct RenderStats {
     pub ray_steps: u64,
     /// Fragments that passed the depth test.
     pub fragments: u64,
+    /// Framebuffer tiles rendered (tiled backends; 0 otherwise).
+    #[serde(default)]
+    pub tiles: u64,
     /// Wall time of the build/extract phase.
     pub build_time: Duration,
     /// Wall time of the shading/rasterization phase.
@@ -147,6 +164,9 @@ impl RenderStats {
 pub struct RenderOutput {
     pub framebuffer: Framebuffer,
     pub stats: RenderStats,
+    /// Progressive-refinement passes (empty unless
+    /// [`RenderOptions::progressive`] was set and the backend supports it).
+    pub passes: Vec<ProgressivePass>,
 }
 
 /// Resolve the transfer function for a dataset/options pair.
@@ -189,6 +209,7 @@ pub fn render(
         elements: obj.num_elements() as u64,
         ..Default::default()
     };
+    let mut passes: Vec<ProgressivePass> = Vec::new();
 
     let fb = match (algorithm, obj) {
         (RenderAlgorithm::VtkPoints { point_size }, DataObject::Points(cloud)) => {
@@ -219,11 +240,31 @@ pub fn render(
             stats.build_time = t0.elapsed();
             stats.build_ops = rc.build_ops();
             let t1 = Instant::now();
-            let (fb, s) = rc.render(camera, &tf, &opts.lighting, opts.background);
+            let (fb, s) = match opts.progressive {
+                Some(stride) => {
+                    let (fb, s, p) = rc.render_progressive(
+                        camera,
+                        &tf,
+                        &opts.lighting,
+                        opts.background,
+                        stride,
+                    );
+                    passes = p;
+                    (fb, s)
+                }
+                None => rc.render_tiled(
+                    camera,
+                    &tf,
+                    &opts.lighting,
+                    opts.background,
+                    opts.tile.unwrap_or(crate::tile::DEFAULT_TILE),
+                ),
+            };
             stats.render_time = t1.elapsed();
             stats.rays = s.rays;
             stats.ray_steps = s.traversal_steps;
             stats.fragments = s.hits;
+            stats.tiles = s.tiles;
             fb
         }
         (RenderAlgorithm::VtkIsosurface { isovalue }, DataObject::Grid(grid)) => {
@@ -302,6 +343,7 @@ pub fn render(
     Ok(RenderOutput {
         framebuffer: fb,
         stats,
+        passes,
     })
 }
 

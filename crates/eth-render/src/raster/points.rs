@@ -8,10 +8,22 @@
 //!
 //! Cost shape: O(N) with a per-particle constant proportional to the block
 //! area (`point_size²` fragments per particle).
+//!
+//! Parallel structure: particles are *projected* in parallel chunks, the
+//! resulting fragments binned (in input order) to the framebuffer tiles
+//! their blocks overlap, and tiles rendered in parallel into small
+//! thread-local scratch buffers reused across tiles (`map_init`). The old
+//! shape — a full `width × height` framebuffer allocated per rayon chunk
+//! and depth-composited afterwards — paid O(chunks · pixels) allocation
+//! and merge traffic per frame; tile scratch is O(threads · tile²).
+//! Fragments within a tile apply in input order with a strict `<` depth
+//! test, which is exactly the winner the old chunk-composite order
+//! produced, so images are unchanged — for any thread count.
 
 use crate::camera::Camera;
 use crate::color::TransferFunction;
 use crate::framebuffer::Framebuffer;
+use crate::tile::{self, DEFAULT_TILE};
 use eth_data::{PointCloud, Vec3};
 use rayon::prelude::*;
 
@@ -23,15 +35,20 @@ pub struct PointsStats {
     pub fragments: u64,
 }
 
+/// A projected particle block awaiting rasterization.
+#[derive(Debug, Clone, Copy)]
+struct Splat {
+    cx: isize,
+    cy: isize,
+    depth: f32,
+    color: Vec3,
+}
+
 /// Render a point cloud as fixed-size color blocks.
 ///
 /// * `scalar` — optional name of the attribute used for color; when absent
 ///   particles are colored by their depth (a common fallback).
 /// * `point_size` — block edge in pixels (the paper uses 1–3).
-///
-/// The particle loop is data-parallel: chunks render into thread-local
-/// framebuffers which are then depth-composited — the same sort-last
-/// structure used across ranks.
 pub fn render_points(
     cloud: &PointCloud,
     scalar: Option<&str>,
@@ -44,59 +61,124 @@ pub fn render_points(
     let scalars = scalar.and_then(|name| cloud.scalar(name).ok());
     let positions = cloud.positions();
     let half = (point_size / 2) as isize;
+    let width = camera.width;
+    let height = camera.height;
 
+    // 1. Project all particles in parallel; chunk results concatenate in
+    //    input order.
     let chunk = (positions.len() / (rayon::current_num_threads() * 4)).max(4096);
-    let (fb, stats) = positions
+    let projected: Vec<Vec<Splat>> = positions
         .par_chunks(chunk)
         .enumerate()
         .map(|(ci, ps)| {
-            let mut fb = Framebuffer::new(camera.width, camera.height, background);
-            let mut stats = PointsStats {
-                points_in: ps.len(),
-                ..Default::default()
-            };
             let base = ci * chunk;
+            let mut out = Vec::with_capacity(ps.len());
             for (i, &p) in ps.iter().enumerate() {
                 let Some((fx, fy, depth)) = camera.project(p) else {
                     continue;
                 };
-                stats.points_projected += 1;
                 let value = match scalars {
                     Some(s) => s[base + i],
                     None => depth,
                 };
-                let color = tf.color(value);
-                let cx = fx as isize;
-                let cy = fy as isize;
-                for dy in -half..=half {
-                    for dx in -half..=half {
-                        if fb.write_clipped(cx + dx, cy + dy, depth, color) {
-                            stats.fragments += 1;
+                out.push(Splat {
+                    cx: fx as isize,
+                    cy: fy as isize,
+                    depth,
+                    color: tf.color(value),
+                });
+            }
+            out
+        })
+        .collect();
+    let splats: Vec<Splat> = projected.into_iter().flatten().collect();
+
+    // 2. Bin each splat into every tile its block overlaps (blocks up to
+    //    9 px wide can straddle tile borders). Serial walk in input order
+    //    keeps per-tile fragment order deterministic.
+    let tiles = tile::tiles(width, height, DEFAULT_TILE);
+    let tile_cols = width.div_ceil(DEFAULT_TILE).max(1);
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); tiles.len()];
+    for (si, s) in splats.iter().enumerate() {
+        let x_lo = (s.cx - half).max(0);
+        let x_hi = (s.cx + half).min(width as isize - 1);
+        let y_lo = (s.cy - half).max(0);
+        let y_hi = (s.cy + half).min(height as isize - 1);
+        if x_lo > x_hi || y_lo > y_hi {
+            continue;
+        }
+        let t0x = x_lo as usize / DEFAULT_TILE;
+        let t1x = x_hi as usize / DEFAULT_TILE;
+        let t0y = y_lo as usize / DEFAULT_TILE;
+        let t1y = y_hi as usize / DEFAULT_TILE;
+        for ty in t0y..=t1y {
+            for tx in t0x..=t1x {
+                bins[ty * tile_cols + tx].push(si as u32);
+            }
+        }
+    }
+
+    // 3. Rasterize tiles in parallel. Scratch depth/color buffers are
+    //    per-thread and reused across tiles — no full-size allocations.
+    let results: Vec<(Vec<(f32, Vec3)>, u64)> = tiles
+        .par_iter()
+        .zip(bins.par_iter())
+        .map_init(
+            || {
+                (
+                    vec![f32::INFINITY; DEFAULT_TILE * DEFAULT_TILE],
+                    vec![background; DEFAULT_TILE * DEFAULT_TILE],
+                )
+            },
+            |scratch, (t, bin)| {
+                let (depth, color) = scratch;
+                let _span = eth_obs::span(eth_obs::Phase::Tile);
+                let n = t.pixels();
+                depth[..n].fill(f32::INFINITY);
+                color[..n].fill(background);
+                let mut fragments = 0u64;
+                for &si in bin.iter() {
+                    let s = &splats[si as usize];
+                    for dy in -half..=half {
+                        for dx in -half..=half {
+                            let x = s.cx + dx;
+                            let y = s.cy + dy;
+                            if x < (t.x0 as isize)
+                                || y < (t.y0 as isize)
+                                || x >= (t.x0 + t.w) as isize
+                                || y >= (t.y0 + t.h) as isize
+                            {
+                                continue;
+                            }
+                            let i = (y as usize - t.y0) * t.w + (x as usize - t.x0);
+                            if s.depth < depth[i] {
+                                depth[i] = s.depth;
+                                color[i] = s.color;
+                                fragments += 1;
+                            }
                         }
                     }
                 }
-            }
-            (fb, stats)
-        })
-        .reduce(
-            || {
-                (
-                    Framebuffer::new(camera.width, camera.height, background),
-                    PointsStats::default(),
-                )
+                let pixels = depth[..n]
+                    .iter()
+                    .zip(&color[..n])
+                    .map(|(&d, &c)| (d, c))
+                    .collect();
+                (pixels, fragments)
             },
-            |(mut fa, sa), (fb, sb)| {
-                fa.composite_in(&fb);
-                (
-                    fa,
-                    PointsStats {
-                        points_in: sa.points_in + sb.points_in,
-                        points_projected: sa.points_projected + sb.points_projected,
-                        fragments: sa.fragments + sb.fragments,
-                    },
-                )
-            },
-        );
+        )
+        .collect();
+
+    let mut fb = Framebuffer::new(width, height, background);
+    let mut stats = PointsStats {
+        points_in: positions.len(),
+        points_projected: splats.len(),
+        ..Default::default()
+    };
+    for (t, (pixels, fragments)) in tiles.iter().zip(results) {
+        stats.fragments += fragments;
+        fb.blit(t.x0, t.y0, t.w, t.h, &pixels);
+    }
     (fb, stats)
 }
 
@@ -180,6 +262,28 @@ mod tests {
         let (fa, _) = render_points(&cloud, None, &tf(), &cam(), Vec3::ZERO, 2);
         let (fb, _) = render_points(&cloud, None, &tf(), &cam(), Vec3::ZERO, 2);
         assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn blocks_crossing_tile_borders_are_complete() {
+        // A 5x5 block centered right on a 16-pixel tile boundary must land
+        // all 25 fragments even though four tiles share it.
+        let cloud = PointCloud::from_positions(vec![Vec3::ZERO]);
+        // center pixel of a 64x64 image is (32, 32) = a tile corner
+        let (fb, stats) = render_points(&cloud, None, &tf(), &cam(), Vec3::ZERO, 5);
+        assert_eq!(stats.fragments, 25);
+        assert_eq!(fb.fragments_landed(), 25);
+    }
+
+    #[test]
+    fn input_order_breaks_depth_ties() {
+        // Two coincident points: the strict < depth test keeps the first.
+        let mut cloud = PointCloud::from_positions(vec![Vec3::ZERO, Vec3::ZERO]);
+        cloud
+            .set_attribute("v", Attribute::Scalar(vec![1.0, 0.0]))
+            .unwrap();
+        let (fb, _) = render_points(&cloud, Some("v"), &tf(), &cam(), Vec3::ZERO, 1);
+        assert_eq!(fb.color_at(32, 32), Vec3::ONE, "first point wins the tie");
     }
 
     #[test]

@@ -10,11 +10,17 @@
 //! The marcher clips each ray to the grid, steps at ~0.7 of the minimum
 //! cell spacing, detects sign changes of `f - iso`, refines the crossing by
 //! bisection, and shades with the trilinear gradient.
+//!
+//! Parallelism is tile-based (see [`crate::tile`]): each 16×16 framebuffer
+//! tile is one rayon work unit producing a compact pixel vector that is
+//! blitted serially — per-pixel math is untouched, so images are identical
+//! to the old row-parallel renderer.
 
 use crate::camera::Camera;
 use crate::color::TransferFunction;
 use crate::framebuffer::Framebuffer;
 use crate::shading::Lighting;
+use crate::tile::{self, DEFAULT_TILE};
 use eth_data::error::Result;
 use eth_data::{UniformGrid, Vec3};
 use rayon::prelude::*;
@@ -47,18 +53,20 @@ pub fn render_isosurface(
     let width = camera.width;
     let height = camera.height;
 
-    let rows: Vec<(Vec<(f32, Vec3)>, RaymarchStats)> = (0..height)
-        .into_par_iter()
-        .map(|py| {
-            let mut row = Vec::with_capacity(width);
+    let tiles = tile::tiles(width, height, DEFAULT_TILE);
+    let results: Vec<(Vec<(f32, Vec3)>, RaymarchStats)> = tiles
+        .par_iter()
+        .map(|t| {
+            let _span = eth_obs::span(eth_obs::Phase::Tile);
+            let mut pixels = Vec::with_capacity(t.pixels());
             let mut st = RaymarchStats::default();
-            for px in 0..width {
+            for (px, py) in t.pixels_iter() {
                 let ray = camera.primary_ray(px, py);
                 st.rays += 1;
                 let inv = ray.inv_dir();
                 let Some((t0, t1)) = bounds.ray_intersect(ray.origin, inv, 1e-4, f32::MAX)
                 else {
-                    row.push((f32::INFINITY, background));
+                    pixels.push((f32::INFINITY, background));
                     continue;
                 };
                 st.rays_entering += 1;
@@ -112,28 +120,25 @@ pub fn render_isosurface(
                             .gradient_at_point(&values, p)
                             .unwrap_or(Vec3::ZERO);
                         let color = lighting.shade(tf.color(isovalue), normal, -ray.dir);
-                        row.push((th, color));
+                        pixels.push((th, color));
                     }
-                    None => row.push((f32::INFINITY, background)),
+                    None => pixels.push((f32::INFINITY, background)),
                 }
             }
-            (row, st)
+            (pixels, st)
         })
         .collect();
 
     let mut fb = Framebuffer::new(width, height, background);
     let mut stats = RaymarchStats::default();
-    for (py, (row, st)) in rows.into_iter().enumerate() {
+    for (t, (pixels, st)) in tiles.iter().zip(results) {
         stats.rays += st.rays;
         stats.rays_entering += st.rays_entering;
         stats.hits += st.hits;
         stats.march_steps += st.march_steps;
-        for (px, (depth, color)) in row.into_iter().enumerate() {
-            if depth.is_finite() {
-                fb.write(px, py, depth, color);
-            }
-        }
+        fb.blit(t.x0, t.y0, t.w, t.h, &pixels);
     }
+    eth_obs::count("rays_traced", stats.rays as f64);
     Ok((fb, stats))
 }
 

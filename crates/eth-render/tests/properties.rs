@@ -5,7 +5,7 @@ use eth_render::color::{Colormap, TransferFunction};
 use eth_render::composite::{composite_binary_swap, composite_direct};
 use eth_render::framebuffer::Framebuffer;
 use eth_render::geometry::marching_cubes::extract_isosurface;
-use eth_render::ray::bvh::SphereBvh;
+use eth_render::ray::bvh::{RayPacket, SphereBvh};
 use eth_data::field::Attribute;
 use eth_data::{UniformGrid, Vec3};
 use proptest::prelude::*;
@@ -36,6 +36,60 @@ proptest! {
             (Some(a), Some(b)) => prop_assert!((a.t - b.t).abs() < 1e-3,
                 "t mismatch: {} vs {}", a.t, b.t),
             (a, b) => prop_assert!(false, "hit disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// The HLBVH (Morton-order) build and the median-split build must find
+    /// the identical nearest hit — same t to the bit — for random scatters,
+    /// since a closest-hit query is independent of tree shape.
+    #[test]
+    fn hlbvh_agrees_with_median_split(
+        centers in prop::collection::vec(arb_vec3(3.0), 1..200),
+        origin in arb_vec3(8.0),
+        target in arb_vec3(2.0),
+        radius in 0.05f32..0.5,
+    ) {
+        prop_assume!((target - origin).length() > 1e-3);
+        let hl = SphereBvh::build(&centers, radius);
+        let md = SphereBvh::build_median(&centers, radius);
+        let ray = Ray { origin, dir: (target - origin).normalized() };
+        let mut steps = 0;
+        let a = hl.intersect(&ray, f32::MAX, &mut steps);
+        let b = md.intersect(&ray, f32::MAX, &mut steps);
+        prop_assert_eq!(a.map(|h| h.t.to_bits()), b.map(|h| h.t.to_bits()));
+        prop_assert_eq!(a.map(|h| h.prim), b.map(|h| h.prim));
+    }
+
+    /// Packet traversal must equal scalar traversal lane by lane, bitwise,
+    /// for random scatters and random coherent ray bundles.
+    #[test]
+    fn packet_lanes_agree_with_scalar(
+        centers in prop::collection::vec(arb_vec3(3.0), 1..150),
+        origin in arb_vec3(8.0),
+        target in arb_vec3(2.0),
+        radius in 0.05f32..0.5,
+        lanes in 1usize..9,
+    ) {
+        prop_assume!((target - origin).length() > 1e-3);
+        let bvh = SphereBvh::build(&centers, radius);
+        let base = (target - origin).normalized();
+        let rays: Vec<Ray> = (0..lanes)
+            .map(|l| {
+                let jitter = Vec3::new(l as f32 * 1e-3, 0.0, l as f32 * 5e-4);
+                Ray { origin, dir: (base + jitter).normalized() }
+            })
+            .collect();
+        let packet = RayPacket::from_rays(&rays);
+        let mut psteps = 0;
+        let lane_hits = bvh.intersect_packet(&packet, f32::MAX, &mut psteps);
+        for (l, ray) in rays.iter().enumerate() {
+            let mut ssteps = 0;
+            let scalar = bvh.intersect(ray, f32::MAX, &mut ssteps);
+            prop_assert_eq!(
+                lane_hits[l].map(|h| (h.prim, h.t.to_bits())),
+                scalar.map(|h| (h.prim, h.t.to_bits())),
+                "lane {} diverged", l
+            );
         }
     }
 

@@ -13,14 +13,64 @@
 //! Real rayon only promises this for `collect`; do not port code here that
 //! relies on rayon's work-stealing reduction shapes.
 
+use std::cell::Cell;
 use std::marker::PhantomData;
 use std::ops::Range;
 
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`]; applies
+    /// to parallel regions started from the calling thread (not to nested
+    /// regions launched from inside workers).
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
 /// Number of worker threads a parallel region will use.
 pub fn current_num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|c| c.get()) {
+        return n.max(1);
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Stand-in for rayon's pool builder: the only supported knob is the
+/// thread count, applied scoped via [`ThreadPool::install`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// A fixed thread-count scope (see [`ThreadPoolBuilder`]).
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with parallel regions capped at this pool's thread count.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = THREAD_OVERRIDE.with(|c| c.replace(Some(self.num_threads)));
+        let out = f();
+        THREAD_OVERRIDE.with(|c| c.set(prev));
+        out
+    }
 }
 
 /// Run both closures, potentially in parallel, and return both results.
@@ -85,6 +135,39 @@ impl<T: Send> ParIter<T> {
     pub fn enumerate(self) -> ParIter<(usize, T)> {
         ParIter {
             items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Pair up with another parallel iterator, item by item (both sides
+    /// are already materialized, so this is a plain zip of the inputs).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Run `f` over every item on the worker threads; no results.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        execute(self.items, &|t| f(t));
+    }
+
+    /// Like `map`, but each worker thread builds one `init()` value and
+    /// threads it mutably through its chunk of items — the rayon idiom
+    /// for reusable per-thread scratch buffers.
+    pub fn map_init<S, U, INIT, F>(self, init: INIT, f: F) -> ParMapInit<T, S, U, INIT, F>
+    where
+        U: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> U + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+            _marker: PhantomData,
         }
     }
 
@@ -155,6 +238,54 @@ where
     }
 }
 
+/// A parallel iterator with a pending stateful map stage (see
+/// [`ParIter::map_init`]).
+pub struct ParMapInit<T, S, U, INIT, F> {
+    items: Vec<T>,
+    init: INIT,
+    f: F,
+    _marker: PhantomData<fn(S) -> U>,
+}
+
+impl<T, S, U, INIT, F> ParMapInit<T, S, U, INIT, F>
+where
+    T: Send,
+    U: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n);
+        if threads <= 1 {
+            let mut state = (self.init)();
+            return self.items.into_iter().map(|t| (self.f)(&mut state, t)).collect();
+        }
+        let chunk_size = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut it = self.items.into_iter();
+        loop {
+            let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let mut out: Vec<Option<Vec<U>>> = (0..chunks.len()).map(|_| None).collect();
+        let init = &self.init;
+        let f = &self.f;
+        std::thread::scope(|s| {
+            for (slot, chunk) in out.iter_mut().zip(chunks) {
+                s.spawn(move || {
+                    let mut state = init();
+                    *slot = Some(chunk.into_iter().map(|t| f(&mut state, t)).collect());
+                });
+            }
+        });
+        out.into_iter().flatten().flatten().collect()
+    }
+}
+
 /// `par_iter`/`par_chunks` on slices.
 pub trait ParallelSlice<T: Sync> {
     fn par_iter(&self) -> ParIter<&T>;
@@ -172,6 +303,23 @@ impl<T: Sync> ParallelSlice<T> for [T] {
         assert!(chunk_size > 0, "par_chunks requires chunk_size > 0");
         ParIter {
             items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices: disjoint `&mut` chunks are the
+/// cheap way to parallel-fill a large buffer — the pipeline materializes
+/// one item per *chunk*, not per element, so per-element overhead stays
+/// off the hot path.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "par_chunks_mut requires chunk_size > 0");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
         }
     }
 }
@@ -208,7 +356,7 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
 }
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelSlice};
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -245,6 +393,69 @@ mod tests {
     fn range_into_par_iter() {
         let rows: Vec<usize> = (0..64usize).into_par_iter().map(|r| r * r).collect();
         assert_eq!(rows[63], 63 * 63);
+    }
+
+    #[test]
+    fn zip_pairs_in_order() {
+        let a = [1, 2, 3];
+        let b = ["x", "y", "z"];
+        let out: Vec<(i32, &str)> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .map(|(&x, &s)| (x, s))
+            .collect();
+        assert_eq!(out, vec![(1, "x"), (2, "y"), (3, "z")]);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..1000).collect();
+        v.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn map_init_reuses_state_within_a_worker() {
+        // The scratch starts fresh per worker and mutates across its
+        // chunk; output order still matches input order.
+        let v: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = v
+            .par_iter()
+            .map_init(Vec::<usize>::new, |scratch, &x| {
+                scratch.push(x);
+                x * 2
+            })
+            .collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_fills_disjoint_ranges() {
+        let mut v = vec![0usize; 1000];
+        v.par_chunks_mut(64).enumerate().for_each(|(ci, chunk)| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = ci * 64 + i;
+            }
+        });
+        assert_eq!(v, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_pool_override_is_scoped() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 1);
+        // restored after install returns
+        assert!(crate::current_num_threads() >= 1);
+        // results identical under the override
+        let v: Vec<usize> = (0..5000).collect();
+        let wide: Vec<usize> = v.par_iter().map(|&x| x * 3).collect();
+        let narrow: Vec<usize> = pool.install(|| v.par_iter().map(|&x| x * 3).collect());
+        assert_eq!(wide, narrow);
     }
 
     #[test]
