@@ -17,6 +17,9 @@
 //! reproduce bench --out FILE     # where to write the JSON report
 //! reproduce render-bench         # HLBVH/tiling/progressive benchmark
 //! reproduce render-bench --quick # CI smoke: schema + byte-identity
+//! reproduce serve                # campaign service on :7070 until SIGTERM
+//! reproduce serve --root d/      # durable root (restart resumes campaigns)
+//! reproduce serve-chaos          # self-checking service smoke (CI)
 //! ```
 //!
 //! Flight-recorder flags, valid with any of the above:
@@ -30,7 +33,7 @@
 //! ```
 
 use eth_bench::progress::{Progress, Verbosity};
-use eth_bench::{campaign, chaos, migrate, render, runs};
+use eth_bench::{campaign, chaos, migrate, render, runs, serve};
 use eth_core::CampaignTelemetry;
 use std::path::PathBuf;
 
@@ -334,6 +337,22 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
             std::process::exit(2);
         }
         run_render_bench(&args[1..], progress);
+        return None;
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        if want_metrics {
+            eprintln!("--metrics does not apply to serve (scrape GET /metrics instead)");
+            std::process::exit(2);
+        }
+        serve::run_serve(&args[1..], progress);
+        return None;
+    }
+    if args.first().map(String::as_str) == Some("serve-chaos") {
+        if want_metrics {
+            eprintln!("--metrics does not apply to serve-chaos");
+            std::process::exit(2);
+        }
+        serve::run_serve_chaos(&args[1..], progress);
         return None;
     }
     if args.first().map(String::as_str) == Some("chaos-campaign") {

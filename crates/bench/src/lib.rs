@@ -13,3 +13,4 @@ pub mod migrate;
 pub mod progress;
 pub mod render;
 pub mod runs;
+pub mod serve;

@@ -23,6 +23,19 @@ pub enum CoreError {
         /// The failure observed on the final attempt.
         last_error: Box<CoreError>,
     },
+    /// The campaign's cancellation token fired before this point ran: the
+    /// point was abandoned unstarted (a drain or client disconnect). On
+    /// resume it re-runs — cancellation never records a wrong result.
+    Canceled,
+    /// A campaign journal directory is already owned by a live process;
+    /// a second opener would interleave WAL appends into the same file
+    /// and corrupt both histories, so it is refused instead.
+    JournalLocked {
+        /// The locked campaign directory.
+        dir: std::path::PathBuf,
+        /// PID recorded in the lockfile (the live holder).
+        holder: u32,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -36,6 +49,12 @@ impl fmt::Display for CoreError {
                 f,
                 "quarantined after {attempts} attempts; last error: {last_error}"
             ),
+            CoreError::Canceled => write!(f, "canceled before the point ran"),
+            CoreError::JournalLocked { dir, holder } => write!(
+                f,
+                "campaign journal {} is locked by live process {holder}",
+                dir.display()
+            ),
         }
     }
 }
@@ -48,6 +67,7 @@ impl std::error::Error for CoreError {
             CoreError::Config(_) => None,
             CoreError::Rank(e) => Some(e),
             CoreError::Quarantined { last_error, .. } => Some(last_error.as_ref()),
+            CoreError::Canceled | CoreError::JournalLocked { .. } => None,
         }
     }
 }

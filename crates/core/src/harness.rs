@@ -160,6 +160,7 @@ impl Degradation {
 }
 
 /// Result of one native-mode run.
+#[derive(Debug, Clone)]
 pub struct NativeOutcome {
     pub spec: ExperimentSpec,
     /// End-to-end wall time.

@@ -51,6 +51,8 @@ pub const JOURNAL_FILE: &str = "journal.jsonl";
 pub const MANIFEST_FILE: &str = "manifest.json";
 /// Subdirectory holding per-point result files.
 pub const RESULTS_DIR: &str = "results";
+/// Lockfile guarding a campaign directory against concurrent writers.
+pub const LOCK_FILE: &str = "journal.lock";
 
 /// One journal record. `Started` is appended before a point's attempt
 /// runs; `Finished` after it completes (either way). The last `Finished`
@@ -113,9 +115,111 @@ pub fn spec_hash(spec: &ExperimentSpec) -> u64 {
     h
 }
 
+/// In-process registry of held journal locks. The on-disk lockfile
+/// excludes *other* processes; this set excludes a second `Journal` in
+/// the *same* process (same pid in the lockfile would otherwise read as
+/// "our own stale lock" and be stolen).
+static HELD_LOCKS: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
+
+fn lock_key(dir: &Path) -> PathBuf {
+    fs::canonicalize(dir).unwrap_or_else(|_| dir.to_path_buf())
+}
+
+#[cfg(target_os = "linux")]
+fn process_alive(pid: u32) -> bool {
+    // `/proc/{pid}` alone is not enough: a SIGKILL'd holder whose parent
+    // died without reaping it (`timeout -s KILL` kills both) lingers as
+    // a zombie — dead for lock purposes. The state field of
+    // `/proc/{pid}/stat` is the first token after the parenthesized comm
+    // (which may itself contain parens, so split at the *last* ')').
+    match fs::read_to_string(format!("/proc/{pid}/stat")) {
+        Ok(stat) => match stat.rfind(')') {
+            Some(close) => {
+                let state = stat[close + 1..].trim_start().chars().next();
+                !matches!(state, Some('Z') | Some('X') | None)
+            }
+            None => true, // unparseable but present: assume alive
+        },
+        Err(_) => false,
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn process_alive(_pid: u32) -> bool {
+    // No portable liveness probe: assume the holder is alive (refusing a
+    // possibly-stale lock is safe; stealing a live one is not).
+    true
+}
+
+/// Take the campaign-directory lock: an atomically-created lockfile
+/// carrying the holder's pid. A lockfile whose recorded process is dead
+/// (a SIGKILL'd server, say) is stale and is stolen; a live holder — a
+/// draining server whose restarted successor raced it, the exact
+/// interleaved-append hazard — yields a structured
+/// [`CoreError::JournalLocked`].
+fn acquire_dir_lock(dir: &Path) -> Result<()> {
+    let key = lock_key(dir);
+    {
+        let mut held = HELD_LOCKS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if held.contains(&key) {
+            return Err(CoreError::JournalLocked {
+                dir: dir.to_path_buf(),
+                holder: std::process::id(),
+            });
+        }
+        held.push(key.clone());
+    }
+    let path = dir.join(LOCK_FILE);
+    let release_in_process = || {
+        let mut held = HELD_LOCKS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        held.retain(|p| p != &key);
+    };
+    for _ in 0..3 {
+        match OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut file) => {
+                let _ = file.write_all(format!("{}\n", std::process::id()).as_bytes());
+                let _ = file.sync_data();
+                return Ok(());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder = fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                match holder {
+                    Some(pid) if pid != std::process::id() && process_alive(pid) => {
+                        release_in_process();
+                        return Err(CoreError::JournalLocked {
+                            dir: dir.to_path_buf(),
+                            holder: pid,
+                        });
+                    }
+                    // Dead holder, our own pid from a crashed-and-reused
+                    // incarnation, or an unreadable lockfile: stale.
+                    // Remove and retry the atomic create (a concurrent
+                    // stealer losing the race loops back and sees the
+                    // winner's live pid).
+                    _ => {
+                        let _ = fs::remove_file(&path);
+                    }
+                }
+            }
+            Err(e) => {
+                release_in_process();
+                return Err(e.into());
+            }
+        }
+    }
+    release_in_process();
+    Err(CoreError::JournalLocked {
+        dir: dir.to_path_buf(),
+        holder: 0,
+    })
+}
+
 /// An open campaign journal: appends are serialized through a mutex,
 /// flushed, and fsync'd, so the WAL on disk is always a valid prefix of
-/// the records appended.
+/// the records appended. Holding a `Journal` holds the directory lock
+/// (see [`LOCK_FILE`]); it is released on drop.
 pub struct Journal {
     dir: PathBuf,
     file: Mutex<File>,
@@ -124,13 +228,23 @@ pub struct Journal {
 impl Journal {
     /// Open (or create) the journal in `dir`, creating the campaign
     /// directory layout as needed. Appends go to the end of any existing
-    /// WAL — resuming extends the same history.
+    /// WAL — resuming extends the same history. Fails with
+    /// [`CoreError::JournalLocked`] if another live journal (in this
+    /// process or another) already owns the directory.
     pub fn open(dir: &Path) -> Result<Journal> {
         fs::create_dir_all(dir.join(RESULTS_DIR))?;
-        let file = OpenOptions::new()
+        acquire_dir_lock(dir)?;
+        let file = match OpenOptions::new()
             .create(true)
             .append(true)
-            .open(dir.join(JOURNAL_FILE))?;
+            .open(dir.join(JOURNAL_FILE))
+        {
+            Ok(f) => f,
+            Err(e) => {
+                release_dir_lock(dir);
+                return Err(e.into());
+            }
+        };
         Ok(Journal {
             dir: dir.to_path_buf(),
             file: Mutex::new(file),
@@ -155,6 +269,19 @@ impl Journal {
         file.flush()?;
         file.sync_data()?;
         Ok(())
+    }
+}
+
+fn release_dir_lock(dir: &Path) {
+    let key = lock_key(dir);
+    let mut held = HELD_LOCKS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    held.retain(|p| p != &key);
+    let _ = fs::remove_file(dir.join(LOCK_FILE));
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        release_dir_lock(&self.dir);
     }
 }
 
@@ -516,6 +643,75 @@ mod tests {
         bytes.extend_from_slice(b"00000002 deadbeef {}\n");
         fs::write(dir.join(JOURNAL_FILE), &bytes).unwrap();
         assert_eq!(replay(&dir).unwrap(), vec![good]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_opener_is_refused_while_the_lock_is_held() {
+        let dir = tmp_dir("lock");
+        let first = Journal::open(&dir).unwrap();
+        assert!(dir.join(LOCK_FILE).exists());
+        // a concurrent opener — the draining-server-vs-successor race —
+        // gets a structured error, not interleaved appends
+        match Journal::open(&dir) {
+            Err(CoreError::JournalLocked { dir: locked, holder }) => {
+                assert_eq!(locked, dir);
+                assert_eq!(holder, std::process::id());
+            }
+            other => panic!("expected JournalLocked, got {:?}", other.map(|_| ())),
+        }
+        // dropping the holder releases the lock for the next opener
+        drop(first);
+        assert!(!dir.join(LOCK_FILE).exists());
+        let second = Journal::open(&dir).unwrap();
+        drop(second);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_process_is_stolen() {
+        let dir = tmp_dir("stale-lock");
+        fs::create_dir_all(&dir).unwrap();
+        // pid 0 is the swapper/scheduler: never a valid holder, and
+        // /proc/0 does not exist — exactly what a SIGKILL'd server leaves
+        fs::write(dir.join(LOCK_FILE), "0\n").unwrap();
+        let journal = Journal::open(&dir).expect("stale lock must be stolen");
+        journal
+            .append(&JournalRecord::Started { index: 0, spec_hash: 1, attempt: 1 })
+            .unwrap();
+        drop(journal);
+        // garbage lock content is stale too
+        fs::write(dir.join(LOCK_FILE), "not a pid").unwrap();
+        assert!(Journal::open(&dir).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn zombie_lock_holder_counts_as_dead() {
+        // `timeout -s KILL` kills the journal holder AND its parent, so
+        // nobody reaps it: the holder lingers in /proc as a zombie.
+        // Recreate that exactly — spawn a child, let it exit, don't wait
+        // on it — and the lock it "holds" must be stealable.
+        let dir = tmp_dir("zombie-lock");
+        fs::create_dir_all(&dir).unwrap();
+        let child = std::process::Command::new("true")
+            .spawn()
+            .expect("spawn child");
+        let pid = child.id();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let stat = fs::read_to_string(format!("/proc/{pid}/stat")).unwrap_or_default();
+            if stat.rfind(')').is_some_and(|c| stat[c + 1..].trim_start().starts_with('Z')) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "child never zombified");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        fs::write(dir.join(LOCK_FILE), format!("{pid}\n")).unwrap();
+        assert!(!process_alive(pid), "zombie must read as dead");
+        Journal::open(&dir).expect("zombie-held lock must be stolen");
+        drop(child); // reap happens on test-process exit
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -37,6 +37,7 @@ pub mod jobfile;
 pub mod journal;
 pub mod pipeline;
 pub mod results;
+pub mod serve;
 pub mod sweep;
 pub mod telemetry;
 
@@ -51,8 +52,12 @@ pub use harness::{
 };
 pub use journal::{Journal, JournalRecord, RecordedOutcome};
 pub use results::ResultTable;
-pub use telemetry::CampaignTelemetry;
+pub use serve::{
+    AdmissionError, CampaignRequest, CampaignState, CampaignStatus, DrainReport, Server, Service,
+    ServicePolicy,
+};
+pub use telemetry::{counters_to_prometheus, CampaignTelemetry};
 pub use sweep::{
-    spec_for_attempt, Campaign, CampaignOutcome, DegradedReason, PointResult, RetryOn,
-    RetryPolicy, Sweep,
+    spec_for_attempt, Campaign, CampaignOutcome, CancelToken, DegradedReason, PointResult,
+    RetryOn, RetryPolicy, Sweep,
 };

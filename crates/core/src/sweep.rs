@@ -22,10 +22,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A sweep: the cartesian product of the provided axes applied to a base
 /// spec. Empty axes keep the base value.
@@ -238,6 +238,36 @@ impl RetryPolicy {
     }
 }
 
+/// A cooperative cancellation token shared between a campaign and
+/// whoever supervises it (the serve layer's drain path, a client
+/// disconnect handler, a test). Cancelling is one-way and idempotent.
+///
+/// Semantics inside the scheduler: points that have not yet been admitted
+/// when the token fires are abandoned with [`CoreError::Canceled`] — they
+/// consume their FIFO ticket (order stays dense, nobody behind them
+/// stalls) but zero slots and zero threads of real work. A point already
+/// executing runs to completion and is journaled normally: cancellation
+/// never tears a result, so a canceled journaled campaign resumes to
+/// byte-identical images.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fire the token. Idempotent; wakes scheduler threads parked in the
+    /// admission queue within one poll interval.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_canceled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
 /// Why a completed design point counts as degraded in
 /// [`CampaignOutcome::degraded`]: an involuntary rank loss recovered
 /// in-run, or a voluntary (planned) partition migration — operators slice
@@ -350,6 +380,7 @@ impl CampaignOutcome {
 pub struct Campaign {
     capacity: usize,
     retry: RetryPolicy,
+    cancel: Option<CancelToken>,
 }
 
 impl Default for Campaign {
@@ -371,7 +402,14 @@ impl Campaign {
         Campaign {
             capacity: slots.max(1),
             retry: RetryPolicy::none(),
+            cancel: None,
         }
+    }
+
+    /// Attach a cancellation token (see [`CancelToken`] for semantics).
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Campaign {
+        self.cancel = Some(token);
+        self
     }
 
     /// Attach a retry policy (the default is [`RetryPolicy::none`]).
@@ -480,6 +518,35 @@ impl Campaign {
         caches: &RunCaches,
         dir: &Path,
     ) -> Result<CampaignOutcome> {
+        let mut outcome = self.run_journaled_custom(specs, dir, |_, spec, attempt| {
+            run_native_cached(&spec_for_attempt(spec, attempt), caches)
+        })?;
+        // The custom path cannot see the caches; splice the real stats in.
+        outcome.cache = caches.stats();
+        outcome
+            .telemetry
+            .counters
+            .set("cache_staging_hit_rate", outcome.cache.staging_hit_rate());
+        Ok(outcome)
+    }
+
+    /// [`Campaign::run_journaled`] with a caller-supplied per-attempt
+    /// runner (the journaled analog of [`Campaign::run_custom`]). This is
+    /// the entry point the campaign service builds on: the runner can
+    /// layer a cross-tenant result memo or chaos injection around the real
+    /// execution while keeping the WAL, restore-on-resume, and
+    /// byte-identical-results contract intact. The runner MUST be a
+    /// deterministic function of `(spec, attempt)` for restored results to
+    /// be equivalent to re-runs.
+    pub fn run_journaled_custom<F>(
+        &self,
+        specs: &[ExperimentSpec],
+        dir: &Path,
+        runner: F,
+    ) -> Result<CampaignOutcome>
+    where
+        F: Fn(usize, &ExperimentSpec, u32) -> PointResult + Sync,
+    {
         let t0 = Instant::now();
         let journal = Journal::open(dir)?;
         let hashes: Vec<u64> = specs.iter().map(journal::spec_hash).collect();
@@ -518,10 +585,8 @@ impl Campaign {
         }
 
         let (results, attempts, quarantined, trace) =
-            self.run_engine(specs, Some(&journal), prefilled, |_, spec, attempt| {
-                run_native_cached(&spec_for_attempt(spec, attempt), caches)
-            });
-        let cache = caches.stats();
+            self.run_engine(specs, Some(&journal), prefilled, runner);
+        let cache = CacheStats::default();
         let telemetry = CampaignTelemetry::from_campaign(
             &trace,
             &results,
@@ -569,6 +634,7 @@ impl Campaign {
     {
         let sem = WeightedSemaphore::new(self.capacity, specs.len());
         let policy = &self.retry;
+        let cancel = self.cancel.as_ref();
         // Campaign flight recorder: every point thread stacks it on top
         // of whatever sinks the caller attached (e.g. the CLI's --trace
         // recorder), so the campaign sees its own spans and the caller
@@ -585,7 +651,7 @@ impl Campaign {
                     // Restored from the journal: consume the admission
                     // ticket (tickets must stay dense) without occupying
                     // any slots or re-running anything.
-                    s.spawn(move || sem.acquire(index, 0));
+                    s.spawn(move || sem.acquire(index, 0, None));
                     continue;
                 }
                 let obs = obs.clone();
@@ -603,7 +669,14 @@ impl Campaign {
                         {
                             // time spent waiting for slots = queue wait
                             let _wait = eth_obs::span(eth_obs::Phase::QueueWait);
-                            sem.acquire(ticket, cost);
+                            if !sem.acquire(ticket, cost, cancel) {
+                                // Canceled while queued: the ticket is
+                                // consumed (the line stays dense) but the
+                                // point never starts. No Finished record
+                                // is journaled, so a resume re-runs it.
+                                *slot = Some((Err(CoreError::Canceled), attempt));
+                                return;
+                            }
                         }
                         if let Some(j) = journal {
                             // Write-ahead: losing an append costs a re-run
@@ -647,7 +720,9 @@ impl Campaign {
                             }
                             Err(err) => {
                                 let retryable = policy.covers(&err);
-                                if retryable && attempt < policy.max_attempts {
+                                let canceled =
+                                    cancel.is_some_and(|c| c.is_canceled());
+                                if retryable && attempt < policy.max_attempts && !canceled {
                                     if let Some(j) = journal {
                                         let _ = j.append(&JournalRecord::Finished {
                                             index,
@@ -671,7 +746,15 @@ impl Campaign {
                                     ticket = sem.take_ticket();
                                     continue;
                                 }
-                                let final_err = if retryable {
+                                let final_err = if canceled
+                                    && retryable
+                                    && attempt < policy.max_attempts
+                                {
+                                    // Retry budget remained, but the token
+                                    // fired: the point was abandoned, not
+                                    // quarantined — a resume retries it.
+                                    CoreError::Canceled
+                                } else if retryable {
                                     CoreError::Quarantined {
                                         attempts: attempt,
                                         last_error: Box::new(err),
@@ -742,6 +825,17 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         .unwrap_or_else(|| "opaque panic payload".to_string())
 }
 
+/// Recover a mutex guard whether or not the lock is poisoned. The
+/// scheduler's shared state is two integers whose invariants are restored
+/// before every unlock, so a panic in an unrelated holder (the campaign
+/// catches point panics *around* this lock, but a panic between
+/// `acquire` and `release` — e.g. inside a journal append — would poison
+/// it) must not cascade `PoisonError` unwinds into every other queued
+/// point. See the `poisoned_scheduler_lock_does_not_cascade` test.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Counting semaphore with weighted, strictly-FIFO admission. Tickets are
 /// issued densely: the first `first_free_ticket` tickets belong to the
 /// initial points (their input indices); retries draw fresh tickets from
@@ -778,20 +872,43 @@ impl WeightedSemaphore {
     }
 
     /// Block until ticket `ticket` is at the head of the line **and**
-    /// `cost` slots are free. Tickets must be acquired exactly once each,
-    /// numbered densely from 0 — the campaign uses the point index.
-    fn acquire(&self, ticket: usize, cost: usize) {
-        let mut st = self.state.lock().unwrap();
-        while st.now_serving != ticket || st.available < cost {
-            st = self.ready.wait(st).unwrap();
+    /// `cost` slots are free, or — with a cancel token attached — until
+    /// the token fires and the ticket reaches the head. Tickets must be
+    /// acquired exactly once each, numbered densely from 0 — the campaign
+    /// uses the point index.
+    ///
+    /// Returns `true` when slots were actually taken; `false` when the
+    /// acquire was canceled, in which case the ticket is still consumed
+    /// (with zero cost, so the line behind it keeps moving) and the caller
+    /// must NOT call [`WeightedSemaphore::release`].
+    fn acquire(&self, ticket: usize, cost: usize, cancel: Option<&CancelToken>) -> bool {
+        let mut st = lock_recover(&self.state);
+        loop {
+            let canceled = cancel.is_some_and(|c| c.is_canceled());
+            if st.now_serving == ticket && (canceled || st.available >= cost) {
+                if !canceled {
+                    st.available -= cost;
+                }
+                st.now_serving += 1;
+                self.ready.notify_all();
+                return !canceled;
+            }
+            st = if cancel.is_some() {
+                // Poll the token: cancellation has no hook into this
+                // condvar, so bounded waits keep abandonment latency at
+                // one interval without a wake-up channel.
+                self.ready
+                    .wait_timeout(st, Duration::from_millis(20))
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0
+            } else {
+                self.ready.wait(st).unwrap_or_else(PoisonError::into_inner)
+            };
         }
-        st.available -= cost;
-        st.now_serving += 1;
-        self.ready.notify_all();
     }
 
     fn release(&self, cost: usize) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_recover(&self.state);
         st.available += cost;
         self.ready.notify_all();
     }
@@ -1086,6 +1203,142 @@ mod tests {
         let third = campaign.run_journaled(&specs, &RunCaches::new(), &dir).unwrap();
         assert_eq!(third.restored, vec![0, 2]);
         assert_eq!(third.failures(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_scheduler_lock_does_not_cascade() {
+        // Regression: a panic while holding the semaphore's state lock
+        // used to poison it, turning every later `.lock().unwrap()` into
+        // a panic across unrelated points. The recovering guard must keep
+        // the scheduler serviceable.
+        let sem = std::sync::Arc::new(WeightedSemaphore::new(4, 2));
+        let poisoner = sem.clone();
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.state.lock().unwrap();
+            panic!("poison the scheduler state lock");
+        })
+        .join();
+        assert!(sem.state.is_poisoned(), "setup: lock must actually be poisoned");
+        // acquire and release still work for everyone else
+        assert!(sem.acquire(0, 2, None));
+        sem.release(2);
+        assert!(sem.acquire(1, 1, None));
+        sem.release(1);
+        // and a full campaign over the poisoned-lock scenario completes:
+        // point 0 panics inside the runner; point 1 must still run.
+        let specs = vec![small_point(), small_point()];
+        let campaign = Campaign::with_capacity(2);
+        let prefilled = (0..specs.len()).map(|_| None).collect();
+        let (results, ..) = campaign.run_engine(&specs, None, prefilled, |index, spec, _| {
+            if index == 0 {
+                panic!("point panic must stay contained");
+            }
+            run_native_cached(spec, &RunCaches::new())
+        });
+        assert!(matches!(
+            results[0],
+            Err(CoreError::Rank(RankFailure::Panic { .. }))
+        ));
+        assert!(results[1].is_ok(), "panic poisoned an unrelated point");
+    }
+
+    #[test]
+    fn cancel_token_abandons_unstarted_points() {
+        let token = CancelToken::new();
+        // capacity 1 serializes the points; the first point cancels the
+        // campaign while running, so every later point must be abandoned
+        // without its runner ever executing.
+        let campaign = Campaign::with_capacity(1).with_cancel_token(token.clone());
+        let specs = vec![small_point(), small_point(), small_point()];
+        let ran = std::sync::Arc::new(AtomicUsize::new(0));
+        let ran2 = ran.clone();
+        let caches = RunCaches::new();
+        let prefilled = (0..specs.len()).map(|_| None).collect();
+        let token2 = token.clone();
+        let (results, attempts, quarantined, _) =
+            campaign.run_engine(&specs, None, prefilled, move |index, spec, _| {
+                ran2.fetch_add(1, Ordering::SeqCst);
+                let out = run_native_cached(spec, &caches);
+                if index == 0 {
+                    token2.cancel();
+                }
+                out
+            });
+        assert!(results[0].is_ok(), "in-flight point must complete");
+        for r in &results[1..] {
+            assert!(matches!(r, Err(CoreError::Canceled)), "got {r:?}");
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "canceled points must not run");
+        assert_eq!(attempts, vec![1, 1, 1]);
+        assert!(quarantined.is_empty());
+        assert!(token.is_canceled());
+    }
+
+    #[test]
+    fn cancel_token_preempts_retries() {
+        // A retryable failure after the token fired is abandoned as
+        // Canceled (budget left unspent), never quarantined.
+        let token = CancelToken::new();
+        let campaign = Campaign::with_capacity(2)
+            .with_retry_policy(RetryPolicy::standard(5))
+            .with_cancel_token(token.clone());
+        let token2 = token.clone();
+        let out = campaign.run_custom(&[small_point()], move |_, _, _| {
+            token2.cancel();
+            Err(injected_timeout())
+        });
+        assert!(matches!(out.results[0], Err(CoreError::Canceled)));
+        assert_eq!(out.attempts, vec![1], "no retry after cancellation");
+        assert!(out.quarantined.is_empty());
+    }
+
+    #[test]
+    fn canceled_journaled_campaign_resumes_byte_identical() {
+        let dir = std::env::temp_dir().join(format!(
+            "eth-sweep-cancel-{:x}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut specs = vec![small_point()];
+        for i in 0..2 {
+            let mut s = small_point();
+            s.sampling_ratio = 0.5 - 0.25 * i as f64;
+            s.name = format!("cancel-{i}");
+            specs.push(s);
+        }
+        // First pass: cancel after point 0 completes; later points abandon.
+        let token = CancelToken::new();
+        let campaign = Campaign::with_capacity(1).with_cancel_token(token.clone());
+        let caches = RunCaches::new();
+        let token2 = token.clone();
+        let interrupted = campaign
+            .run_journaled_custom(&specs, &dir, move |index, spec, _| {
+                let out = run_native_cached(spec, &caches);
+                if index == 0 {
+                    token2.cancel();
+                }
+                out
+            })
+            .unwrap();
+        assert!(interrupted.results[0].is_ok());
+        assert!(matches!(interrupted.results[1], Err(CoreError::Canceled)));
+
+        // Resume without the token: canceled points re-run, the finished
+        // one restores, and the images match an undisturbed campaign.
+        let resumed = Campaign::with_capacity(1)
+            .run_journaled(&specs, &RunCaches::new(), &dir)
+            .unwrap();
+        assert_eq!(resumed.restored, vec![0]);
+        assert_eq!(resumed.failures(), 0);
+        let undisturbed = Campaign::with_capacity(1).run(&specs);
+        for (a, b) in resumed.results.iter().zip(&undisturbed.results) {
+            assert_eq!(a.as_ref().unwrap().images, b.as_ref().unwrap().images);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -143,27 +143,7 @@ impl CampaignTelemetry {
     /// scalars as gauges, histograms with cumulative `_bucket{le=...}`
     /// series plus `_sum`/`_count`, all under the `eth_campaign_` prefix.
     pub fn to_prometheus(&self) -> String {
-        let mut out = String::new();
-        for (name, value) in self.counters.iter() {
-            let metric = metric_name(name);
-            let _ = writeln!(out, "# TYPE {metric} gauge");
-            let _ = writeln!(out, "{metric} {}", fmt_sample(value));
-        }
-        for (name, h) in self.counters.histograms() {
-            let metric = metric_name(name);
-            let _ = writeln!(out, "# TYPE {metric} histogram");
-            for (upper, cumulative) in h.cumulative_buckets() {
-                let _ = writeln!(
-                    out,
-                    "{metric}_bucket{{le=\"{}\"}} {cumulative}",
-                    fmt_sample(upper)
-                );
-            }
-            let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", h.count());
-            let _ = writeln!(out, "{metric}_sum {}", fmt_sample(h.sum()));
-            let _ = writeln!(out, "{metric}_count {}", h.count());
-        }
-        out
+        counters_to_prometheus("eth_campaign_", &self.counters)
     }
 
     /// Render as JSONL: one self-describing object per metric, with
@@ -245,10 +225,38 @@ fn is_render_progress_metric(name: &str) -> bool {
     )
 }
 
-/// Prometheus-legal metric name under the campaign namespace.
-fn metric_name(name: &str) -> String {
-    let mut out = String::with_capacity(name.len() + 13);
-    out.push_str("eth_campaign_");
+/// Render any [`CounterSet`] as Prometheus text under `prefix` (the
+/// campaign export uses `eth_campaign_`; the serve layer's service
+/// metrics use `eth_serve_` through the same formatter, so `/metrics` is
+/// one consistent exposition).
+pub fn counters_to_prometheus(prefix: &str, counters: &CounterSet) -> String {
+    let mut out = String::new();
+    for (name, value) in counters.iter() {
+        let metric = metric_name(prefix, name);
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {}", fmt_sample(value));
+    }
+    for (name, h) in counters.histograms() {
+        let metric = metric_name(prefix, name);
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        for (upper, cumulative) in h.cumulative_buckets() {
+            let _ = writeln!(
+                out,
+                "{metric}_bucket{{le=\"{}\"}} {cumulative}",
+                fmt_sample(upper)
+            );
+        }
+        let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{metric}_sum {}", fmt_sample(h.sum()));
+        let _ = writeln!(out, "{metric}_count {}", h.count());
+    }
+    out
+}
+
+/// Prometheus-legal metric name under a namespace prefix.
+fn metric_name(prefix: &str, name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + prefix.len());
+    out.push_str(prefix);
     for ch in name.chars() {
         out.push(if ch.is_ascii_alphanumeric() { ch } else { '_' });
     }

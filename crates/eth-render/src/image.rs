@@ -220,6 +220,64 @@ impl Image {
         Ok(())
     }
 
+    /// Encode as an 8-bit RGB PNG, using the same sRGB-ish gamma-2.2
+    /// quantization as [`Image::write_ppm`], so the PNG and PPM artifacts
+    /// of one frame show identical pixels.
+    ///
+    /// The encoder is self-contained (no compression library in the
+    /// build): the IDAT zlib stream uses *stored* deflate blocks — larger
+    /// than compressed output but bit-exact, deterministic, and valid for
+    /// every PNG decoder. Determinism matters: the campaign service's
+    /// byte-identical-results contract extends to the PNGs it streams.
+    pub fn to_png(&self) -> Vec<u8> {
+        // Filtered scanlines: filter byte 0 (None) + RGB row.
+        let mut raw = Vec::with_capacity(self.height * (1 + self.width * 3));
+        for y in 0..self.height {
+            raw.push(0u8);
+            for x in 0..self.width {
+                let c = self.get(x, y);
+                for ch in [c.x, c.y, c.z] {
+                    let v = ch.clamp(0.0, 1.0).powf(1.0 / 2.2);
+                    raw.push((v * 255.0 + 0.5) as u8);
+                }
+            }
+        }
+
+        // zlib wrapper (RFC 1950) around stored deflate blocks (RFC 1951).
+        let mut z = Vec::with_capacity(raw.len() + raw.len() / 65_535 * 5 + 16);
+        z.extend_from_slice(&[0x78, 0x01]); // CMF/FLG: deflate, 32K window
+        let mut chunks = raw.chunks(65_535).peekable();
+        loop {
+            let Some(block) = chunks.next() else {
+                // empty image: one final empty stored block
+                z.extend_from_slice(&[0x01, 0x00, 0x00, 0xFF, 0xFF]);
+                break;
+            };
+            let last = chunks.peek().is_none();
+            z.push(last as u8); // BFINAL, BTYPE=00 (stored)
+            let len = block.len() as u16;
+            z.extend_from_slice(&len.to_le_bytes());
+            z.extend_from_slice(&(!len).to_le_bytes());
+            z.extend_from_slice(block);
+            if last {
+                break;
+            }
+        }
+        z.extend_from_slice(&adler32(&raw).to_be_bytes());
+
+        let mut png = Vec::with_capacity(z.len() + 64);
+        png.extend_from_slice(&[0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1A, b'\n']);
+        let mut ihdr = Vec::with_capacity(13);
+        ihdr.extend_from_slice(&(self.width as u32).to_be_bytes());
+        ihdr.extend_from_slice(&(self.height as u32).to_be_bytes());
+        // bit depth 8, color type 2 (RGB), deflate, no interlace
+        ihdr.extend_from_slice(&[8, 2, 0, 0, 0]);
+        png_chunk(&mut png, b"IHDR", &ihdr);
+        png_chunk(&mut png, b"IDAT", &z);
+        png_chunk(&mut png, b"IEND", &[]);
+        png
+    }
+
     /// Read a binary PPM written by [`Image::write_ppm`] (P6, maxval 255).
     pub fn read_ppm(path: &Path) -> Result<Image> {
         let mut raw = Vec::new();
@@ -286,6 +344,33 @@ impl Image {
     }
 }
 
+/// Adler-32 over `data` (RFC 1950 §8.2), for the zlib trailer.
+fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let (mut a, mut b) = (1u32, 0u32);
+    // 5552 is the largest run that cannot overflow u32 before reduction
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += byte as u32;
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+/// Append one PNG chunk: length, type, payload, CRC-32 over type+payload.
+fn png_chunk(out: &mut Vec<u8>, kind: &[u8; 4], payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(kind);
+    out.extend_from_slice(payload);
+    let mut crc_input = Vec::with_capacity(4 + payload.len());
+    crc_input.extend_from_slice(kind);
+    crc_input.extend_from_slice(payload);
+    out.extend_from_slice(&eth_data::crc::crc32(&crc_input).to_be_bytes());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +379,101 @@ mod tests {
     fn construction_validates_size() {
         assert!(Image::from_pixels(2, 2, vec![Vec3::ZERO; 3]).is_err());
         assert!(Image::from_pixels(2, 2, vec![Vec3::ZERO; 4]).is_ok());
+    }
+
+    /// Minimal stored-deflate inflater for the tests: enough to decode
+    /// exactly what [`Image::to_png`] emits (BTYPE=00 blocks only).
+    fn inflate_stored(z: &[u8]) -> Vec<u8> {
+        assert!(z.len() >= 6, "zlib stream too short");
+        let mut out = Vec::new();
+        let mut pos = 2; // skip CMF/FLG
+        loop {
+            let header = z[pos];
+            assert_eq!(header & 0x06, 0, "not a stored block");
+            let len = u16::from_le_bytes([z[pos + 1], z[pos + 2]]) as usize;
+            let nlen = u16::from_le_bytes([z[pos + 3], z[pos + 4]]);
+            assert_eq!(!(len as u16), nlen, "stored-block length check");
+            pos += 5;
+            out.extend_from_slice(&z[pos..pos + len]);
+            pos += len;
+            if header & 1 == 1 {
+                break;
+            }
+        }
+        assert_eq!(
+            u32::from_be_bytes(z[pos..pos + 4].try_into().unwrap()),
+            adler32(&out),
+            "zlib adler32 trailer"
+        );
+        out
+    }
+
+    #[test]
+    fn png_structure_and_pixels_roundtrip() {
+        let mut img = Image::black(3, 2);
+        img.set(0, 0, Vec3::new(1.0, 0.0, 0.0));
+        img.set(2, 1, Vec3::new(0.25, 0.5, 0.75));
+        let png = img.to_png();
+        // signature
+        assert_eq!(&png[..8], &[0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1A, b'\n']);
+        // walk the chunks, verifying every CRC
+        let mut pos = 8;
+        let mut kinds = Vec::new();
+        let mut idat = Vec::new();
+        while pos < png.len() {
+            let len = u32::from_be_bytes(png[pos..pos + 4].try_into().unwrap()) as usize;
+            let kind = &png[pos + 4..pos + 8];
+            let payload = &png[pos + 8..pos + 8 + len];
+            let crc = u32::from_be_bytes(png[pos + 8 + len..pos + 12 + len].try_into().unwrap());
+            let mut check = kind.to_vec();
+            check.extend_from_slice(payload);
+            assert_eq!(crc, eth_data::crc::crc32(&check), "chunk CRC");
+            kinds.push(kind.to_vec());
+            if kind == b"IDAT" {
+                idat.extend_from_slice(payload);
+            }
+            if kind == b"IHDR" {
+                assert_eq!(u32::from_be_bytes(payload[0..4].try_into().unwrap()), 3);
+                assert_eq!(u32::from_be_bytes(payload[4..8].try_into().unwrap()), 2);
+                assert_eq!(&payload[8..13], &[8, 2, 0, 0, 0]);
+            }
+            pos += 12 + len;
+        }
+        assert_eq!(kinds.first().map(|k| &k[..]), Some(&b"IHDR"[..]));
+        assert_eq!(kinds.last().map(|k| &k[..]), Some(&b"IEND"[..]));
+        // scanlines carry the same gamma-2.2 bytes the PPM path writes
+        let raw = inflate_stored(&idat);
+        assert_eq!(raw.len(), 2 * (1 + 3 * 3));
+        let quant = |v: f32| (v.clamp(0.0, 1.0).powf(1.0 / 2.2) * 255.0 + 0.5) as u8;
+        assert_eq!(raw[0], 0, "filter byte");
+        assert_eq!(&raw[1..4], &[quant(1.0), 0, 0]);
+        let last = &raw[raw.len() - 3..];
+        assert_eq!(last, &[quant(0.25), quant(0.5), quant(0.75)]);
+        // deterministic: same image, same bytes
+        assert_eq!(png, img.to_png());
+    }
+
+    #[test]
+    fn png_handles_large_and_empty_images() {
+        // > 65535 raw bytes forces multiple stored blocks
+        let big = Image::filled(160, 140, Vec3::splat(0.5));
+        let png = big.to_png();
+        let mut pos = 8;
+        let mut idat = Vec::new();
+        while pos < png.len() {
+            let len = u32::from_be_bytes(png[pos..pos + 4].try_into().unwrap()) as usize;
+            if &png[pos + 4..pos + 8] == b"IDAT" {
+                idat.extend_from_slice(&png[pos + 8..pos + 8 + len]);
+            }
+            pos += 12 + len;
+        }
+        let raw = inflate_stored(&idat);
+        assert_eq!(raw.len(), 140 * (1 + 160 * 3));
+        let quant = (0.5f32.powf(1.0 / 2.2) * 255.0 + 0.5) as u8;
+        assert!(raw[1..].iter().enumerate().all(|(i, &b)| {
+            let row_len = 1 + 160 * 3;
+            ((i + 1) % row_len == 0 && b == 0) || b == quant
+        }));
     }
 
     #[test]
