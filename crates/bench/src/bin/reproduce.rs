@@ -20,6 +20,8 @@
 //! reproduce serve                # campaign service on :7070 until SIGTERM
 //! reproduce serve --root d/      # durable root (restart resumes campaigns)
 //! reproduce serve-chaos          # self-checking service smoke (CI)
+//! reproduce trace-analyze FILE   # per-step critical path of a saved trace
+//! reproduce trace-smoke          # CI: 4-rank flow-stitching invariants
 //! ```
 //!
 //! Flight-recorder flags, valid with any of the above:
@@ -277,6 +279,197 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     args.len() != before
 }
 
+/// `reproduce trace-smoke`: run one 4-rank internode point and hold the
+/// causal-tracing invariants: flows all pair, nothing dangles, the
+/// critical-path walk explains ≥90% of every step's wall time, and the
+/// images are byte-identical to a second (differently-recorded) run.
+/// CI runs this with `--trace FILE` and validates the stitched JSON too.
+fn run_trace_smoke(progress: &Progress) {
+    use eth_core::{run_native, Application, Coupling, ExperimentSpec};
+    progress.begin("trace-smoke");
+    let spec = ExperimentSpec::builder("trace-smoke")
+        .application(Application::Hacc { particles: 4_000 })
+        .coupling(Coupling::Internode)
+        .ranks(4)
+        // Asymmetric layout: four sim ranks stream to one viz rank. The
+        // CI box may have a single core, and every extra runnable thread
+        // turns scheduler wait into honest-but-unattributable idle in the
+        // critical-path walk; this shape keeps real cross-node flows while
+        // staying close to serial execution.
+        .viz_ranks(1)
+        .steps(3)
+        .image_size(64, 64)
+        .build()
+        .expect("trace-smoke spec validates");
+    let outcome = match run_native(&spec) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("trace-smoke run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(cp) = &outcome.critical_path else {
+        eprintln!("trace-smoke: run produced no critical-path summary");
+        std::process::exit(1);
+    };
+    if cp.steps != spec.steps as u64 {
+        eprintln!("trace-smoke: walked {} step windows, expected {}", cp.steps, spec.steps);
+        std::process::exit(1);
+    }
+    if cp.dangling_flows != 0 {
+        eprintln!("trace-smoke: {} dangling flows in a clean run", cp.dangling_flows);
+        std::process::exit(1);
+    }
+    let share_sum = cp.share_sum();
+    if share_sum < 0.9 {
+        eprintln!(
+            "trace-smoke: critical-path shares cover {:.1}% of step wall time (< 90%)",
+            share_sum * 100.0
+        );
+        for p in &cp.phases {
+            eprintln!("  {}: {:.6}s ({:.1}%)", p.phase, p.seconds, p.share * 100.0);
+        }
+        eprintln!("  idle: {:.6}s of {:.6}s", cp.idle_s, cp.total_s);
+        eprintln!("  windows: {:?}", cp.step_s);
+        if std::env::var("ETH_SMOKE_KEEP_GOING").is_err() {
+            std::process::exit(1);
+        }
+    }
+    // Tracing must not perturb the rendered output: a second run (same
+    // spec, separately recorded) has to produce byte-identical images.
+    // Run it on a thread with no inherited context so a `--trace` export
+    // stays one clean run instead of two concatenated ones.
+    let rerun = std::thread::spawn({
+        let spec = spec.clone();
+        move || run_native(&spec)
+    });
+    let again = match rerun.join().expect("rerun thread never panics") {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("trace-smoke rerun failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let identical = outcome.images.len() == again.images.len()
+        && outcome
+            .images
+            .iter()
+            .zip(&again.images)
+            .all(|(a, b)| a.to_png() == b.to_png());
+    if !identical {
+        eprintln!("trace-smoke: images diverged between recorded runs");
+        std::process::exit(1);
+    }
+    println!(
+        "trace-smoke ok: {} steps, coverage {:.1}%, shares {:.1}%, \
+         {} flow pairs, 0 dangling, images byte-identical",
+        cp.steps,
+        cp.coverage * 100.0,
+        share_sum * 100.0,
+        outcome.counters.get("flow_matched"),
+    );
+    progress.done("trace-smoke", "complete");
+}
+
+/// `reproduce trace-analyze FILE [--top N]`: read a (stitched or plain)
+/// Chrome trace JSON and print the per-step critical-path attribution.
+/// Prefers the summary a stitched export embeds; a plain trace gets its
+/// flows re-paired and the walk re-run here.
+fn run_trace_analyze(args: &[String]) {
+    let mut top = 5usize;
+    let mut file: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => {
+                top = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--top needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            other if file.is_none() && !other.starts_with('-') => {
+                file = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown trace-analyze option '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("usage: reproduce trace-analyze FILE [--top N]");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to read {}: {e}", file.display());
+            std::process::exit(1);
+        }
+    };
+    let value = match serde_json::parse_value_complete(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{} is not valid JSON: {e}", file.display());
+            std::process::exit(1);
+        }
+    };
+    let (trace, embedded) = match eth_obs::trace_from_chrome(&value) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{} is not a Chrome trace: {e}", file.display());
+            std::process::exit(1);
+        }
+    };
+    let summary = match embedded {
+        Some(s) => s,
+        // Plain export: re-pair the flows and walk the critical path here.
+        None => match eth_obs::MergedTrace::build(trace).critical_path {
+            Some(s) => s,
+            None => {
+                eprintln!(
+                    "{}: no step marks in the trace; record with --trace on a run \
+                     that composites at least one step",
+                    file.display()
+                );
+                std::process::exit(1);
+            }
+        },
+    };
+    println!(
+        "critical path over {} steps ({:.3}s total, coverage {:.1}%{}):",
+        summary.steps,
+        summary.total_s,
+        summary.coverage * 100.0,
+        if summary.dangling_flows > 0 {
+            format!(", {} dangling flows", summary.dangling_flows)
+        } else {
+            String::new()
+        }
+    );
+    println!("| phase | seconds | share |");
+    println!("|---|---|---|");
+    for p in summary.phases.iter().take(top) {
+        println!("| {} | {:.6} | {:.1}% |", p.phase, p.seconds, p.share * 100.0);
+    }
+    if summary.idle_s > 0.0 {
+        println!("| (idle) | {:.6} | {:.1}% |", summary.idle_s, (1.0 - summary.coverage) * 100.0);
+    }
+    println!();
+    println!("bounding ranks (heaviest first):");
+    for r in summary.bounding_ranks.iter().take(top) {
+        let rank = if r.rank == eth_obs::NO_RANK {
+            "harness".to_string()
+        } else {
+            format!("rank {}", r.rank)
+        };
+        println!("  {rank}: bounded {} steps, {:.6}s on the path", r.steps_bounded, r.seconds);
+    }
+}
+
 /// Write the flight-recorder exports the user asked for.
 fn write_exports(
     recorder: &eth_obs::Recorder,
@@ -292,11 +485,20 @@ fn write_exports(
             std::process::exit(1);
         }
         let records = trace.records.len();
-        if let Err(e) = std::fs::write(path, trace.to_chrome_trace()) {
+        // Stitched view: every matched send/recv pair becomes a Perfetto
+        // flow arrow, and the critical-path summary rides along in the
+        // JSON for `reproduce trace-analyze`.
+        let merged = eth_obs::MergedTrace::build(trace);
+        if let Err(e) = std::fs::write(path, merged.to_chrome_trace()) {
             eprintln!("failed to write {}: {e}", path.display());
             std::process::exit(1);
         }
-        progress.note(&format!("wrote {} ({records} trace records)", path.display()));
+        progress.note(&format!(
+            "wrote {} ({records} trace records, {} flows stitched, {} dangling)",
+            path.display(),
+            merged.matched.len(),
+            merged.dangling_out + merged.dangling_in,
+        ));
     }
     if let Some(path) = metrics_path {
         let Some(t) = telemetry else {
@@ -355,6 +557,22 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
         serve::run_serve_chaos(&args[1..], progress);
         return None;
     }
+    if args.first().map(String::as_str) == Some("trace-smoke") {
+        if want_metrics {
+            eprintln!("--metrics does not apply to trace-smoke");
+            std::process::exit(2);
+        }
+        run_trace_smoke(progress);
+        return None;
+    }
+    if args.first().map(String::as_str) == Some("trace-analyze") {
+        if want_metrics {
+            eprintln!("--metrics does not apply to trace-analyze");
+            std::process::exit(2);
+        }
+        run_trace_analyze(&args[1..]);
+        return None;
+    }
     if args.first().map(String::as_str) == Some("chaos-campaign") {
         return Some(run_chaos(&args[1..], progress));
     }
@@ -394,6 +612,8 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
                      \x20      reproduce migrate [--smoke] [--samples N] [--out FILE]\n\
                      \x20      reproduce bench [--smoke] [--out FILE]\n\
                      \x20      reproduce render-bench [--quick] [--out FILE]\n\
+                     \x20      reproduce trace-analyze FILE [--top N]\n\
+                     \x20      reproduce trace-smoke\n\
                      global: [--trace FILE] [--metrics FILE] [--verbose | --quiet]"
                 );
                 std::process::exit(0);

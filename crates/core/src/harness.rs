@@ -195,6 +195,11 @@ pub struct NativeOutcome {
     /// Structured counters from the run's trace: per-phase busy seconds /
     /// span counts / bytes, proxy skipped steps, and degradation totals.
     pub counters: CounterSet,
+    /// Per-step critical path through the stitched cross-rank trace:
+    /// which phases bound each frame's latency, attributed by walking
+    /// flow edges backwards from every step boundary (`None` when the
+    /// run recorded no spans).
+    pub critical_path: Option<eth_obs::CriticalPathSummary>,
 }
 
 /// Dynamic energy attributed to one phase of a native run.
@@ -785,6 +790,11 @@ fn viz_side(
             }
         }
         phases.composite_s += t_comp.elapsed().as_secs_f64();
+        // The composite root closing a step is the frame boundary the
+        // critical-path walk in `eth_obs::merge` attributes backwards from.
+        if comm.rank() == root {
+            eth_obs::step_mark(step as u64);
+        }
     }
     Ok(RankOutput {
         images,
@@ -842,6 +852,7 @@ fn merge_outputs(spec: &ExperimentSpec, wall_s: f64, outputs: Vec<RankOutput>) -
         metrics: RunMetrics::default(),
         phase_energy: Vec::new(),
         counters: CounterSet::new(),
+        critical_path: None,
     }
 }
 
@@ -1024,6 +1035,26 @@ fn attribute_run(outcome: &mut NativeOutcome, trace: &eth_obs::Trace, t0_ns: u64
     }
     for (name, value) in trace.counts() {
         counters.add(name, value);
+    }
+    // Stitch the cross-rank flows and attribute each step's latency to the
+    // phases on its critical path.
+    if trace.spans().next().is_some() {
+        let merged = eth_obs::MergedTrace::build(trace.clone());
+        if !merged.matched.is_empty() {
+            counters.add("flow_matched", merged.matched.len() as f64);
+        }
+        if merged.dangling_out + merged.dangling_in > 0 {
+            counters.add(
+                "flow_dangling",
+                (merged.dangling_out + merged.dangling_in) as f64,
+            );
+        }
+        if let Some(cp) = merged.critical_path {
+            for p in &cp.phases {
+                counters.add(&format!("critical_path_{}_s", p.phase), p.seconds);
+            }
+            outcome.critical_path = Some(cp);
+        }
     }
     let d = &outcome.degradation;
     if !d.is_clean() {
@@ -2028,64 +2059,18 @@ fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
     let _ = std::fs::remove_dir_all(&layout_dir);
     let layout = LayoutFile::create(&layout_dir)?;
 
-    // Simulation application: each rank publishes, listens, then streams
-    // its blocks to the paired visualization rank. The pair link always
-    // goes through the chaos wrapper; with no plan it is a passthrough.
     // Raw spawns don't inherit the caller's recorder sinks the way
     // run_ranks does, so hand the context across and claim rank ids on
     // the run's modeled node layout: sim ranks 0..R, viz ranks R..R+V.
     let obs = eth_obs::current_context();
-    let mut sim_handles = Vec::new();
-    for rank in 0..r {
-        let staged = staged.clone();
-        let layout = layout.clone();
-        let spec_sim = spec.clone();
-        let obs = obs.clone();
-        sim_handles.push(thread::spawn(move || -> Result<RankOutput> {
-            let _obs = obs.attach();
-            eth_obs::set_rank(rank);
-            let tolerant = spec_sim.fault_plan.is_some();
-            let chan = ChaosChannel::new(
-                listen_as(&layout, rank)?,
-                spec_sim.fault_plan.clone().unwrap_or_default(),
-            );
-            let mut phases = PhaseTimes::default();
-            let mut degradation = Degradation::default();
-            for step in 0..spec_sim.steps {
-                let t = Instant::now();
-                let block = staged.blocks[step][rank].clone();
-                let payload = encode_block(&spec_sim, &block);
-                phases.sim_s += t.elapsed().as_secs_f64();
-                let t2 = Instant::now();
-                match chan.send(DATA_TAG_BASE + step as u32, payload) {
-                    Ok(()) => {}
-                    Err(e) if tolerant => {
-                        // the viz link is gone: the simulation keeps its
-                        // remaining steps to itself instead of dying
-                        degradation.count(&e);
-                        break;
-                    }
-                    Err(e) => return Err(e.into()),
-                }
-                phases.transfer_s += t2.elapsed().as_secs_f64();
-            }
-            Ok(RankOutput {
-                images: Vec::new(),
-                stats: RenderStats::default(),
-                phases,
-                bytes_sent: chan.bytes_sent(),
-                degradation,
-                recovery_latency_s: Vec::new(),
-                migration_disruption_s: Vec::new(),
-            })
-        }));
-    }
-
     // Visualization application: viz ranks connect through the layout
     // file, and composite among themselves over a local fabric.
     // With an asymmetric layout (spec.viz_ranks != ranks), viz rank v
     // serves the sim ranks {s : s % viz_count == v} and merges their
     // blocks locally before compositing.
+    // Spawned before the simulation side so their bootstrap waits show
+    // up inside covered connect_to spans instead of as unattributable
+    // pre-spawn idle when the box is oversubscribed.
     let viz_count = spec.viz_ranks.unwrap_or(r).max(1);
     let viz_comms = LocalFabric::new(viz_count);
     let mut viz_handles = Vec::new();
@@ -2136,6 +2121,55 @@ fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
                 out.bytes_sent += chan.bytes_sent();
             }
             Ok(out)
+        }));
+    }
+
+    // Simulation application: each rank publishes, listens, then streams
+    // its blocks to the paired visualization rank. The pair link always
+    // goes through the chaos wrapper; with no plan it is a passthrough.
+    let mut sim_handles = Vec::new();
+    for rank in 0..r {
+        let staged = staged.clone();
+        let layout = layout.clone();
+        let spec_sim = spec.clone();
+        let obs = obs.clone();
+        sim_handles.push(thread::spawn(move || -> Result<RankOutput> {
+            let _obs = obs.attach();
+            eth_obs::set_rank(rank);
+            let tolerant = spec_sim.fault_plan.is_some();
+            let chan = ChaosChannel::new(
+                listen_as(&layout, rank)?,
+                spec_sim.fault_plan.clone().unwrap_or_default(),
+            );
+            let mut phases = PhaseTimes::default();
+            let mut degradation = Degradation::default();
+            for step in 0..spec_sim.steps {
+                let t = Instant::now();
+                let block = staged.blocks[step][rank].clone();
+                let payload = encode_block(&spec_sim, &block);
+                phases.sim_s += t.elapsed().as_secs_f64();
+                let t2 = Instant::now();
+                match chan.send(DATA_TAG_BASE + step as u32, payload) {
+                    Ok(()) => {}
+                    Err(e) if tolerant => {
+                        // the viz link is gone: the simulation keeps its
+                        // remaining steps to itself instead of dying
+                        degradation.count(&e);
+                        break;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+                phases.transfer_s += t2.elapsed().as_secs_f64();
+            }
+            Ok(RankOutput {
+                images: Vec::new(),
+                stats: RenderStats::default(),
+                phases,
+                bytes_sent: chan.bytes_sent(),
+                degradation,
+                recovery_latency_s: Vec::new(),
+                migration_disruption_s: Vec::new(),
+            })
         }));
     }
 

@@ -544,6 +544,8 @@ pub fn load_result(
         counters: header.counters,
         recovery_latency_s: header.recovery_latency_s,
         migration_disruption_s: header.migration_disruption_s,
+        // journaled outcomes predate flow stitching; replays reattribute
+        critical_path: None,
     })
 }
 

@@ -57,6 +57,9 @@ use std::time::{Duration, Instant};
 pub const SERVICE_FILE: &str = "service.json";
 /// Terminal summary written next to the journal when a campaign ends.
 pub const OUTCOME_FILE: &str = "outcome.json";
+/// Stitched cross-rank Chrome trace written next to the journal when a
+/// campaign that recorded spans ends (`GET /campaigns/{id}/trace`).
+pub const TRACE_FILE: &str = "trace.json";
 /// Directory-name prefix for campaign journal dirs under the root.
 pub const CAMPAIGN_DIR_PREFIX: &str = "campaign-";
 
@@ -237,6 +240,10 @@ pub struct CampaignStatus {
     /// SSE events dropped across this campaign's slow subscribers.
     pub dropped_events: usize,
     pub wall_s: f64,
+    /// Flow-stitched critical-path attribution for the whole campaign
+    /// (which phases bounded each step's latency); populated on the
+    /// terminal `campaign-done` event when the campaign recorded spans.
+    pub critical_path: Option<eth_obs::CriticalPathSummary>,
 }
 
 /// What [`Service::drain`] accomplished before the timeout.
@@ -432,6 +439,7 @@ struct EntryProgress {
     restored: usize,
     wall_s: f64,
     user_canceled: bool,
+    critical_path: Option<eth_obs::CriticalPathSummary>,
 }
 
 impl CampaignEntry {
@@ -455,6 +463,7 @@ impl CampaignEntry {
             } else {
                 p.wall_s
             },
+            critical_path: p.critical_path.clone(),
         }
     }
 }
@@ -471,6 +480,8 @@ struct ServiceState {
 struct ServiceInner {
     root: PathBuf,
     policy: ServicePolicy,
+    /// Process-lifetime anchor for the `/metrics` uptime gauge.
+    started: Instant,
     /// Scheduler slots each campaign's [`Campaign`] runs with.
     slots: usize,
     /// One cache set for the whole service: staging shared across
@@ -509,6 +520,7 @@ impl Service {
             inner: Arc::new(ServiceInner {
                 root: root.to_path_buf(),
                 policy,
+                started: Instant::now(),
                 slots,
                 caches: RunCaches::new(),
                 memo: Mutex::new(HashMap::new()),
@@ -535,6 +547,7 @@ impl Service {
         let mut inner = Arc::try_unwrap(self.inner).unwrap_or_else(|arc| ServiceInner {
             root: arc.root.clone(),
             policy: arc.policy.clone(),
+            started: arc.started,
             slots: arc.slots,
             caches: RunCaches::new(),
             memo: Mutex::new(HashMap::new()),
@@ -850,12 +863,34 @@ impl Service {
     /// `/metrics` body: service counters under `eth_serve_`, merged
     /// campaign telemetry under `eth_campaign_`.
     pub fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
         let mut out = counters_to_prometheus("eth_serve_", &lock_recover(&self.inner.metrics));
         out.push_str(&counters_to_prometheus(
             "eth_campaign_",
             &lock_recover(&self.inner.campaign_metrics),
         ));
+        let _ = writeln!(
+            out,
+            "# HELP eth_serve_process_uptime_seconds Seconds since this service started.\n\
+             # TYPE eth_serve_process_uptime_seconds gauge\n\
+             eth_serve_process_uptime_seconds {:.3}",
+            self.inner.started.elapsed().as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "# HELP eth_serve_build_info Build metadata as labels; value is always 1.\n\
+             # TYPE eth_serve_build_info gauge\n\
+             eth_serve_build_info{{version=\"{}\"}} 1",
+            crate::telemetry::escape_label_value(env!("CARGO_PKG_VERSION"))
+        );
         out
+    }
+
+    /// The stitched Chrome-trace JSON a finished campaign persisted, if
+    /// its worker recorded any spans (`GET /campaigns/{id}/trace`).
+    pub fn campaign_trace(&self, id: usize) -> Option<Vec<u8>> {
+        let entry = self.entry(id)?;
+        fs::read(entry.dir.join(TRACE_FILE)).ok()
     }
 
     // -- internals ----------------------------------------------------------
@@ -925,6 +960,7 @@ impl Service {
                 restored: 0,
                 wall_s: 0.0,
                 user_canceled: false,
+                critical_path: None,
             }),
             started: Instant::now(),
         })
@@ -951,6 +987,7 @@ impl Service {
                     p.failed = s.points_failed;
                     p.restored = s.points_restored;
                     p.wall_s = s.wall_s;
+                    p.critical_path = s.critical_path;
                 }
                 None => p.state = CampaignState::Done,
             }
@@ -1188,6 +1225,16 @@ impl Service {
                     "telemetry",
                     serde_json::to_string(&outcome.telemetry.counters).unwrap_or_default(),
                 );
+                // Stitch the campaign's cross-rank trace: persist the
+                // Perfetto view for `GET /campaigns/{id}/trace` and carry
+                // the critical-path summary onto the terminal status.
+                if !outcome.trace.records.is_empty() {
+                    let merged = eth_obs::MergedTrace::build(outcome.trace);
+                    let _ = fs::write(entry.dir.join(TRACE_FILE), merged.to_chrome_trace());
+                    if let Some(cp) = merged.critical_path {
+                        lock_recover(&entry.progress).critical_path = Some(cp);
+                    }
+                }
             }
         }
     }
@@ -1582,6 +1629,17 @@ fn route(service: &Service, request: &Request, segments: &[&str]) -> Response {
             }
             _ => Response::json(404, "{\"error\":\"no such campaign\"}"),
         },
+        ("GET", ["campaigns", id, "trace"]) => {
+            match id.parse::<usize>().ok().and_then(|id| service.campaign_trace(id)) {
+                Some(body) => Response {
+                    status: 200,
+                    content_type: "application/json",
+                    body,
+                    retry_after: None,
+                },
+                None => Response::json(404, "{\"error\":\"campaign has no stitched trace\"}"),
+            }
+        }
         ("GET", ["campaigns", id, "points", index, "image"]) => {
             match (id.parse::<usize>(), index.parse::<usize>()) {
                 (Ok(id), Ok(index)) => match service.point_png(id, index) {

@@ -304,6 +304,12 @@ pub struct CampaignOutcome {
     /// counters); export with [`CampaignTelemetry::to_prometheus`] or
     /// [`CampaignTelemetry::to_jsonl`].
     pub telemetry: CampaignTelemetry,
+    /// The campaign's drained span trace, flow records included: build an
+    /// [`eth_obs::MergedTrace`] from it for the stitched cross-rank
+    /// Perfetto view and critical-path attribution (`eth serve` exposes
+    /// exactly that at `GET /campaigns/{id}/trace`). Empty when the
+    /// recorder was disabled for the whole campaign.
+    pub trace: eth_obs::Trace,
 }
 
 impl CampaignOutcome {
@@ -472,6 +478,7 @@ impl Campaign {
             quarantined,
             restored: Vec::new(),
             telemetry,
+            trace,
         }
     }
 
@@ -501,6 +508,7 @@ impl Campaign {
             quarantined,
             restored: Vec::new(),
             telemetry,
+            trace,
         }
     }
 
@@ -603,6 +611,7 @@ impl Campaign {
             quarantined,
             restored,
             telemetry,
+            trace,
         })
     }
 

@@ -103,6 +103,35 @@ impl CampaignTelemetry {
             }
         }
 
+        // Critical-path attribution: which phases bounded each step's
+        // latency, aggregated across every completed point. Shares are
+        // seconds-on-the-path over total step wall time, so the gauges
+        // sum to the campaign's flow-stitched coverage.
+        let mut cp_total = 0.0;
+        let mut cp_phase: std::collections::BTreeMap<&str, f64> = Default::default();
+        for outcome in results.iter().filter_map(|r| r.as_ref().ok()) {
+            if let Some(cp) = &outcome.critical_path {
+                cp_total += cp.total_s;
+                for p in &cp.phases {
+                    *cp_phase.entry(p.phase.as_str()).or_default() += p.seconds;
+                }
+                for &step_s in &cp.step_s {
+                    c.observe("step_critical_path_s", step_s);
+                }
+                if cp.dangling_flows > 0 {
+                    c.add("flow_dangling", cp.dangling_flows as f64);
+                }
+            }
+        }
+        if cp_total > 0.0 {
+            for (phase, seconds) in &cp_phase {
+                c.set(
+                    &format!("critical_path_share_{phase}"),
+                    seconds / cp_total,
+                );
+            }
+        }
+
         // Event counters recorded anywhere under the campaign (cache
         // hits/misses, proxy skipped steps, ...).
         for (name, value) in trace.counts() {
@@ -187,7 +216,7 @@ impl CampaignTelemetry {
     pub fn deterministic_view(&self) -> Vec<(String, u64)> {
         let mut out = Vec::new();
         for (name, value) in self.counters.iter() {
-            if is_timing_metric(name) || is_render_progress_metric(name) {
+            if is_timing_metric(name) || is_render_progress_metric(name) || is_flow_metric(name) {
                 continue;
             }
             out.push((name.to_string(), value.round() as u64));
@@ -203,6 +232,14 @@ impl CampaignTelemetry {
 /// deterministic view; everything else counts events and must reproduce.
 fn is_timing_metric(name: &str) -> bool {
     name.ends_with("_s") || name.ends_with("_rate") || name.ends_with("_per_s")
+}
+
+/// Flow-stitching metrics depend on wall-clock message timing (whether a
+/// delayed frame still matched before the receiver's deadline), so like
+/// the timing scalars they export but sit outside the determinism
+/// contract. Critical-path shares are ratios of timing values.
+fn is_flow_metric(name: &str) -> bool {
+    name.starts_with("flow_") || name.starts_with("critical_path_")
 }
 
 /// Render work-volume metrics measure how far *into* an attempt the
@@ -233,22 +270,39 @@ pub fn counters_to_prometheus(prefix: &str, counters: &CounterSet) -> String {
     let mut out = String::new();
     for (name, value) in counters.iter() {
         let metric = metric_name(prefix, name);
+        let _ = writeln!(out, "# HELP {metric} Scalar counter {name}.");
         let _ = writeln!(out, "# TYPE {metric} gauge");
         let _ = writeln!(out, "{metric} {}", fmt_sample(value));
     }
     for (name, h) in counters.histograms() {
         let metric = metric_name(prefix, name);
+        let _ = writeln!(out, "# HELP {metric} Log-bucket histogram {name}.");
         let _ = writeln!(out, "# TYPE {metric} histogram");
         for (upper, cumulative) in h.cumulative_buckets() {
             let _ = writeln!(
                 out,
                 "{metric}_bucket{{le=\"{}\"}} {cumulative}",
-                fmt_sample(upper)
+                escape_label_value(&fmt_sample(upper))
             );
         }
         let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", h.count());
         let _ = writeln!(out, "{metric}_sum {}", fmt_sample(h.sum()));
         let _ = writeln!(out, "{metric}_count {}", h.count());
+    }
+    out
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped inside the quotes.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
     }
     out
 }
@@ -336,6 +390,53 @@ mod tests {
             assert!(count >= last, "non-monotone bucket: {line}");
             last = count;
         }
+    }
+
+    #[test]
+    fn prometheus_help_lines_precede_every_family() {
+        let text = sample_telemetry().to_prometheus();
+        assert!(text.contains("# HELP eth_campaign_points_total Scalar counter points_total."));
+        assert!(
+            text.contains("# HELP eth_campaign_queue_wait_s Log-bucket histogram queue_wait_s.")
+        );
+        // every # TYPE is immediately preceded by its # HELP
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let metric = rest.split(' ').next().unwrap();
+                assert!(
+                    i > 0 && lines[i - 1].starts_with(&format!("# HELP {metric} ")),
+                    "no HELP before: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_newlines() {
+        assert_eq!(escape_label_value("plain-1.2.3"), "plain-1.2.3");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn critical_path_metrics_stay_out_of_deterministic_view() {
+        let mut t = sample_telemetry();
+        t.counters.set("critical_path_share_sim", 0.61);
+        t.counters.add("flow_dangling", 2.0);
+        for v in [0.01, 0.02] {
+            t.counters.observe("step_critical_path_s", v);
+        }
+        let view = t.deterministic_view();
+        let names: Vec<&str> = view.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(!names.contains(&"critical_path_share_sim"));
+        assert!(!names.contains(&"flow_dangling"));
+        // the histogram's observation count still reproduces
+        assert!(names.contains(&"step_critical_path_s/count"));
+        let prom = t.to_prometheus();
+        assert!(prom.contains("eth_campaign_critical_path_share_sim 0.61"));
+        assert!(prom.contains("# TYPE eth_campaign_step_critical_path_s histogram"));
     }
 
     #[test]

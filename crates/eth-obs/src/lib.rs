@@ -30,12 +30,15 @@
 //! time for power attribution (`eth-core::harness`), and histogram feeds
 //! for campaign telemetry (`eth-core::telemetry`).
 
+pub mod merge;
 mod span;
 mod trace;
 
+pub use merge::{trace_from_chrome, CriticalPathSummary, MergedTrace, PhaseShare, RankShare};
 pub use span::{
-    count, current_context, install_global, instant, now_ns, set_rank, span, span_bytes,
-    take_global, uninstall_global, Attachment, Context, ContextGuard, Phase, Record, Recorder,
-    Span, SpanRecord, NO_RANK,
+    count, current_context, flow_context, flow_in, flow_out, install_global, instant, now_ns,
+    set_rank, span, span_bytes, step_mark, take_global, uninstall_global, Attachment, Context,
+    ContextGuard, FlowDir, FlowRecord, Phase, Record, Recorder, Span, SpanContext, SpanRecord,
+    NO_RANK,
 };
 pub use trace::Trace;

@@ -4,7 +4,7 @@
 use crate::Trace;
 use std::cell::RefCell;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -83,6 +83,11 @@ impl Phase {
         }
     }
 
+    /// Inverse of [`Phase::name`], for re-importing exported traces.
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::all().iter().copied().find(|p| p.name() == name)
+    }
+
     /// Every phase, for exhaustive aggregation.
     pub fn all() -> &'static [Phase] {
         &[
@@ -105,6 +110,66 @@ impl Phase {
             Phase::Recovery,
         ]
     }
+}
+
+/// Identity of one cross-thread/cross-rank message, propagated on the
+/// wire (16 bytes: two little-endian `u64`s) so the send side and the
+/// receive side of one transfer can be stitched into a flow arrow.
+///
+/// `trace_id` is process-stable (every context minted by this process
+/// shares it); `span_id` is unique per minted context. A context is only
+/// minted while recording is enabled — [`flow_context`] returns `None`
+/// on the disabled path, so frames carry zero extra bytes when nobody is
+/// listening.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanContext {
+    pub trace_id: u64,
+    pub span_id: u64,
+}
+
+impl SpanContext {
+    /// Wire form: `trace_id` then `span_id`, both little-endian.
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[8..].copy_from_slice(&self.span_id.to_le_bytes());
+        out
+    }
+
+    pub fn from_bytes(bytes: [u8; 16]) -> SpanContext {
+        SpanContext {
+            trace_id: u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+            span_id: u64::from_le_bytes(bytes[8..].try_into().unwrap()),
+        }
+    }
+}
+
+/// Which end of a transfer a [`FlowRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowDir {
+    /// Recorded inside the Send span, at the moment the payload left.
+    Out,
+    /// Recorded inside the Recv span, at the moment the payload matched.
+    In,
+}
+
+/// One end of a matched (or dangling) message flow. A transfer that
+/// completes produces exactly one `Out` and one `In` with the same
+/// [`SpanContext`]; a dropped message leaves a dangling `Out`, which the
+/// merge layer counts instead of drawing a broken arrow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowRecord {
+    pub ctx: SpanContext,
+    pub dir: FlowDir,
+    /// The rank on the other end of the wire (the true peer, even under
+    /// chaos wrappers), or [`NO_RANK`] when unknown.
+    pub peer: u32,
+    /// Transport tag the payload travelled under.
+    pub tag: u32,
+    pub ts_ns: u64,
+    pub rank: u32,
+    pub thread: u32,
+    pub bytes: u64,
 }
 
 /// One closed span: recorded at close, so it is well formed by
@@ -143,6 +208,17 @@ pub enum Record {
         name: &'static str,
         ts_ns: u64,
         value: f64,
+    },
+    /// One end of a cross-thread message transfer (see [`FlowRecord`]).
+    Flow(FlowRecord),
+    /// A step boundary: the moment step `step` finished compositing on
+    /// the root rank. Critical-path attribution windows the trace on
+    /// these marks.
+    Step {
+        step: u64,
+        ts_ns: u64,
+        rank: u32,
+        thread: u32,
     },
 }
 
@@ -502,6 +578,81 @@ pub fn count(name: &'static str, value: f64) {
     }
     let ts_ns = now_ns();
     with_state(|s| s.push(Record::Count { name, ts_ns, value }));
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+fn process_trace_id() -> u64 {
+    static TRACE_ID: OnceLock<u64> = OnceLock::new();
+    *TRACE_ID.get_or_init(|| {
+        // Stable for the process, distinct across processes with high
+        // probability: hash the epoch instant's address and the first
+        // observed monotonic reading.
+        let addr = epoch() as *const Instant as u64;
+        (addr.rotate_left(17) ^ now_ns()) | 1
+    })
+}
+
+/// Mint a fresh wire context for an outgoing message — or `None` when
+/// recording is disabled, so the transport writes a legacy frame with
+/// zero extra bytes. The disabled path is the usual single relaxed load.
+#[inline]
+pub fn flow_context() -> Option<SpanContext> {
+    if !enabled() {
+        return None;
+    }
+    Some(SpanContext {
+        trace_id: process_trace_id(),
+        span_id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
+    })
+}
+
+/// Record the send end of a transfer. Call inside the Send span, at the
+/// moment the payload actually leaves (after any chaos drop decision).
+pub fn flow_out(ctx: SpanContext, peer: usize, tag: u32, bytes: u64) {
+    flow_record(ctx, FlowDir::Out, peer, tag, bytes);
+}
+
+/// Record the receive end of a transfer. Call on the consuming thread at
+/// the match point, inside the Recv span.
+pub fn flow_in(ctx: SpanContext, peer: usize, tag: u32, bytes: u64) {
+    flow_record(ctx, FlowDir::In, peer, tag, bytes);
+}
+
+fn flow_record(ctx: SpanContext, dir: FlowDir, peer: usize, tag: u32, bytes: u64) {
+    if !enabled() {
+        return;
+    }
+    let ts_ns = now_ns();
+    let peer = peer.min(NO_RANK as usize) as u32;
+    with_state(|s| {
+        s.push(Record::Flow(FlowRecord {
+            ctx,
+            dir,
+            peer,
+            tag,
+            ts_ns,
+            rank: s.rank,
+            thread: s.thread,
+            bytes,
+        }));
+    });
+}
+
+/// Record a step boundary (the root rank finished compositing `step`).
+pub fn step_mark(step: u64) {
+    if !enabled() {
+        return;
+    }
+    let ts_ns = now_ns();
+    with_state(|s| {
+        s.push(Record::Step {
+            step,
+            ts_ns,
+            rank: s.rank,
+            thread: s.thread,
+        });
+    });
 }
 
 #[cfg(test)]

@@ -47,6 +47,28 @@ impl Trace {
         })
     }
 
+    /// All flow endpoints, in record order.
+    pub fn flows(&self) -> impl Iterator<Item = &crate::span::FlowRecord> {
+        self.records.iter().filter_map(|r| match r {
+            Record::Flow(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// All step boundary marks as `(step, ts_ns)`, sorted by timestamp.
+    pub fn step_marks(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Step { step, ts_ns, .. } => Some((*step, *ts_ns)),
+                _ => None,
+            })
+            .collect();
+        out.sort_by_key(|&(_, ts)| ts);
+        out
+    }
+
     /// Named counter totals (sums over every `count()` call).
     pub fn counts(&self) -> BTreeMap<&'static str, f64> {
         let mut out = BTreeMap::new();
@@ -81,7 +103,10 @@ impl Trace {
             .iter()
             .map(|r| match r {
                 Record::Span(s) => s.end_ns(),
-                Record::Instant { ts_ns, .. } | Record::Count { ts_ns, .. } => *ts_ns,
+                Record::Instant { ts_ns, .. }
+                | Record::Count { ts_ns, .. }
+                | Record::Step { ts_ns, .. } => *ts_ns,
+                Record::Flow(f) => f.ts_ns,
             })
             .max()
             .unwrap_or(0)
@@ -136,19 +161,27 @@ impl Trace {
         out.push_str("{\"traceEvents\":[");
         let mut first = true;
         let mut pids: BTreeMap<u32, &'static str> = BTreeMap::new();
-        let sep = |out: &mut String, first: &mut bool| {
-            if !*first {
-                out.push(',');
-            }
-            *first = false;
-            out.push('\n');
-        };
+        self.write_chrome_events(&mut out, &mut first, &mut pids);
+        write_process_names(&mut out, &mut first, &pids);
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// Write this trace's records as Chrome trace events (no envelope, no
+    /// process metadata — the callers own those). Shared between the plain
+    /// exporter above and the stitched exporter in [`crate::merge`].
+    pub(crate) fn write_chrome_events(
+        &self,
+        out: &mut String,
+        first: &mut bool,
+        pids: &mut BTreeMap<u32, &'static str>,
+    ) {
         for r in &self.records {
             match r {
                 Record::Span(s) => {
                     let (pid, label) = pid_for(s.rank);
                     pids.entry(pid).or_insert(label);
-                    sep(&mut out, &mut first);
+                    sep(out, first);
                     let _ = write!(
                         out,
                         "{{\"name\":{},\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{:.3},\
@@ -169,7 +202,7 @@ impl Trace {
                 } => {
                     let (pid, label) = pid_for(*rank);
                     pids.entry(pid).or_insert(label);
-                    sep(&mut out, &mut first);
+                    sep(out, first);
                     let _ = write!(
                         out,
                         "{{\"name\":{},\"cat\":\"event\",\"ph\":\"i\",\"ts\":{:.3},\
@@ -181,7 +214,7 @@ impl Trace {
                     );
                 }
                 Record::Count { name, ts_ns, value } => {
-                    sep(&mut out, &mut first);
+                    sep(out, first);
                     let _ = write!(
                         out,
                         "{{\"name\":{},\"cat\":\"counter\",\"ph\":\"C\",\"ts\":{:.3},\
@@ -191,33 +224,69 @@ impl Trace {
                         fmt_f64(*value)
                     );
                 }
+                Record::Step {
+                    step,
+                    ts_ns,
+                    rank,
+                    thread,
+                } => {
+                    let (pid, label) = pid_for(*rank);
+                    pids.entry(pid).or_insert(label);
+                    sep(out, first);
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"step\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":{:.3},\
+                         \"s\":\"t\",\"pid\":{},\"tid\":{},\"args\":{{\"step\":{}}}}}",
+                        *ts_ns as f64 / 1000.0,
+                        pid,
+                        thread,
+                        step
+                    );
+                }
+                // Flow endpoints only make sense once paired — the
+                // stitched exporter (crate::merge) draws the arrows.
+                Record::Flow(_) => {}
             }
         }
-        // Name the per-rank process rows so Perfetto's timeline reads
-        // "rank N" instead of bare pids.
-        for (pid, label) in pids {
-            sep(&mut out, &mut first);
-            let name = if label.is_empty() {
-                format!("rank {}", pid - 1)
-            } else {
-                label.to_string()
-            };
-            let _ = write!(
-                out,
-                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
-                 \"args\":{{\"name\":{}}}}}",
-                pid,
-                json_str(&name)
-            );
-        }
-        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
-        out
+    }
+}
+
+/// Comma/newline separator between trace events.
+pub(crate) fn sep(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('\n');
+}
+
+/// Name the per-rank process rows so Perfetto's timeline reads "rank N"
+/// instead of bare pids.
+pub(crate) fn write_process_names(
+    out: &mut String,
+    first: &mut bool,
+    pids: &BTreeMap<u32, &'static str>,
+) {
+    for (pid, label) in pids {
+        sep(out, first);
+        let name = if label.is_empty() {
+            format!("rank {}", pid - 1)
+        } else {
+            label.to_string()
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":{}}}}}",
+            pid,
+            json_str(&name)
+        );
     }
 }
 
 /// Rank → chrome pid. Rank r maps to pid r+1; records with no declared
 /// rank (scheduler, cache fills, journal) collect under pid 0.
-fn pid_for(rank: u32) -> (u32, &'static str) {
+pub(crate) fn pid_for(rank: u32) -> (u32, &'static str) {
     if rank == NO_RANK {
         (0, "harness")
     } else {
@@ -227,7 +296,7 @@ fn pid_for(rank: u32) -> (u32, &'static str) {
 
 /// Minimal JSON string encoder (names are controlled identifiers, but
 /// escape defensively so the exporter can never emit invalid JSON).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -245,7 +314,7 @@ fn json_str(s: &str) -> String {
 }
 
 /// JSON-safe float formatting (no NaN/inf literals).
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

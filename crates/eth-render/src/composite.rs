@@ -102,7 +102,8 @@ fn validate_uniform(buffers: &[Framebuffer]) {
 /// Panics if `buffers` is empty or sizes mismatch (checked up front,
 /// before any stats are charged).
 pub fn composite_direct(mut buffers: Vec<Framebuffer>) -> (Framebuffer, CompositeStats) {
-    let _span = eth_obs::span(eth_obs::Phase::Composite);
+    let mut span = eth_obs::span(eth_obs::Phase::Composite);
+    span.set_bytes(buffers.iter().map(framebuffer_bytes).sum());
     validate_uniform(&buffers);
     let mut acc = buffers.remove(0);
     let mut stats = CompositeStats::default();
@@ -123,7 +124,8 @@ pub fn composite_direct(mut buffers: Vec<Framebuffer>) -> (Framebuffer, Composit
 /// Non-power-of-two rank counts are handled by folding the stragglers in
 /// directly first, as practical implementations do.
 pub fn composite_binary_swap(buffers: Vec<Framebuffer>) -> (Framebuffer, CompositeStats) {
-    let _span = eth_obs::span(eth_obs::Phase::Composite);
+    let mut span = eth_obs::span(eth_obs::Phase::Composite);
+    span.set_bytes(buffers.iter().map(framebuffer_bytes).sum());
     validate_uniform(&buffers);
     let mut stats = CompositeStats::default();
     let mut bufs = buffers;

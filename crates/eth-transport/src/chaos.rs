@@ -162,6 +162,12 @@ impl<C: Communicator> Communicator for ChaosComm<C> {
         }
         if decision.drop {
             self.note(FaultKind::Drop, self.inner.rank(), to, tag, seq);
+            // Record the send attempt so a stitched trace shows the lost
+            // message as a dangling flow-out instead of nothing at all.
+            let _span = eth_obs::span_bytes(eth_obs::Phase::Send, payload.len() as u64);
+            if let Some(ctx) = eth_obs::flow_context() {
+                eth_obs::flow_out(ctx, to, tag, payload.len() as u64);
+            }
             return Ok(()); // silently lost
         }
         let payload = if decision.corrupt {
@@ -282,6 +288,12 @@ impl ChaosChannel {
         }
         if decision.drop {
             self.note(FaultKind::Drop, local, peer, tag, seq);
+            // Same dangling-flow bookkeeping as ChaosComm: the drop still
+            // leaves a flow-out with no matching flow-in.
+            let _span = eth_obs::span_bytes(eth_obs::Phase::Send, payload.len() as u64);
+            if let Some(ctx) = eth_obs::flow_context() {
+                eth_obs::flow_out(ctx, peer, tag, payload.len() as u64);
+            }
             return Ok(());
         }
         let payload = if decision.corrupt {

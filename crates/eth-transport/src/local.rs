@@ -10,7 +10,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-type Envelope = (usize, u32, Bytes); // (from, tag, payload)
+// (from, tag, sender's span context when recording, payload)
+type Envelope = (usize, u32, Option<eth_obs::SpanContext>, Bytes);
 
 /// Shared counters (atomics so `&self` sends can update them).
 #[derive(Default)]
@@ -72,12 +73,14 @@ impl LocalComm {
         let started = Instant::now();
         // Check messages already pulled off the channel.
         {
-            let mut pending = self.pending.lock();
-            if let Some(pos) = pending
-                .iter()
-                .position(|(f, t, _)| *f == from && *t == tag)
-            {
-                let (_, _, payload) = pending.remove(pos);
+            let matched = {
+                let mut pending = self.pending.lock();
+                pending
+                    .iter()
+                    .position(|(f, t, _, _)| *f == from && *t == tag)
+                    .map(|pos| pending.remove(pos))
+            };
+            if let Some((_, _, ctx, payload)) = matched {
                 self.counters
                     .messages_received
                     .fetch_add(1, Ordering::Relaxed);
@@ -85,6 +88,9 @@ impl LocalComm {
                     .bytes_received
                     .fetch_add(payload.len() as u64, Ordering::Relaxed);
                 span.set_bytes(payload.len() as u64);
+                if let Some(ctx) = ctx {
+                    eth_obs::flow_in(ctx, from, tag, payload.len() as u64);
+                }
                 return Ok(payload);
             }
         }
@@ -109,14 +115,18 @@ impl LocalComm {
                 },
             };
             if envelope.0 == from && envelope.1 == tag {
+                let (_, _, ctx, payload) = envelope;
                 self.counters
                     .messages_received
                     .fetch_add(1, Ordering::Relaxed);
                 self.counters
                     .bytes_received
-                    .fetch_add(envelope.2.len() as u64, Ordering::Relaxed);
-                span.set_bytes(envelope.2.len() as u64);
-                return Ok(envelope.2);
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                span.set_bytes(payload.len() as u64);
+                if let Some(ctx) = ctx {
+                    eth_obs::flow_in(ctx, from, tag, payload.len() as u64);
+                }
+                return Ok(payload);
             }
             self.pending.lock().push(envelope);
         }
@@ -139,8 +149,12 @@ impl Communicator for LocalComm {
         self.counters
             .bytes_sent
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let ctx = eth_obs::flow_context();
+        if let Some(ctx) = ctx {
+            eth_obs::flow_out(ctx, to, tag, payload.len() as u64);
+        }
         self.outboxes[to]
-            .send((self.rank, tag, payload))
+            .send((self.rank, tag, ctx, payload))
             .map_err(|_| TransportError::Disconnected { peer: to })
     }
 

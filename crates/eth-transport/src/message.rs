@@ -3,12 +3,20 @@
 //! Frame layout (little-endian):
 //!
 //! ```text
-//! magic: u32     protocol magic + version ("ETH" + 0x01)
+//! magic: u32     protocol magic + version ("ETH" + 0x01 or 0x02)
 //! from : u32     sender rank
 //! tag  : u32     matching tag
 //! len  : u64     payload length
+//! ctx  : 16 B    span context (version 0x02 frames only)
 //! data : len bytes
 //! ```
+//!
+//! Version 0x02 frames carry a 16-byte [`eth_obs::SpanContext`] between
+//! the header and the payload, stitching the send span to the matching
+//! receive span in merged traces. Writers only emit v2 when the flight
+//! recorder is live (`eth_obs::flow_context()` returned a context), so
+//! the wire carries **zero** extra bytes when recording is off; readers
+//! accept both versions, so legacy v1 frames still decode.
 //!
 //! The magic word makes a desynchronized or corrupted stream fail fast
 //! with [`TransportError::Decode`] instead of interpreting garbage as a
@@ -25,14 +33,21 @@ use crate::comm::{Result, TransportError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use eth_data::io::binary;
 use eth_data::DataObject;
+use eth_obs::SpanContext;
 use std::io::{Read, Write};
 
-/// Header size on the wire.
+/// Header size on the wire (not counting the v2 context word).
 pub const FRAME_HEADER_BYTES: usize = 20;
+
+/// Span-context trailer size for v2 frames.
+pub const FRAME_CONTEXT_BYTES: usize = 16;
 
 /// Protocol magic + version word: `b"ETH"` followed by the format version.
 /// Bump the low byte when the frame layout changes.
 pub const FRAME_MAGIC: u32 = u32::from_le_bytes([b'E', b'T', b'H', 0x01]);
+
+/// v2 magic: same layout plus a 16-byte span context after the header.
+pub const FRAME_MAGIC_V2: u32 = u32::from_le_bytes([b'E', b'T', b'H', 0x02]);
 
 /// Default maximum accepted payload (guards against corrupt length
 /// fields). Use [`read_frame_limited`] to tighten it per channel.
@@ -43,16 +58,34 @@ pub const MAX_PAYLOAD: u64 = 1 << 34; // 16 GiB
 pub struct Frame {
     pub from: u32,
     pub tag: u32,
+    /// Sender's span context (v2 frames recorded under a live flight
+    /// recorder); `None` on legacy v1 frames.
+    pub ctx: Option<SpanContext>,
     pub payload: Bytes,
 }
 
-/// Write one frame to a stream.
-pub fn write_frame(w: &mut impl Write, from: u32, tag: u32, payload: &Bytes) -> Result<()> {
-    let mut header = BytesMut::with_capacity(FRAME_HEADER_BYTES);
-    header.put_u32_le(FRAME_MAGIC);
+/// Write one frame to a stream. A `Some` context emits a v2 frame; `None`
+/// emits the legacy v1 layout byte-for-byte (recording off ⇒ zero cost).
+pub fn write_frame(
+    w: &mut impl Write,
+    from: u32,
+    tag: u32,
+    ctx: Option<SpanContext>,
+    payload: &Bytes,
+) -> Result<()> {
+    let cap = FRAME_HEADER_BYTES + if ctx.is_some() { FRAME_CONTEXT_BYTES } else { 0 };
+    let mut header = BytesMut::with_capacity(cap);
+    header.put_u32_le(if ctx.is_some() {
+        FRAME_MAGIC_V2
+    } else {
+        FRAME_MAGIC
+    });
     header.put_u32_le(from);
     header.put_u32_le(tag);
     header.put_u64_le(payload.len() as u64);
+    if let Some(c) = ctx {
+        header.put_slice(&c.to_bytes());
+    }
     w.write_all(&header)?;
     w.write_all(payload)?;
     w.flush()?;
@@ -60,17 +93,19 @@ pub fn write_frame(w: &mut impl Write, from: u32, tag: u32, payload: &Bytes) -> 
 }
 
 /// Read one frame from a stream (blocking), accepting payloads up to
-/// `max_payload` bytes. A wrong magic word or an oversized length prefix
-/// fails with [`TransportError::Decode`] before any payload allocation.
+/// `max_payload` bytes and either frame version. A wrong magic word or an
+/// oversized length prefix fails with [`TransportError::Decode`] before
+/// any payload allocation.
 pub fn read_frame_limited(r: &mut impl Read, max_payload: u64) -> Result<Frame> {
     let mut header = [0u8; FRAME_HEADER_BYTES];
     r.read_exact(&mut header)?;
     let mut h = &header[..];
     let magic = h.get_u32_le();
-    if magic != FRAME_MAGIC {
+    if magic != FRAME_MAGIC && magic != FRAME_MAGIC_V2 {
         return Err(TransportError::Decode(format!(
-            "bad frame magic {magic:#010x} (expected {FRAME_MAGIC:#010x}): \
-             stream is corrupt or speaks a different protocol version"
+            "bad frame magic {magic:#010x} (expected {FRAME_MAGIC:#010x} or \
+             {FRAME_MAGIC_V2:#010x}): stream is corrupt or speaks a different \
+             protocol version"
         )));
     }
     let from = h.get_u32_le();
@@ -81,11 +116,19 @@ pub fn read_frame_limited(r: &mut impl Read, max_payload: u64) -> Result<Frame> 
             "frame length {len} exceeds maximum {max_payload}"
         )));
     }
+    let ctx = if magic == FRAME_MAGIC_V2 {
+        let mut ctx_bytes = [0u8; FRAME_CONTEXT_BYTES];
+        r.read_exact(&mut ctx_bytes)?;
+        Some(SpanContext::from_bytes(ctx_bytes))
+    } else {
+        None
+    };
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
     Ok(Frame {
         from,
         tag,
+        ctx,
         payload: Bytes::from(payload),
     })
 }
@@ -141,19 +184,66 @@ mod tests {
     fn frame_roundtrip_over_a_buffer() {
         let payload = Bytes::from_static(b"hello ranks");
         let mut wire = Vec::new();
-        write_frame(&mut wire, 3, 77, &payload).unwrap();
+        write_frame(&mut wire, 3, 77, None, &payload).unwrap();
+        // legacy layout byte-for-byte: no context word when ctx is None
         assert_eq!(wire.len(), FRAME_HEADER_BYTES + payload.len());
         let frame = read_frame(&mut wire.as_slice()).unwrap();
         assert_eq!(frame.from, 3);
         assert_eq!(frame.tag, 77);
+        assert_eq!(frame.ctx, None);
         assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn v2_frame_carries_span_context() {
+        let ctx = SpanContext {
+            trace_id: 0xABCD_EF01_2345_6789,
+            span_id: 42,
+        };
+        let payload = Bytes::from_static(b"stitched");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 1, 9, Some(ctx), &payload).unwrap();
+        assert_eq!(
+            wire.len(),
+            FRAME_HEADER_BYTES + FRAME_CONTEXT_BYTES + payload.len()
+        );
+        let frame = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(frame.ctx, Some(ctx));
+        assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn legacy_v1_frames_still_decode() {
+        // A pre-context frame written by hand with the old layout: must
+        // decode identically under the version-bumped reader.
+        let payload = b"old wire format";
+        let mut wire = Vec::new();
+        let mut header = BytesMut::new();
+        header.put_u32_le(FRAME_MAGIC);
+        header.put_u32_le(5);
+        header.put_u32_le(0x1000);
+        header.put_u64_le(payload.len() as u64);
+        wire.extend_from_slice(&header);
+        wire.extend_from_slice(payload);
+        let f = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(f.from, 5);
+        assert_eq!(f.tag, 0x1000);
+        assert_eq!(f.ctx, None);
+        assert_eq!(&f.payload[..], payload);
     }
 
     #[test]
     fn several_frames_stream_in_order() {
         let mut wire = Vec::new();
         for i in 0..5u32 {
-            write_frame(&mut wire, i, i * 10, &Bytes::from(vec![i as u8; i as usize])).unwrap();
+            write_frame(
+                &mut wire,
+                i,
+                i * 10,
+                None,
+                &Bytes::from(vec![i as u8; i as usize]),
+            )
+            .unwrap();
         }
         let mut r = wire.as_slice();
         for i in 0..5u32 {
@@ -167,7 +257,7 @@ mod tests {
     #[test]
     fn truncated_frame_errors() {
         let mut wire = Vec::new();
-        write_frame(&mut wire, 0, 0, &Bytes::from_static(b"abcdef")).unwrap();
+        write_frame(&mut wire, 0, 0, None, &Bytes::from_static(b"abcdef")).unwrap();
         wire.truncate(wire.len() - 2);
         assert!(read_frame(&mut wire.as_slice()).is_err());
     }
@@ -207,7 +297,7 @@ mod tests {
     #[test]
     fn configurable_limit_enforced() {
         let mut wire = Vec::new();
-        write_frame(&mut wire, 0, 0, &Bytes::from(vec![0u8; 64])).unwrap();
+        write_frame(&mut wire, 0, 0, None, &Bytes::from(vec![0u8; 64])).unwrap();
         // the same frame passes with a loose limit and fails with a tight one
         assert!(read_frame_limited(&mut wire.as_slice(), 64).is_ok());
         assert!(matches!(
@@ -267,7 +357,7 @@ mod tests {
     #[test]
     fn empty_payload_frame() {
         let mut wire = Vec::new();
-        write_frame(&mut wire, 9, 1, &Bytes::new()).unwrap();
+        write_frame(&mut wire, 9, 1, None, &Bytes::new()).unwrap();
         let f = read_frame(&mut wire.as_slice()).unwrap();
         assert!(f.payload.is_empty());
     }

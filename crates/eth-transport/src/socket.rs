@@ -123,8 +123,12 @@ impl StreamChannel {
         let _span = eth_obs::span_bytes(eth_obs::Phase::Send, payload.len() as u64);
         self.bytes_sent
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let ctx = eth_obs::flow_context();
+        if let Some(ctx) = ctx {
+            eth_obs::flow_out(ctx, self.peer, tag, payload.len() as u64);
+        }
         let mut w = self.writer.lock();
-        write_frame(&mut *w, self.local_rank, tag, &payload)
+        write_frame(&mut *w, self.local_rank, tag, ctx, &payload)
     }
 
     /// Block until a frame with `tag` arrives (bounded by the configured
@@ -150,15 +154,21 @@ impl StreamChannel {
     fn recv_inner(&self, tag: u32, deadline: Option<Instant>) -> Result<Bytes> {
         let mut span = eth_obs::span(eth_obs::Phase::Recv);
         let started = Instant::now();
-        {
+        let matched = {
             let mut pending = self.pending.lock();
-            if let Some(pos) = pending.iter().position(|f| f.tag == tag) {
-                let f = pending.remove(pos);
-                self.bytes_received
-                    .fetch_add(f.payload.len() as u64, Ordering::Relaxed);
-                span.set_bytes(f.payload.len() as u64);
-                return Ok(f.payload);
+            pending
+                .iter()
+                .position(|f| f.tag == tag)
+                .map(|pos| pending.remove(pos))
+        };
+        if let Some(f) = matched {
+            self.bytes_received
+                .fetch_add(f.payload.len() as u64, Ordering::Relaxed);
+            span.set_bytes(f.payload.len() as u64);
+            if let Some(ctx) = f.ctx {
+                eth_obs::flow_in(ctx, f.from as usize, tag, f.payload.len() as u64);
             }
+            return Ok(f.payload);
         }
         loop {
             let frame = match deadline {
@@ -183,6 +193,9 @@ impl StreamChannel {
                 self.bytes_received
                     .fetch_add(frame.payload.len() as u64, Ordering::Relaxed);
                 span.set_bytes(frame.payload.len() as u64);
+                if let Some(ctx) = frame.ctx {
+                    eth_obs::flow_in(ctx, frame.from as usize, tag, frame.payload.len() as u64);
+                }
                 return Ok(frame.payload);
             }
             self.pending.lock().push(frame);
@@ -285,7 +298,8 @@ pub fn connect_to(
     }
 }
 
-type Envelope = (usize, u32, Bytes);
+// (from, tag, sender's span context when recording, payload)
+type Envelope = (usize, u32, Option<eth_obs::SpanContext>, Bytes);
 
 /// What the fabric's reader threads feed into the shared inbox: a decoded
 /// frame, or notice that a peer's connection ended (EOF or decode error).
@@ -299,7 +313,12 @@ fn spawn_fabric_reader(stream: TcpStream, peer: usize, tx: Sender<Event>) {
         let mut reader = stream;
         while let Ok(frame) = read_frame(&mut reader) {
             if tx
-                .send(Event::Frame((frame.from as usize, frame.tag, frame.payload)))
+                .send(Event::Frame((
+                    frame.from as usize,
+                    frame.tag,
+                    frame.ctx,
+                    frame.payload,
+                )))
                 .is_err()
             {
                 return; // fabric itself is gone
@@ -443,19 +462,22 @@ impl SocketFabric {
         let mut span = eth_obs::span(eth_obs::Phase::Recv);
         self.check_peer(from)?;
         let started = Instant::now();
-        {
+        let matched = {
             let mut pending = self.pending.lock();
-            if let Some(pos) = pending
+            pending
                 .iter()
-                .position(|(f, t, _)| *f == from && *t == tag)
-            {
-                let (_, _, payload) = pending.remove(pos);
-                self.messages_received.fetch_add(1, Ordering::Relaxed);
-                self.bytes_received
-                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
-                span.set_bytes(payload.len() as u64);
-                return Ok(payload);
+                .position(|(f, t, _, _)| *f == from && *t == tag)
+                .map(|pos| pending.remove(pos))
+        };
+        if let Some((_, _, ctx, payload)) = matched {
+            self.messages_received.fetch_add(1, Ordering::Relaxed);
+            self.bytes_received
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            span.set_bytes(payload.len() as u64);
+            if let Some(ctx) = ctx {
+                eth_obs::flow_in(ctx, from, tag, payload.len() as u64);
             }
+            return Ok(payload);
         }
         // Buffered messages from a now-dead peer (checked above) are still
         // delivered; with none left, a dead peer is an immediate error.
@@ -484,11 +506,15 @@ impl SocketFabric {
             match event {
                 Event::Frame(envelope) => {
                     if envelope.0 == from && envelope.1 == tag {
+                        let (_, _, ctx, payload) = envelope;
                         self.messages_received.fetch_add(1, Ordering::Relaxed);
                         self.bytes_received
-                            .fetch_add(envelope.2.len() as u64, Ordering::Relaxed);
-                        span.set_bytes(envelope.2.len() as u64);
-                        return Ok(envelope.2);
+                            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                        span.set_bytes(payload.len() as u64);
+                        if let Some(ctx) = ctx {
+                            eth_obs::flow_in(ctx, from, tag, payload.len() as u64);
+                        }
+                        return Ok(payload);
                     }
                     self.pending.lock().push(envelope);
                 }
@@ -521,9 +547,13 @@ impl Communicator for SocketFabric {
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let ctx = eth_obs::flow_context();
+        if let Some(ctx) = ctx {
+            eth_obs::flow_out(ctx, to, tag, payload.len() as u64);
+        }
         if to == self.rank {
             self.self_tx
-                .send(Event::Frame((self.rank, tag, payload)))
+                .send(Event::Frame((self.rank, tag, ctx, payload)))
                 .map_err(|_| TransportError::Disconnected { peer: to })?;
             return Ok(());
         }
@@ -531,7 +561,7 @@ impl Communicator for SocketFabric {
             .as_ref()
             .ok_or(TransportError::Disconnected { peer: to })?;
         let mut w = writer.lock();
-        write_frame(&mut *w, self.rank as u32, tag, &payload)
+        write_frame(&mut *w, self.rank as u32, tag, ctx, &payload)
     }
 
     fn recv(&self, from: usize, tag: u32) -> Result<Bytes> {
