@@ -17,6 +17,10 @@
 //! reproduce bench --out FILE     # where to write the JSON report
 //! reproduce render-bench         # HLBVH/tiling/progressive benchmark
 //! reproduce render-bench --quick # CI smoke: schema + byte-identity
+//! reproduce table2 --memory-budget 256M    # beyond-RAM: spill + stream back
+//! reproduce pressure-bench       # resource-pressure benchmark (BENCH_pressure.json)
+//! reproduce pressure-bench --quick         # CI-sized
+//! reproduce pressure-chaos       # seeded ENOSPC/OOM chaos smoke (CI)
 //! reproduce serve                # campaign service on :7070 until SIGTERM
 //! reproduce serve --root d/      # durable root (restart resumes campaigns)
 //! reproduce serve-chaos          # self-checking service smoke (CI)
@@ -35,7 +39,7 @@
 //! ```
 
 use eth_bench::progress::{Progress, Verbosity};
-use eth_bench::{campaign, chaos, migrate, render, runs, serve};
+use eth_bench::{campaign, chaos, migrate, pressure, render, runs, serve};
 use eth_core::CampaignTelemetry;
 use std::path::PathBuf;
 
@@ -258,6 +262,109 @@ fn run_chaos(args: &[String], progress: &Progress) -> CampaignTelemetry {
     ));
     progress.done("chaos-campaign", "complete");
     outcome.telemetry
+}
+
+/// `reproduce pressure-bench [--quick] [--out PATH]`: run the resource-
+/// pressure benchmark — beyond-RAM byte-identity under a staging budget,
+/// spill/reload throughput, wire compression counters, peak RSS, and the
+/// seeded ENOSPC/alloc-failure chaos campaign — and write
+/// `BENCH_pressure.json`. Exits nonzero if the contract is violated.
+fn run_pressure_bench(args: &[String], progress: &Progress) {
+    let mut quick = false;
+    let mut out_path = PathBuf::from("BENCH_pressure.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a file argument");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown pressure-bench option '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    progress.begin("pressure-bench");
+    let report = match pressure::run_pressure_bench(quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pressure bench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.summary());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out_path, json + "\n") {
+        eprintln!("failed to write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    if let Err(e) = report.check() {
+        eprintln!("pressure bench contract violated: {e}");
+        std::process::exit(1);
+    }
+    progress.done("pressure-bench", "complete");
+    progress.note(&format!("wrote {}", out_path.display()));
+}
+
+/// `reproduce pressure-chaos [--seed N]`: the CI smoke — a seeded
+/// campaign where points tear ENOSPC mid-write (must recover on retry)
+/// or fail allocation while staging (must quarantine as OutOfMemory),
+/// with zero panics, byte-identical recovered images, and a full
+/// journal-resume restore. Exits nonzero on any violation.
+fn run_pressure_chaos(args: &[String], progress: &Progress) {
+    let mut seed = 11u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer argument");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown pressure-chaos option '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    progress.begin("pressure-chaos");
+    let chaos = match pressure::pressure_chaos(seed) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("pressure chaos failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", chaos.summary());
+    if let Err(e) = chaos.check() {
+        eprintln!("pressure chaos contract violated: {e}");
+        std::process::exit(1);
+    }
+    progress.done("pressure-chaos", "complete");
+}
+
+/// Parse a human byte size: plain bytes, or `K`/`M`/`G` suffixed
+/// (binary units, e.g. `256M` = 256 MiB).
+fn parse_byte_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, unit) = match s.char_indices().find(|(_, c)| !c.is_ascii_digit()) {
+        Some((i, _)) => s.split_at(i),
+        None => (s, ""),
+    };
+    let n: u64 = digits.parse().ok()?;
+    let shift = match unit.to_ascii_uppercase().as_str() {
+        "" | "B" => 0,
+        "K" | "KB" | "KIB" => 10,
+        "M" | "MB" | "MIB" => 20,
+        "G" | "GB" | "GIB" => 30,
+        _ => return None,
+    };
+    n.checked_shl(shift)
 }
 
 /// Pull `--flag VALUE` out of the argument list (any position).
@@ -573,6 +680,22 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
         run_trace_analyze(&args[1..]);
         return None;
     }
+    if args.first().map(String::as_str) == Some("pressure-bench") {
+        if want_metrics {
+            eprintln!("--metrics does not apply to pressure-bench");
+            std::process::exit(2);
+        }
+        run_pressure_bench(&args[1..], progress);
+        return None;
+    }
+    if args.first().map(String::as_str) == Some("pressure-chaos") {
+        if want_metrics {
+            eprintln!("--metrics does not apply to pressure-chaos");
+            std::process::exit(2);
+        }
+        run_pressure_chaos(&args[1..], progress);
+        return None;
+    }
     if args.first().map(String::as_str) == Some("chaos-campaign") {
         return Some(run_chaos(&args[1..], progress));
     }
@@ -584,10 +707,21 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
     let mut journal_dir: Option<PathBuf> = None;
     let mut resume = false;
     let mut recovery = false;
+    let mut memory_budget: Option<u64> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--memory-budget" => {
+                let size = it.next().unwrap_or_else(|| {
+                    eprintln!("--memory-budget needs a size argument (e.g. 256M)");
+                    std::process::exit(2);
+                });
+                memory_budget = Some(parse_byte_size(&size).unwrap_or_else(|| {
+                    eprintln!("--memory-budget: cannot parse '{size}' (try 256M, 1G, 65536)");
+                    std::process::exit(2);
+                }));
+            }
             "--csv" => {
                 let dir = it.next().unwrap_or_else(|| {
                     eprintln!("--csv needs a directory argument");
@@ -607,11 +741,14 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
             "--help" | "-h" => {
                 eprintln!(
                     "usage: reproduce [--csv DIR] [--journal DIR [--resume]] \
-                     [table2 --recovery] [table1 table2 fig8 .. fig15]\n\
+                     [table2 --recovery | table2 --memory-budget SIZE] \
+                     [table1 table2 fig8 .. fig15]\n\
                      \x20      reproduce chaos-campaign [--seed N] [--kill-rank]\n\
                      \x20      reproduce migrate [--smoke] [--samples N] [--out FILE]\n\
                      \x20      reproduce bench [--smoke] [--out FILE]\n\
                      \x20      reproduce render-bench [--quick] [--out FILE]\n\
+                     \x20      reproduce pressure-bench [--quick] [--out FILE]\n\
+                     \x20      reproduce pressure-chaos [--seed N]\n\
                      \x20      reproduce trace-analyze FILE [--top N]\n\
                      \x20      reproduce trace-smoke\n\
                      global: [--trace FILE] [--metrics FILE] [--verbose | --quiet]"
@@ -632,6 +769,16 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
         }
         if !(wanted.is_empty() || wanted.iter().any(|w| w == "table2")) {
             eprintln!("--recovery only applies to table2");
+            std::process::exit(2);
+        }
+    }
+    if memory_budget.is_some() {
+        if journal_dir.is_some() || recovery {
+            eprintln!("--memory-budget does not combine with --journal or --recovery");
+            std::process::exit(2);
+        }
+        if !(wanted.is_empty() || wanted.iter().any(|w| w == "table2")) {
+            eprintln!("--memory-budget only applies to table2");
             std::process::exit(2);
         }
     }
@@ -700,6 +847,8 @@ fn dispatch(args: Vec<String>, progress: &Progress, want_metrics: bool) -> Optio
             // table grows a per-point recovery summary column.
             let ran = if recovery {
                 runs::table2_recovery_campaign()
+            } else if let Some(budget) = memory_budget {
+                runs::table2_budgeted_campaign(budget)
             } else {
                 runs::table2_campaign()
             };

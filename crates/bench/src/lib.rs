@@ -10,6 +10,7 @@
 pub mod campaign;
 pub mod chaos;
 pub mod migrate;
+pub mod pressure;
 pub mod progress;
 pub mod render;
 pub mod runs;

@@ -194,6 +194,25 @@ pub fn table2_campaign() -> Result<(ResultTable, CampaignOutcome)> {
     Ok((table, outcome))
 }
 
+/// [`table2_campaign`] beyond RAM: every point carries a staging memory
+/// budget (`reproduce table2 --memory-budget 256M`), so datasets larger
+/// than the budget spill to compressed chunks and stream back — and the
+/// campaign scheduler itself runs under the same policy's backpressure
+/// watermarks. The RMSE column is identical to the unbudgeted
+/// [`table2`]: bounded memory costs spill traffic, not pixels.
+pub fn table2_budgeted_campaign(budget: u64) -> Result<(ResultTable, CampaignOutcome)> {
+    let policy = eth_core::config::ResourcePolicy::with_memory_budget(budget);
+    let mut specs = table2_specs()?;
+    for spec in &mut specs {
+        spec.resources = Some(policy.clone());
+    }
+    let caches = RunCaches::new();
+    let outcome = Campaign::new().with_resources(policy).run_with(&specs, &caches);
+    let images = table2_images(&specs, &outcome)?;
+    let table = table2_from_images(&caches, &images, None)?;
+    Ok((table, outcome))
+}
+
 /// [`table2_campaign`] under fire: every point runs intercore-coupled with
 /// a [`RecoveryPolicy`] and a seeded `kill_rank_at_step` on one simulation
 /// rank, so each of the nine cells loses a rank mid-run and recovers by

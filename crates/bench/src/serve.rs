@@ -254,6 +254,7 @@ pub fn run_serve_chaos(args: &[String], progress: &Progress) {
         request_deadline_ms: 5_000,
         drain_timeout_ms: 60_000,
         subscriber_buffer: 64,
+        resources: None,
     };
     let service = Service::new(&root, policy.clone()).expect("service opens").with_slots(2);
     let mut server = Server::start(service.clone(), "127.0.0.1:0").expect("server binds");

@@ -64,6 +64,112 @@ impl RecoveryPolicy {
     }
 }
 
+/// Resource governance (DESIGN.md §17): how much memory staging may hold
+/// resident, how much disk the journal may consume, and the watermarks
+/// the backpressure loop runs between. With a memory budget set, staged
+/// blocks past the budget spill to lossless on-disk chunks and stream
+/// back on access — images stay byte-identical to an unbudgeted run.
+/// With a disk quota set, journal appends and result writes that would
+/// exceed it fail with [`CoreError::DiskFull`] and ride the normal
+/// retry/quarantine ladder instead of panicking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourcePolicy {
+    /// Peak resident staged bytes; `None` = unbounded (never spill).
+    #[serde(default)]
+    pub memory_budget_bytes: Option<u64>,
+    /// Byte quota across the WAL and `results/*.bin`; `None` = unbounded.
+    #[serde(default)]
+    pub disk_quota_bytes: Option<u64>,
+    /// Where spill chunks go; `None` = a fresh per-process temp dir.
+    #[serde(default)]
+    pub spill_dir: Option<PathBuf>,
+    /// Backpressure releases admission below this fraction of the budget.
+    #[serde(default = "default_low_watermark")]
+    pub low_watermark: f64,
+    /// Backpressure stops admitting new points above this fraction.
+    #[serde(default = "default_high_watermark")]
+    pub high_watermark: f64,
+}
+
+fn default_low_watermark() -> f64 {
+    0.5
+}
+
+fn default_high_watermark() -> f64 {
+    0.9
+}
+
+impl Default for ResourcePolicy {
+    fn default() -> ResourcePolicy {
+        ResourcePolicy {
+            memory_budget_bytes: None,
+            disk_quota_bytes: None,
+            spill_dir: None,
+            low_watermark: default_low_watermark(),
+            high_watermark: default_high_watermark(),
+        }
+    }
+}
+
+impl ResourcePolicy {
+    /// A policy that only bounds staging memory.
+    pub fn with_memory_budget(bytes: u64) -> ResourcePolicy {
+        ResourcePolicy {
+            memory_budget_bytes: Some(bytes),
+            ..ResourcePolicy::default()
+        }
+    }
+
+    /// A policy that only bounds journal disk use.
+    pub fn with_disk_quota(bytes: u64) -> ResourcePolicy {
+        ResourcePolicy {
+            disk_quota_bytes: Some(bytes),
+            ..ResourcePolicy::default()
+        }
+    }
+
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.memory_budget_bytes == Some(0) {
+            return Err("resources.memory_budget_bytes must be >= 1 when set \
+                        (0 would spill everything and admit nothing)"
+                .into());
+        }
+        if self.disk_quota_bytes == Some(0) {
+            return Err("resources.disk_quota_bytes must be >= 1 when set \
+                        (a journal needs at least one append)"
+                .into());
+        }
+        for (name, w) in [
+            ("low_watermark", self.low_watermark),
+            ("high_watermark", self.high_watermark),
+        ] {
+            if !(w > 0.0 && w <= 1.0 && w.is_finite()) {
+                return Err(format!("resources.{name} {w} outside (0, 1]"));
+            }
+        }
+        if self.low_watermark > self.high_watermark {
+            return Err(format!(
+                "resources.low_watermark {} above high_watermark {}: the \
+                 backpressure loop would never settle",
+                self.low_watermark, self.high_watermark
+            ));
+        }
+        Ok(())
+    }
+
+    /// Absolute high-watermark threshold, if a memory budget is set.
+    pub fn high_threshold_bytes(&self) -> Option<u64> {
+        self.memory_budget_bytes
+            .map(|b| (b as f64 * self.high_watermark) as u64)
+    }
+
+    /// Absolute low-watermark threshold, if a memory budget is set.
+    pub fn low_threshold_bytes(&self) -> Option<u64> {
+        self.memory_budget_bytes
+            .map(|b| (b as f64 * self.low_watermark) as u64)
+    }
+}
+
 /// Megaphone-style migration schedules (DESIGN.md §13): which partitions
 /// move between visualization ranks, and when. `from`/`to` index the
 /// visualization side (intercore: one viz rank per sim rank; internode:
@@ -431,6 +537,18 @@ pub struct ExperimentSpec {
     /// uses renderer defaults. Never changes converged image content.
     #[serde(default)]
     pub render: Option<RenderTuning>,
+    /// Resource governance: staging memory budget (with spill-to-disk),
+    /// journal disk quota, and backpressure watermarks. `None` =
+    /// unbounded, the historical behavior.
+    #[serde(default)]
+    pub resources: Option<ResourcePolicy>,
+    /// Block codec for data crossing a process boundary. Supersedes the
+    /// boolean `compress_transport` (which maps to `Quantize`):
+    /// `Lossless` ships full-precision CRC-trailed blocks (smaller than
+    /// nothing only in code size, but byte-identical); `Quantize` is the
+    /// bounded-error lossy codec. `None` defers to `compress_transport`.
+    #[serde(default)]
+    pub wire_compression: Option<eth_data::compress::Codec>,
 }
 
 impl ExperimentSpec {
@@ -442,6 +560,15 @@ impl ExperimentSpec {
     pub fn sampling(&self) -> Result<SamplingSpec> {
         SamplingSpec::new(self.sampling_ratio, SamplingMethod::Random, self.seed)
             .map_err(CoreError::from)
+    }
+
+    /// The codec applied to blocks crossing a process boundary, if any:
+    /// `wire_compression` when set, else the legacy `compress_transport`
+    /// flag (which always meant quantization).
+    pub fn wire_codec(&self) -> Option<eth_data::compress::Codec> {
+        self.wire_compression.or(self
+            .compress_transport
+            .then_some(eth_data::compress::Codec::Quantize))
     }
 
     /// Viz-side rank count at step 0: intercore pairs one viz rank per sim
@@ -578,6 +705,16 @@ impl ExperimentSpec {
         }
         if let Some(render) = &self.render {
             render.validate().map_err(CoreError::Config)?;
+        }
+        if let Some(resources) = &self.resources {
+            resources.validate().map_err(CoreError::Config)?;
+        }
+        if self.wire_compression.is_some() && self.compress_transport {
+            return Err(CoreError::Config(
+                "set either wire_compression or the legacy compress_transport \
+                 flag, not both (compress_transport means Quantize)"
+                    .into(),
+            ));
         }
         // A rank kill is contextual: the plan cannot know the run shape, so
         // the spec checks it — the victim and step must exist, the coupling
@@ -722,6 +859,8 @@ impl ExperimentSpecBuilder {
                 recovery: None,
                 migration: None,
                 render: None,
+                resources: None,
+                wire_compression: None,
             },
         }
     }
@@ -809,6 +948,19 @@ impl ExperimentSpecBuilder {
     /// Tune the render engine (tile size, progressive refinement).
     pub fn render_tuning(mut self, tuning: RenderTuning) -> Self {
         self.spec.render = Some(tuning);
+        self
+    }
+
+    /// Govern memory/disk use: staging budget with spill, journal quota,
+    /// backpressure watermarks.
+    pub fn resources(mut self, policy: ResourcePolicy) -> Self {
+        self.spec.resources = Some(policy);
+        self
+    }
+
+    /// Pick the block codec for process-boundary data explicitly.
+    pub fn wire_compression(mut self, codec: eth_data::compress::Codec) -> Self {
+        self.spec.wire_compression = Some(codec);
         self
     }
 
@@ -900,6 +1052,73 @@ mod tests {
             .replace("\"render\":null,", "");
         let old: ExperimentSpec = serde_json::from_str(&legacy).unwrap();
         assert_eq!(old.render, None);
+    }
+
+    #[test]
+    fn resource_policy_validates_and_round_trips() {
+        let policy = ResourcePolicy {
+            memory_budget_bytes: Some(256 << 20),
+            disk_quota_bytes: Some(1 << 30),
+            spill_dir: Some(PathBuf::from("/tmp/spill")),
+            low_watermark: 0.4,
+            high_watermark: 0.8,
+        };
+        let spec = ExperimentSpec::builder("t").resources(policy.clone()).build().unwrap();
+        assert_eq!(spec.resources, Some(policy.clone()));
+        assert_eq!(
+            policy.high_threshold_bytes(),
+            Some((256u64 << 20) * 8 / 10)
+        );
+
+        // zero budgets and inverted/out-of-range watermarks are rejected
+        assert!(ExperimentSpec::builder("t")
+            .resources(ResourcePolicy::with_memory_budget(0))
+            .build()
+            .is_err());
+        assert!(ExperimentSpec::builder("t")
+            .resources(ResourcePolicy::with_disk_quota(0))
+            .build()
+            .is_err());
+        assert!(ExperimentSpec::builder("t")
+            .resources(ResourcePolicy { low_watermark: 0.9, high_watermark: 0.5, ..Default::default() })
+            .build()
+            .is_err());
+        assert!(ExperimentSpec::builder("t")
+            .resources(ResourcePolicy { high_watermark: 1.5, ..Default::default() })
+            .build()
+            .is_err());
+
+        // serde round trip keeps the axis; old specs without it still load
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.resources, spec.resources);
+        let legacy = serde_json::to_string(&ExperimentSpec::builder("old").build().unwrap())
+            .unwrap()
+            .replace("\"resources\":null,", "")
+            .replace(",\"wire_compression\":null", "");
+        let old: ExperimentSpec = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(old.resources, None);
+        assert_eq!(old.wire_compression, None);
+    }
+
+    #[test]
+    fn wire_codec_resolution_and_exclusivity() {
+        use eth_data::compress::Codec;
+        let none = ExperimentSpec::builder("t").build().unwrap();
+        assert_eq!(none.wire_codec(), None);
+        let legacy = ExperimentSpec::builder("t").compress_transport(true).build().unwrap();
+        assert_eq!(legacy.wire_codec(), Some(Codec::Quantize));
+        let explicit = ExperimentSpec::builder("t")
+            .wire_compression(Codec::Lossless)
+            .build()
+            .unwrap();
+        assert_eq!(explicit.wire_codec(), Some(Codec::Lossless));
+        // both knobs at once is a misconfiguration, not a precedence rule
+        assert!(ExperimentSpec::builder("t")
+            .compress_transport(true)
+            .wire_compression(Codec::Lossless)
+            .build()
+            .is_err());
     }
 
     #[test]

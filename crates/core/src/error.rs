@@ -36,6 +36,24 @@ pub enum CoreError {
         /// PID recorded in the lockfile (the live holder).
         holder: u32,
     },
+    /// A durable write hit the disk quota (or a real `ENOSPC`). Classified
+    /// as a retryable resource fault: the point degrades, retries, or
+    /// quarantines through [`crate::sweep::RetryPolicy`] instead of
+    /// panicking mid-append.
+    DiskFull {
+        /// What was being written when the quota ran out.
+        what: String,
+        /// Bytes the write needed.
+        needed: u64,
+        /// Bytes already accounted against the quota.
+        used: u64,
+        /// The configured quota, 0 when the failure came from the OS.
+        quota: u64,
+    },
+    /// A staged-block allocation failed against the memory budget (or was
+    /// injected via `FaultPlan::alloc_fail_at_stage`). Retryable the same
+    /// way [`CoreError::DiskFull`] is.
+    OutOfMemory(String),
 }
 
 impl fmt::Display for CoreError {
@@ -55,6 +73,11 @@ impl fmt::Display for CoreError {
                 "campaign journal {} is locked by live process {holder}",
                 dir.display()
             ),
+            CoreError::DiskFull { what, needed, used, quota } => write!(
+                f,
+                "disk full writing {what}: {needed} bytes needed, {used} used of quota {quota}"
+            ),
+            CoreError::OutOfMemory(m) => write!(f, "out of memory: {m}"),
         }
     }
 }
@@ -67,7 +90,10 @@ impl std::error::Error for CoreError {
             CoreError::Config(_) => None,
             CoreError::Rank(e) => Some(e),
             CoreError::Quarantined { last_error, .. } => Some(last_error.as_ref()),
-            CoreError::Canceled | CoreError::JournalLocked { .. } => None,
+            CoreError::Canceled
+            | CoreError::JournalLocked { .. }
+            | CoreError::DiskFull { .. }
+            | CoreError::OutOfMemory(_) => None,
         }
     }
 }

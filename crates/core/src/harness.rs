@@ -35,6 +35,7 @@ use eth_cluster::node::ClusterSpec;
 use eth_cluster::power::{self, BusyInterval};
 use eth_cluster::task::NodeGroup;
 use eth_data::partition::{partition_grid_slabs, partition_points};
+use eth_data::staging;
 use eth_data::{Aabb, DataObject};
 use eth_render::composite::{composite_direct, composite_direct_masked, composite_owned, RankMask};
 use eth_render::framebuffer::Framebuffer;
@@ -47,7 +48,6 @@ use eth_transport::collectives::{
 };
 use eth_transport::comm::{Communicator, TransportError};
 use eth_transport::layout::LayoutFile;
-use eth_data::compress;
 use eth_transport::local::LocalComm;
 use eth_transport::message::{decode_dataset_from, encode_dataset};
 use eth_transport::runner::{
@@ -285,13 +285,20 @@ impl NativeOutcome {
     }
 }
 
-/// Encode a block for a process boundary, honoring the spec's transport
-/// compression switch.
+/// Encode a block for a process boundary, honoring the spec's wire
+/// codec ([`ExperimentSpec::wire_codec`]: explicit `wire_compression`,
+/// or `Quantize` via the legacy `compress_transport` flag). Compressed
+/// sends record raw-vs-compressed byte counters so campaigns can report
+/// what the codec actually bought on the wire.
 fn encode_block(spec: &ExperimentSpec, block: &DataObject) -> Bytes {
-    if spec.compress_transport {
-        compress::compress(block)
-    } else {
-        encode_dataset(block)
+    match spec.wire_codec() {
+        Some(codec) => {
+            let payload = codec.encode(block);
+            eth_obs::count("wire_raw_bytes", eth_data::io::binary::encoded_len(block) as f64);
+            eth_obs::count("wire_compressed_bytes", payload.len() as f64);
+            payload
+        }
+        None => encode_dataset(block),
     }
 }
 
@@ -300,10 +307,9 @@ fn encode_block(spec: &ExperimentSpec, block: &DataObject) -> Bytes {
 /// surfaces as [`TransportError::Corrupt`] attributed to the sender — the
 /// codec detects it, the chaos layer's own bookkeeping is not consulted.
 fn decode_block(spec: &ExperimentSpec, from: usize, payload: Bytes) -> Result<DataObject> {
-    if spec.compress_transport {
-        Ok(compress::decompress(payload)?)
-    } else {
-        Ok(decode_dataset_from(from, payload)?)
+    match spec.wire_codec() {
+        Some(codec) => Ok(codec.decode(payload)?),
+        None => Ok(decode_dataset_from(from, payload)?),
     }
 }
 
@@ -469,13 +475,28 @@ impl StepIntake {
     }
 }
 
-/// Pre-generated per-step data: blocks[step][rank] plus global bounds and
-/// the global scalar range (so every rank colors through the same
+/// Pre-generated per-step data — block (step, rank) plus global bounds
+/// and the global scalar range (so every rank colors through the same
 /// transfer function — rank-local ranges would shift colors per block).
+///
+/// Blocks live in a byte-accounted [`staging::BlockStore`]: with a
+/// memory budget on the spec, least-recently-used blocks spill to
+/// lossless on-disk chunks and stream back on [`StagedData::block`], so
+/// a staged dataset larger than the budget replays with byte-identical
+/// images while peak resident bytes stay ≤ the budget.
 struct StagedData {
-    blocks: Vec<Vec<DataObject>>,
+    store: staging::BlockStore,
+    ranks: usize,
     bounds: Vec<Aabb>,
     scalar_ranges: Vec<Option<(f32, f32)>>,
+}
+
+impl StagedData {
+    /// Fetch (a copy of) the block for `(step, rank)`, streaming it back
+    /// from its spill chunk when the budget evicted it.
+    fn block(&self, step: usize, rank: usize) -> Result<DataObject> {
+        Ok(self.store.get(step * self.ranks + rank)?)
+    }
 }
 
 fn global_scalar_range(obj: &DataObject, name: &str) -> Option<(f32, f32)> {
@@ -496,9 +517,15 @@ fn global_scalar_range(obj: &DataObject, name: &str) -> Option<(f32, f32)> {
 
 fn stage_data(spec: &ExperimentSpec) -> Result<StagedData> {
     let _span = eth_obs::span(eth_obs::Phase::Stage);
-    let mut blocks = Vec::with_capacity(spec.steps);
+    let resources = spec.resources.clone().unwrap_or_default();
+    let store = staging::BlockStore::new(
+        resources.memory_budget_bytes,
+        resources.spill_dir.clone(),
+    );
+    let alloc_fail_at = spec.fault_plan.as_ref().and_then(|p| p.alloc_fail_at_stage);
     let mut bounds = Vec::with_capacity(spec.steps);
     let mut scalar_ranges = Vec::with_capacity(spec.steps);
+    let mut staged_blocks: u64 = 0;
     for step in 0..spec.steps {
         let global = spec.application.generate(step, spec.seed)?;
         bounds.push(global.bounds());
@@ -516,10 +543,26 @@ fn stage_data(spec: &ExperimentSpec) -> Result<StagedData> {
                 .map(DataObject::Grid)
                 .collect(),
         };
-        blocks.push(parts);
+        for (rank, part) in parts.into_iter().enumerate() {
+            // Seeded allocation-failure injection: exhaustion is a fault
+            // like any other — classified, retryable, quarantineable.
+            if alloc_fail_at == Some(staged_blocks) {
+                return Err(CoreError::OutOfMemory(format!(
+                    "staging block {staged_blocks} (step {step}, rank {rank}): \
+                     injected alloc_fail_at_stage"
+                )));
+            }
+            store.insert(step * spec.ranks + rank, part)?;
+            staged_blocks += 1;
+        }
     }
+    let stats = store.stats();
+    eth_obs::count("staging_resident_bytes", stats.resident_bytes as f64);
+    eth_obs::count("staging_peak_resident_bytes", stats.peak_resident_bytes as f64);
+    eth_obs::count("spilled_bytes_total", stats.spilled_bytes as f64);
     Ok(StagedData {
-        blocks,
+        store,
+        ranks: spec.ranks,
         bounds,
         scalar_ranges,
     })
@@ -549,8 +592,11 @@ impl CacheStats {
 /// Staging content key: everything [`stage_data`] depends on. The
 /// application's `Debug` form carries its identity *and* size (particle
 /// count / grid dims), so two points share staged data exactly when the
-/// generator and partitioner would produce identical blocks.
-type StageKey = (String, u64, usize, usize);
+/// generator and partitioner would produce identical blocks. The
+/// resource policy and injected staging fault are part of the key: the
+/// blocks are identical either way (spill is lossless), but the stores'
+/// budgets and failure behavior are not interchangeable.
+type StageKey = (String, u64, usize, usize, String);
 
 fn stage_key(spec: &ExperimentSpec) -> StageKey {
     (
@@ -558,6 +604,11 @@ fn stage_key(spec: &ExperimentSpec) -> StageKey {
         spec.seed,
         spec.steps,
         spec.ranks,
+        format!(
+            "{:?}|{:?}",
+            spec.resources,
+            spec.fault_plan.as_ref().and_then(|p| p.alloc_fail_at_stage)
+        ),
     )
 }
 
@@ -695,6 +746,7 @@ pub fn baseline_spec(spec: &ExperimentSpec) -> ExperimentSpec {
     base.sampling_ratio = 1.0;
     base.coupling = Coupling::Tight;
     base.compress_transport = false;
+    base.wire_compression = None;
     base.viz_ranks = None;
     base.fault_plan = None;
     base.recovery = None;
@@ -1126,7 +1178,7 @@ fn run_tight(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<Rank
             let _beater = Beater::spawn(&board, rank, policy.heartbeat);
             viz_side(&spec_body, &comm, 0, &staged, |step| {
                 let t = Instant::now();
-                let block = staged.blocks[step][rank].clone();
+                let block = staged.block(step, rank)?;
                 if step > 0 {
                     board.step_done(rank, step - 1);
                 }
@@ -1140,7 +1192,7 @@ fn run_tight(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<Rank
             // "simulation": the proxy presents its block (a copy, as a real
             // proxy's load would be)
             let t = Instant::now();
-            let block = staged.blocks[step][rank].clone();
+            let block = staged.block(step, rank)?;
             Ok(StepIntake::clean(vec![block], t.elapsed(), Duration::ZERO))
         })
     })?;
@@ -1182,7 +1234,7 @@ fn run_intercore(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
             let mut degradation = Degradation::default();
             for step in 0..spec.steps {
                 let t = Instant::now();
-                let block = staged.blocks[step][rank].clone();
+                let block = staged.block(step, rank)?;
                 let payload = encode_block(spec, &block);
                 phases.sim_s += t.elapsed().as_secs_f64();
                 let t2 = Instant::now();
@@ -1304,7 +1356,7 @@ fn intercore_sim_recovering(
             return Ok(RankOutput::tombstone());
         }
         let t = Instant::now();
-        let block = staged.blocks[step][rank].clone();
+        let block = staged.block(step, rank)?;
         let payload = encode_block(spec, &block);
         phases.sim_s += t.elapsed().as_secs_f64();
         let t2 = Instant::now();
@@ -1355,7 +1407,10 @@ fn intercore_viz_recovering(
     comm: &dyn Communicator,
     board: &Arc<HeartbeatBoard>,
     staged: &StagedData,
-    checkpoints: &CheckpointStore,
+    // The viz side once consulted the dead rank's checkpoint cursor here;
+    // adoption now needs only the shared staged store, but the parameter
+    // stays so the sim/viz rank bodies keep symmetric signatures.
+    _checkpoints: &CheckpointStore,
 ) -> Result<RankOutput> {
     let r = spec.ranks;
     let root = r;
@@ -1433,8 +1488,12 @@ fn intercore_viz_recovering(
                 if policy.adopt {
                     step_deg.adopted_partitions += 1;
                     eth_obs::count("adopted_partitions", 1.0);
-                    let resume = checkpoints.latest(sim).map(|c| c.proxy_cursor).unwrap_or(0);
-                    debug_assert!(step >= resume, "adoption cannot precede the checkpoint");
+                    // The dead rank may have checkpointed *past* this
+                    // step: sim and viz ranks progress independently, so
+                    // under scheduler skew its proxy cursor can be ahead
+                    // of the adopter. That is fine — the partition
+                    // re-renders from the shared staged store at the
+                    // adopter's own step, not from the cursor.
                     let notice = AdoptNotice {
                         dead_rank: sim,
                         adopted_at_step: step,
@@ -1452,7 +1511,7 @@ fn intercore_viz_recovering(
             if policy.adopt {
                 // the adopted partition renders from the shared staged
                 // store, picking up exactly where the checkpoint left off
-                blocks.push(staged.blocks[step][sim].clone());
+                blocks.push(staged.block(step, sim)?);
             } else {
                 step_deg.dropped_steps += 1;
             }
@@ -1958,7 +2017,7 @@ fn intercore_viz_migrating(
                 if board.is_dead(p) && !policy.adopt {
                     continue; // the hole is counted at the composite
                 }
-                staged.blocks[step][p].clone()
+                staged.block(step, p)?
             } else {
                 // own pair, alive, but the message was lost: a hole
                 continue;
@@ -2145,7 +2204,7 @@ fn run_internode(spec: &ExperimentSpec, staged: &Arc<StagedData>) -> Result<Vec<
             let mut degradation = Degradation::default();
             for step in 0..spec_sim.steps {
                 let t = Instant::now();
-                let block = staged.blocks[step][rank].clone();
+                let block = staged.block(step, rank)?;
                 let payload = encode_block(&spec_sim, &block);
                 phases.sim_s += t.elapsed().as_secs_f64();
                 let t2 = Instant::now();
@@ -2253,7 +2312,7 @@ fn run_internode_recovering(
                     return Ok(RankOutput::tombstone());
                 }
                 let t = Instant::now();
-                let block = staged.blocks[step][rank].clone();
+                let block = staged.block(step, rank)?;
                 let payload = encode_block(&spec_sim, &block);
                 phases.sim_s += t.elapsed().as_secs_f64();
                 let t2 = Instant::now();
@@ -2302,7 +2361,6 @@ fn run_internode_recovering(
         let my_sims: Vec<usize> = (0..r).filter(|s| s % viz_count == rank).collect();
         let obs = obs.clone();
         let board = board.clone();
-        let checkpoints = checkpoints.clone();
         viz_handles.push(thread::spawn(move || -> Result<RankOutput> {
             let _obs = obs.attach();
             eth_obs::set_rank(r + rank);
@@ -2384,12 +2442,10 @@ fn run_internode_recovering(
                             if policy.adopt {
                                 deg.adopted_partitions += 1;
                                 eth_obs::count("adopted_partitions", 1.0);
-                                let resume =
-                                    checkpoints.latest(sim).map(|c| c.proxy_cursor).unwrap_or(0);
-                                debug_assert!(
-                                    step >= resume,
-                                    "adoption cannot precede the checkpoint"
-                                );
+                                // The dead rank's checkpoint cursor may be
+                                // ahead of this step under scheduler skew;
+                                // adoption renders from the shared staged
+                                // store at the adopter's step regardless.
                                 let notice = AdoptNotice {
                                     dead_rank: sim,
                                     adopted_at_step: step,
@@ -2404,7 +2460,7 @@ fn run_internode_recovering(
                             }
                         }
                         if policy.adopt {
-                            blocks.push(staged.blocks[step][sim].clone());
+                            blocks.push(staged.block(step, sim)?);
                         } else {
                             deg.missing_contributions += 1;
                         }
@@ -2536,7 +2592,7 @@ fn run_internode_migrating(
                     return Ok(RankOutput::tombstone());
                 }
                 let t = Instant::now();
-                let block = staged.blocks[step][rank].clone();
+                let block = staged.block(step, rank)?;
                 let payload = encode_block(&spec_sim, &block);
                 phases.sim_s += t.elapsed().as_secs_f64();
                 let t2 = Instant::now();
@@ -2728,12 +2784,12 @@ fn run_internode_migrating(
                             if !policy.adopt {
                                 continue; // the hole is counted at the root
                             }
-                            staged.blocks[step][p].clone()
+                            staged.block(step, p)?
                         }
                         // migrated-in partition (no wire here): the shared
                         // staged store is byte-identical to the wire block
                         None if my_sims.binary_search(&p).is_err() => {
-                            staged.blocks[step][p].clone()
+                            staged.block(step, p)?
                         }
                         // own wire, alive, message lost: a hole this frame
                         None => continue,
@@ -3451,5 +3507,83 @@ mod tests {
             .with_sim_ops(100.0);
         let m = run_cluster(&exp);
         assert!(m.exec_time_s.is_finite() && m.exec_time_s > 0.0);
+    }
+
+    #[test]
+    fn budgeted_run_is_byte_identical_and_stays_under_budget() {
+        let full = run_native(&base_spec("budget")).unwrap();
+        let mut spec = base_spec("budget");
+        let budget: u64 = 32_000; // far below the ~6 staged blocks' total
+        spec.resources = Some(crate::config::ResourcePolicy::with_memory_budget(budget));
+        let lean = run_native(&spec).unwrap();
+        assert_eq!(full.images, lean.images, "budget changed the image");
+        // The byte-accountant must show real spill traffic and a peak
+        // residency that never exceeded the budget, even transiently.
+        let staged = stage_data(&spec).unwrap();
+        let stats = staged.store.stats();
+        assert!(stats.spills > 0, "budget too large to exercise spilling");
+        assert!(
+            stats.peak_resident_bytes <= budget,
+            "peak {} exceeded budget {budget}",
+            stats.peak_resident_bytes
+        );
+        staged.store.assert_within_budget();
+        // Every block streams back byte-identical from its chunk.
+        let unbudgeted = stage_data(&base_spec("budget")).unwrap();
+        for step in 0..spec.steps {
+            for rank in 0..spec.ranks {
+                let a = staged.block(step, rank).unwrap();
+                let b = unbudgeted.block(step, rank).unwrap();
+                assert_eq!(
+                    eth_data::io::binary::encode(&a),
+                    eth_data::io::binary::encode(&b),
+                    "spilled block ({step},{rank}) diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_wire_compression_is_byte_identical_across_couplings() {
+        let tight = run_native(&base_spec("wire")).unwrap();
+        for coupling in [Coupling::Intercore, Coupling::Internode] {
+            let mut spec = base_spec("wire");
+            spec.coupling = coupling;
+            spec.wire_compression = Some(eth_data::compress::Codec::Lossless);
+            let out = run_native(&spec).unwrap();
+            assert_eq!(
+                tight.images, out.images,
+                "lossless wire codec changed the image under {coupling:?}"
+            );
+        }
+        // The lossy codec still runs end-to-end and stays close.
+        let mut spec = base_spec("wire");
+        spec.coupling = Coupling::Internode;
+        spec.wire_compression = Some(eth_data::compress::Codec::Quantize);
+        let lossy = run_native(&spec).unwrap();
+        for (a, b) in tight.images.iter().zip(&lossy.images) {
+            let rmse = a.rmse(b).unwrap();
+            assert!(rmse < 0.1, "quantize drifted too far: rmse {rmse}");
+        }
+    }
+
+    #[test]
+    fn injected_alloc_failure_surfaces_as_out_of_memory() {
+        let mut spec = base_spec("alloc-fail");
+        spec.fault_plan = Some(FaultPlan::default().with_alloc_fail_at_stage(3));
+        let err = match run_native(&spec) {
+            Ok(_) => panic!("injection must fail the run"),
+            Err(e) => e,
+        };
+        match err {
+            CoreError::OutOfMemory(m) => {
+                assert!(m.contains("alloc_fail_at_stage"), "{m}");
+            }
+            other => panic!("expected OutOfMemory, got {other}"),
+        }
+        // The injection is positional: past the staged-block count it is
+        // inert and the run completes normally.
+        spec.fault_plan = Some(FaultPlan::default().with_alloc_fail_at_stage(10_000));
+        run_native(&spec).unwrap();
     }
 }

@@ -40,9 +40,11 @@ use eth_data::crc::crc32;
 use eth_render::pipeline::RenderStats;
 use eth_render::Image;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// WAL file name inside a campaign directory.
@@ -223,17 +225,29 @@ fn acquire_dir_lock(dir: &Path) -> Result<()> {
 pub struct Journal {
     dir: PathBuf,
     file: Mutex<File>,
+    /// Byte quota across the WAL and `results/*.bin`; `None` = unbounded.
+    quota: Option<u64>,
+    /// Bytes charged against the quota so far (pre-existing files
+    /// included once a quota is set).
+    used: AtomicU64,
+    /// Per-point durable-write ordinals, for deterministic disk-full
+    /// injection: the counter survives retries, so a fault that tears
+    /// attempt 1's Nth write lets attempt 2 get past it.
+    point_writes: Mutex<HashMap<usize, u64>>,
 }
 
 impl Journal {
     /// Open (or create) the journal in `dir`, creating the campaign
     /// directory layout as needed. Appends go to the end of any existing
-    /// WAL — resuming extends the same history. Fails with
+    /// WAL — resuming extends the same history. Orphaned `*.bin.tmp`
+    /// result files (a crash mid-rename) are GC'd here, before anything
+    /// is charged against a quota. Fails with
     /// [`CoreError::JournalLocked`] if another live journal (in this
     /// process or another) already owns the directory.
     pub fn open(dir: &Path) -> Result<Journal> {
         fs::create_dir_all(dir.join(RESULTS_DIR))?;
         acquire_dir_lock(dir)?;
+        gc_orphan_results(dir);
         let file = match OpenOptions::new()
             .create(true)
             .append(true)
@@ -248,7 +262,22 @@ impl Journal {
         Ok(Journal {
             dir: dir.to_path_buf(),
             file: Mutex::new(file),
+            quota: None,
+            used: AtomicU64::new(0),
+            point_writes: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Bound this journal's disk use. Pre-existing bytes — a resumed
+    /// WAL, restored `results/point_NNNN.bin` files — are accounted
+    /// immediately, so a resume under quota starts from the truth on
+    /// disk, not from zero.
+    pub fn with_quota(mut self, quota: Option<u64>) -> Journal {
+        self.quota = quota;
+        if quota.is_some() {
+            self.used = AtomicU64::new(existing_bytes(&self.dir));
+        }
+        self
     }
 
     /// The campaign directory this journal lives in.
@@ -256,19 +285,148 @@ impl Journal {
         &self.dir
     }
 
+    /// Bytes currently charged against the quota.
+    pub fn quota_used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// The configured quota, if any.
+    pub fn quota(&self) -> Option<u64> {
+        self.quota
+    }
+
+    /// Charge `needed` bytes against the quota, or fail with a
+    /// classified [`CoreError::DiskFull`] *before* touching the disk —
+    /// the WAL never gains a torn line from running out of quota.
+    fn charge(&self, needed: u64, what: &str) -> Result<()> {
+        let Some(quota) = self.quota else { return Ok(()) };
+        let used = self.used.load(Ordering::Relaxed);
+        if used.saturating_add(needed) > quota {
+            return Err(CoreError::DiskFull {
+                what: what.to_string(),
+                needed,
+                used,
+                quota,
+            });
+        }
+        self.used.fetch_add(needed, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Count a durable write for `index` and fail it if the point's
+    /// fault plan injects disk-full at this ordinal.
+    fn check_injected(&self, index: usize, fail_at: Option<u64>, what: &str, needed: u64) -> Result<()> {
+        let Some(fail_at) = fail_at else { return Ok(()) };
+        let ordinal = {
+            let mut writes = self
+                .point_writes
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let n = writes.entry(index).or_insert(0);
+            let ordinal = *n;
+            *n += 1;
+            ordinal
+        };
+        if ordinal == fail_at {
+            return Err(CoreError::DiskFull {
+                what: format!("{what} (injected disk_full_at_append {fail_at})"),
+                needed,
+                used: self.quota_used(),
+                quota: self.quota.unwrap_or(0),
+            });
+        }
+        Ok(())
+    }
+
     /// Append one record: framed, flushed, fsync'd.
     pub fn append(&self, record: &JournalRecord) -> Result<()> {
+        self.append_for_point(None, None, record)
+    }
+
+    /// Append one record on behalf of point `index`, honoring the
+    /// point's injected disk-full fault and the journal quota. A real
+    /// `ENOSPC` from the OS is classified the same way the quota is.
+    pub fn append_for_point(
+        &self,
+        index: Option<usize>,
+        fail_at: Option<u64>,
+        record: &JournalRecord,
+    ) -> Result<()> {
         let json = serde_json::to_string(record)
             .map_err(|e| CoreError::Config(format!("unserializable journal record: {e}")))?;
         let line = format!("{:08x} {:08x} {}\n", json.len(), crc32(json.as_bytes()), json);
+        if let Some(index) = index {
+            self.check_injected(index, fail_at, "journal append", line.len() as u64)?;
+        }
+        self.charge(line.len() as u64, "journal append")?;
         // the span covers lock + write + fsync: what one durable append costs
         let mut span = eth_obs::span(eth_obs::Phase::JournalAppend);
         span.set_bytes(line.len() as u64);
         let mut file = self.file.lock().unwrap();
-        file.write_all(line.as_bytes())?;
-        file.flush()?;
-        file.sync_data()?;
+        file.write_all(line.as_bytes()).map_err(classify_io)?;
+        file.flush().map_err(classify_io)?;
+        file.sync_data().map_err(classify_io)?;
         Ok(())
+    }
+
+    /// Persist a finished point's result through the quota accountant
+    /// (see the free [`save_result`] for the format). The result bytes
+    /// are charged before the write; an injected or real disk-full
+    /// cleans up its temp file instead of leaving a torn spill.
+    pub fn save_result_governed(
+        &self,
+        index: usize,
+        fail_at: Option<u64>,
+        spec_hash: u64,
+        outcome: &NativeOutcome,
+    ) -> Result<()> {
+        let buf = encode_result(spec_hash, outcome)?;
+        self.check_injected(index, fail_at, "result write", buf.len() as u64)?;
+        self.charge(buf.len() as u64, "result write")?;
+        write_result_bytes(&self.dir, index, &buf)
+    }
+}
+
+/// Map an IO failure on the durable path: `ENOSPC` becomes the
+/// classified, retryable [`CoreError::DiskFull`]; anything else stays an
+/// IO error.
+fn classify_io(e: std::io::Error) -> CoreError {
+    if e.kind() == std::io::ErrorKind::StorageFull {
+        CoreError::DiskFull {
+            what: "durable write (ENOSPC)".into(),
+            needed: 0,
+            used: 0,
+            quota: 0,
+        }
+    } else {
+        e.into()
+    }
+}
+
+/// Bytes on disk a quota must account for before new writes: the
+/// resumed WAL plus every surviving result file.
+fn existing_bytes(dir: &Path) -> u64 {
+    let mut used = fs::metadata(dir.join(JOURNAL_FILE)).map(|m| m.len()).unwrap_or(0);
+    if let Ok(entries) = fs::read_dir(dir.join(RESULTS_DIR)) {
+        for entry in entries.flatten() {
+            if entry.file_name().to_string_lossy().ends_with(".bin") {
+                used += entry.metadata().map(|m| m.len()).unwrap_or(0);
+            }
+        }
+    }
+    used
+}
+
+/// Remove `*.bin.tmp` orphans left by a crash between a result file's
+/// write and its rename. They are invisible to `load_result` (which
+/// only reads final paths) but would otherwise leak disk and poison a
+/// quota accounting forever.
+fn gc_orphan_results(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir.join(RESULTS_DIR)) else { return };
+    for entry in entries.flatten() {
+        if entry.file_name().to_string_lossy().ends_with(".bin.tmp") {
+            let _ = fs::remove_file(entry.path());
+        }
     }
 }
 
@@ -406,6 +564,14 @@ struct ResultHeader {
 /// place. Raw pixels (not the 8-bit PPM artifact path) keep restored
 /// results byte-identical to the run that produced them.
 pub fn save_result(dir: &Path, index: usize, spec_hash: u64, outcome: &NativeOutcome) -> Result<()> {
+    let buf = encode_result(spec_hash, outcome)?;
+    write_result_bytes(dir, index, &buf)
+}
+
+/// Serialize a result file's bytes (header + pixels + CRC trailer)
+/// without touching the disk, so quota accounting can see the exact
+/// cost before committing to the write.
+fn encode_result(spec_hash: u64, outcome: &NativeOutcome) -> Result<Vec<u8>> {
     let header = ResultHeader {
         spec_hash,
         wall_s: outcome.wall_s,
@@ -437,15 +603,26 @@ pub fn save_result(dir: &Path, index: usize, spec_hash: u64, outcome: &NativeOut
     }
     let crc = crc32(&buf);
     buf.extend_from_slice(&crc.to_le_bytes());
+    Ok(buf)
+}
 
+/// Write pre-encoded result bytes temp-then-rename. A failed write
+/// removes its temp file — disk exhaustion must not leave torn spills
+/// for the next resume to GC.
+fn write_result_bytes(dir: &Path, index: usize, buf: &[u8]) -> Result<()> {
     let path = result_path(dir, index);
     let tmp = path.with_extension("bin.tmp");
-    let mut file = File::create(&tmp)?;
-    file.write_all(&buf)?;
-    file.sync_data()?;
-    drop(file);
-    fs::rename(&tmp, &path)?;
-    Ok(())
+    let write = || -> std::io::Result<()> {
+        let mut file = File::create(&tmp)?;
+        file.write_all(buf)?;
+        file.sync_data()?;
+        drop(file);
+        fs::rename(&tmp, &path)
+    };
+    write().map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        classify_io(e)
+    })
 }
 
 fn corrupt(index: usize, what: &str) -> CoreError {
@@ -714,6 +891,97 @@ mod tests {
         assert!(!process_alive(pid), "zombie must read as dead");
         Journal::open(&dir).expect("zombie-held lock must be stolen");
         drop(child); // reap happens on test-process exit
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quota_exhaustion_is_classified_and_never_tears_the_wal() {
+        let dir = tmp_dir("quota");
+        let journal = Journal::open(&dir).unwrap().with_quota(Some(200));
+        let record = JournalRecord::Started { index: 0, spec_hash: 7, attempt: 1 };
+        let mut appended = 0u64;
+        let err = loop {
+            match journal.append(&record) {
+                Ok(()) => appended += 1,
+                Err(e) => break e,
+            }
+            assert!(appended < 100, "a 200-byte quota cannot hold 100 records");
+        };
+        assert!(appended >= 1, "at least one record fits");
+        match &err {
+            CoreError::DiskFull { used, quota, .. } => {
+                assert_eq!(*quota, 200);
+                assert!(*used <= 200);
+            }
+            other => panic!("expected DiskFull, got {other}"),
+        }
+        // the WAL on disk is still a clean prefix: every appended record
+        // replays, nothing torn
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.len() as u64, appended);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quota_accounts_preexisting_results_and_wal_on_resume() {
+        let dir = tmp_dir("quota-resume");
+        {
+            let journal = Journal::open(&dir).unwrap();
+            journal
+                .append(&JournalRecord::Started { index: 0, spec_hash: 1, attempt: 1 })
+                .unwrap();
+            let spec = small_spec("quota-resume");
+            let outcome = run_native(&spec).unwrap();
+            save_result(&dir, 0, spec_hash(&spec), &outcome).unwrap();
+        }
+        let wal = fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len();
+        let result = fs::metadata(result_path(&dir, 0)).unwrap().len();
+        // an orphan temp file from a crash mid-rename: GC'd, not charged
+        fs::write(dir.join(RESULTS_DIR).join("point_0007.bin.tmp"), vec![0u8; 4096]).unwrap();
+
+        let journal = Journal::open(&dir).unwrap().with_quota(Some(1 << 30));
+        assert!(!dir.join(RESULTS_DIR).join("point_0007.bin.tmp").exists());
+        assert_eq!(journal.quota_used(), wal + result);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_disk_full_tears_the_exact_write_then_lets_the_retry_through() {
+        let dir = tmp_dir("injected-full");
+        let journal = Journal::open(&dir).unwrap();
+        let record = JournalRecord::Started { index: 3, spec_hash: 1, attempt: 1 };
+        // point 3's second durable write fails; writes 0, 2, 3... succeed
+        journal.append_for_point(Some(3), Some(1), &record).unwrap();
+        let err = journal.append_for_point(Some(3), Some(1), &record).unwrap_err();
+        assert!(matches!(err, CoreError::DiskFull { .. }), "got {err}");
+        // the ordinal advanced past the fault: the retry's write lands
+        journal.append_for_point(Some(3), Some(1), &record).unwrap();
+        // other points are unaffected
+        journal.append_for_point(Some(5), Some(1), &record).unwrap();
+        assert_eq!(replay(&dir).unwrap().len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn governed_result_save_charges_quota_and_cleans_up_on_failure() {
+        let dir = tmp_dir("governed-save");
+        let spec = small_spec("governed");
+        let outcome = run_native(&spec).unwrap();
+        let hash = spec_hash(&spec);
+        {
+            let journal = Journal::open(&dir).unwrap().with_quota(Some(1 << 30));
+            journal.save_result_governed(0, None, hash, &outcome).unwrap();
+            assert!(journal.quota_used() >= fs::metadata(result_path(&dir, 0)).unwrap().len());
+            assert_eq!(load_result(&dir, 0, hash, &spec).unwrap().images, outcome.images);
+        }
+        // a quota too small for the result refuses before writing
+        {
+            let journal = Journal::open(&dir).unwrap().with_quota(Some(8));
+            let err = journal.save_result_governed(1, None, hash, &outcome).unwrap_err();
+            assert!(matches!(err, CoreError::DiskFull { .. }), "got {err}");
+            assert!(!result_path(&dir, 1).exists());
+            assert!(!result_path(&dir, 1).with_extension("bin.tmp").exists());
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

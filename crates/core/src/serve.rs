@@ -32,7 +32,7 @@
 //! Everything is hand-rolled on `std` (TCP, HTTP/1.1, SSE, base64) —
 //! the repo's no-new-dependencies rule applies to the service layer too.
 
-use crate::config::{Algorithm, Coupling, ExperimentSpec};
+use crate::config::{Algorithm, Coupling, ExperimentSpec, ResourcePolicy};
 use crate::error::{CoreError, Result};
 use crate::harness::{run_native_cached, NativeOutcome, RunCaches};
 use crate::journal;
@@ -99,6 +99,15 @@ pub struct ServicePolicy {
     /// Bounded SSE subscriber queue length; the oldest event is dropped
     /// (and counted) when a slow client falls this far behind.
     pub subscriber_buffer: usize,
+    /// Resource governance for the whole service: the disk quota bounds
+    /// each campaign's journal, the memory budget's high watermark sheds
+    /// new submissions (429 + Retry-After) while process-wide staged
+    /// residency sits above it, and the same policy gates the campaign
+    /// scheduler's admissions (see [`Campaign::with_resources`]).
+    /// `None` (the default, and what legacy service records deserialize
+    /// to) disables all three.
+    #[serde(default)]
+    pub resources: Option<ResourcePolicy>,
 }
 
 impl Default for ServicePolicy {
@@ -109,6 +118,7 @@ impl Default for ServicePolicy {
             request_deadline_ms: 10_000,
             drain_timeout_ms: 60_000,
             subscriber_buffer: 256,
+            resources: None,
         }
     }
 }
@@ -613,6 +623,25 @@ impl Service {
         if req.tenant.trim().is_empty() {
             return Err(AdmissionError::Invalid("tenant must be non-empty".into()));
         }
+        // Memory-pressure shedding: above the high watermark the service
+        // stops taking on staging work at all — clients get 429 with a
+        // Retry-After hint instead of the process inching toward OOM.
+        if let Some(high) = self
+            .inner
+            .policy
+            .resources
+            .as_ref()
+            .and_then(|r| r.high_threshold_bytes())
+        {
+            let resident = eth_data::staging::process_resident_bytes();
+            if resident >= high {
+                self.add_metric("memory_pressure_shed_total", 1.0);
+                return Err(self.shed(&format!(
+                    "memory pressure: {resident} staged bytes resident, \
+                     high watermark {high}"
+                )));
+            }
+        }
         let specs = req
             .specs()
             .map_err(|e| AdmissionError::Invalid(e.to_string()))?;
@@ -883,6 +912,23 @@ impl Service {
              eth_serve_build_info{{version=\"{}\"}} 1",
             crate::telemetry::escape_label_value(env!("CARGO_PKG_VERSION"))
         );
+        // Process-wide pressure gauges straight from the staging byte
+        // accountant, so backpressure is observable where operators
+        // already look.
+        let _ = writeln!(
+            out,
+            "# HELP eth_serve_staging_resident_bytes Staged blocks resident in memory, process-wide.\n\
+             # TYPE eth_serve_staging_resident_bytes gauge\n\
+             eth_serve_staging_resident_bytes {}",
+            eth_data::staging::process_resident_bytes()
+        );
+        let _ = writeln!(
+            out,
+            "# HELP eth_serve_staging_spilled_bytes_total Staged bytes spilled to disk chunks, process lifetime.\n\
+             # TYPE eth_serve_staging_spilled_bytes_total counter\n\
+             eth_serve_staging_spilled_bytes_total {}",
+            eth_data::staging::process_spilled_bytes()
+        );
         out
     }
 
@@ -1105,8 +1151,11 @@ impl Service {
             "campaign-started",
             serde_json::to_string(&entry.status()).unwrap_or_default(),
         );
-        let campaign = Campaign::with_capacity(self.inner.slots)
+        let mut campaign = Campaign::with_capacity(self.inner.slots)
             .with_cancel_token(entry.token.clone());
+        if let Some(resources) = &self.inner.policy.resources {
+            campaign = campaign.with_resources(resources.clone());
+        }
         let result = campaign.run_journaled_custom(&entry.specs, &entry.dir, |index, spec, attempt| {
             entry.hub.publish(
                 "point-started",
@@ -1813,6 +1862,47 @@ mod tests {
         assert!(req.algorithms.is_empty());
         assert!(!req.cancel_on_disconnect);
         assert_eq!(req.specs().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn memory_pressure_sheds_submissions_with_retry_after() {
+        let root = std::env::temp_dir().join(format!(
+            "eth-serve-pressure-{:x}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        // A 1-byte budget puts the high watermark at 0 bytes: any process
+        // residency (including none) is "over", so the shed path is
+        // deterministic without pinning global gauges from a test.
+        let policy = ServicePolicy {
+            resources: Some(ResourcePolicy::with_memory_budget(1)),
+            ..ServicePolicy::default()
+        };
+        let svc = Service::new(&root, policy).unwrap();
+        let spec = crate::config::ExperimentSpecBuilder::new("pressure")
+            .build()
+            .unwrap();
+        match svc.submit(&CampaignRequest::single("alice", spec)) {
+            Err(AdmissionError::Shed { retry_after_s, reason }) => {
+                assert!(retry_after_s >= 1);
+                assert!(reason.contains("memory pressure"), "{reason}");
+            }
+            Err(other) => panic!("expected memory-pressure shed, got {other:?}"),
+            Ok(_) => panic!("expected memory-pressure shed, got admission"),
+        }
+        let metrics = svc.metrics_text();
+        assert!(metrics.contains("eth_serve_staging_resident_bytes"));
+        assert!(metrics.contains("eth_serve_staging_spilled_bytes_total"));
+        assert!(metrics.contains("eth_serve_memory_pressure_shed_total 1"));
+        // Legacy service policies (no resources key) still deserialize.
+        let legacy: ServicePolicy = serde_json::from_str(
+            "{\"max_queued_points\":8,\"per_tenant_inflight\":1,\
+             \"request_deadline_ms\":5,\"drain_timeout_ms\":5,\
+             \"subscriber_buffer\":4}",
+        )
+        .unwrap();
+        assert_eq!(legacy.resources, None);
+        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]

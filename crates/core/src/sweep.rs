@@ -10,7 +10,7 @@
 //! algorithm / sampling-ratio / coupling axes (see
 //! [`crate::harness::RunCaches`]).
 
-use crate::config::{Algorithm, Coupling, ExperimentSpec};
+use crate::config::{Algorithm, Coupling, ExperimentSpec, ResourcePolicy};
 use crate::error::{CoreError, Result};
 use crate::harness::{run_native_cached, CacheStats, NativeOutcome, RunCaches};
 use crate::journal::{self, Journal, JournalRecord, RecordedOutcome};
@@ -156,6 +156,11 @@ pub enum RetryOn {
     Panic,
     /// A payload failed its integrity or decode check.
     Corrupt,
+    /// Resource exhaustion: a durable write hit the disk quota (or a
+    /// real `ENOSPC`), or a staged-block allocation failed against the
+    /// memory budget. Worth retrying — pressure is transient: earlier
+    /// points release quota and residency as they finish.
+    Resource,
 }
 
 /// Per-point retry behaviour for a [`Campaign`]. Serde-able, so recovery
@@ -211,6 +216,7 @@ impl RetryPolicy {
                 RetryOn::Disconnect,
                 RetryOn::Panic,
                 RetryOn::Corrupt,
+                RetryOn::Resource,
             ],
         }
     }
@@ -228,6 +234,7 @@ impl RetryPolicy {
             CoreError::Rank(RankFailure::Panic { .. }) => Some(RetryOn::Panic),
             CoreError::Transport(TransportError::Corrupt { .. } | TransportError::Decode(_))
             | CoreError::Data(DataError::Corrupt(_)) => Some(RetryOn::Corrupt),
+            CoreError::DiskFull { .. } | CoreError::OutOfMemory(_) => Some(RetryOn::Resource),
             _ => None,
         }
     }
@@ -387,6 +394,7 @@ pub struct Campaign {
     capacity: usize,
     retry: RetryPolicy,
     cancel: Option<CancelToken>,
+    resources: Option<ResourcePolicy>,
 }
 
 impl Default for Campaign {
@@ -409,7 +417,25 @@ impl Campaign {
             capacity: slots.max(1),
             retry: RetryPolicy::none(),
             cancel: None,
+            resources: None,
         }
+    }
+
+    /// Attach a campaign-level [`ResourcePolicy`]. Its disk quota bounds
+    /// the journal (WAL plus persisted results together), and its memory
+    /// budget's watermarks gate admission: the scheduler stops admitting
+    /// new points while process-wide staged residency sits above the high
+    /// watermark and resumes once it drains below the low one. Stalls are
+    /// bounded (a stuck gauge cannot deadlock the campaign — the staging
+    /// stores self-enforce their budgets regardless) and counted in the
+    /// `backpressure_stalls` telemetry counter.
+    pub fn with_resources(mut self, resources: ResourcePolicy) -> Campaign {
+        self.resources = Some(resources);
+        self
+    }
+
+    pub fn resources(&self) -> Option<&ResourcePolicy> {
+        self.resources.as_ref()
     }
 
     /// Attach a cancellation token (see [`CancelToken`] for semantics).
@@ -556,7 +582,8 @@ impl Campaign {
         F: Fn(usize, &ExperimentSpec, u32) -> PointResult + Sync,
     {
         let t0 = Instant::now();
-        let journal = Journal::open(dir)?;
+        let journal = Journal::open(dir)?
+            .with_quota(self.resources.as_ref().and_then(|r| r.disk_quota_bytes));
         let hashes: Vec<u64> = specs.iter().map(journal::spec_hash).collect();
         journal::write_manifest(dir, specs, &hashes)?;
 
@@ -644,6 +671,13 @@ impl Campaign {
         let sem = WeightedSemaphore::new(self.capacity, specs.len());
         let policy = &self.retry;
         let cancel = self.cancel.as_ref();
+        // Admission watermarks from the campaign resource policy: stop
+        // admitting while process-wide staged residency is above `high`,
+        // resume once it drains below `low`.
+        let pressure = self
+            .resources
+            .as_ref()
+            .and_then(|r| Some((r.high_threshold_bytes()?, r.low_threshold_bytes()?)));
         // Campaign flight recorder: every point thread stacks it on top
         // of whatever sinks the caller attached (e.g. the CLI's --trace
         // recorder), so the campaign sees its own spans and the caller
@@ -672,9 +706,30 @@ impl Campaign {
                     let mut backoff = policy
                         .backoff
                         .instantiate(0x9E37_79B9_7F4A_7C15 ^ index as u64, policy.max_attempts);
+                    let fail_at = spec
+                        .fault_plan
+                        .as_ref()
+                        .and_then(|p| p.disk_full_at_append);
                     let mut attempt = 1u32;
                     let mut ticket = index;
                     loop {
+                        // Backpressure: hold this point at the gate while
+                        // the process sits above the high watermark. The
+                        // wait is bounded — staging stores self-enforce
+                        // their budgets, so a stuck gauge degrades to
+                        // normal admission instead of deadlocking.
+                        if let Some((high, low)) = pressure {
+                            if eth_data::staging::process_resident_bytes() >= high {
+                                eth_obs::count("backpressure_stalls", 1.0);
+                                let gate = Instant::now();
+                                while eth_data::staging::process_resident_bytes() > low
+                                    && gate.elapsed() < BACKPRESSURE_STALL_CAP
+                                    && !cancel.is_some_and(|c| c.is_canceled())
+                                {
+                                    thread::sleep(Duration::from_millis(5));
+                                }
+                            }
+                        }
                         {
                             // time spent waiting for slots = queue wait
                             let _wait = eth_obs::span(eth_obs::Phase::QueueWait);
@@ -691,11 +746,15 @@ impl Campaign {
                             // Write-ahead: losing an append costs a re-run
                             // on resume, never a wrong result, so appends
                             // are best-effort from the scheduler's side.
-                            let _ = j.append(&JournalRecord::Started {
-                                index,
-                                spec_hash: hash,
-                                attempt,
-                            });
+                            let _ = j.append_for_point(
+                                Some(index),
+                                fail_at,
+                                &JournalRecord::Started {
+                                    index,
+                                    spec_hash: hash,
+                                    attempt,
+                                },
+                            );
                         }
                         let t = Instant::now();
                         let result =
@@ -712,17 +771,40 @@ impl Campaign {
                                 message: panic_message(payload),
                             }))
                         });
+                        // A success that cannot be persisted is not a
+                        // success: a quota hit (or injected disk-full)
+                        // while saving the result converts the point to a
+                        // resource failure, so it rides the same
+                        // degrade/retry/quarantine path as any other
+                        // transient fault instead of silently dropping
+                        // durability.
+                        let result = match result {
+                            Ok(outcome) => match journal {
+                                Some(j) => j
+                                    .save_result_governed(index, fail_at, hash, &outcome)
+                                    .map(|()| outcome),
+                                None => Ok(outcome),
+                            },
+                            Err(err) => Err(err),
+                        };
                         match result {
                             Ok(outcome) => {
                                 if let Some(j) = journal {
-                                    let _ = journal::save_result(j.dir(), index, hash, &outcome);
-                                    let _ = j.append(&JournalRecord::Finished {
-                                        index,
-                                        spec_hash: hash,
-                                        attempt,
-                                        elapsed_s,
-                                        outcome: RecordedOutcome::Ok,
-                                    });
+                                    let _ = j.append_for_point(
+                                        Some(index),
+                                        fail_at,
+                                        &JournalRecord::Finished {
+                                            index,
+                                            spec_hash: hash,
+                                            attempt,
+                                            elapsed_s,
+                                            outcome: RecordedOutcome::Ok,
+                                        },
+                                    );
+                                    eth_obs::count(
+                                        "journal_quota_used",
+                                        j.quota_used() as f64,
+                                    );
                                 }
                                 *slot = Some((Ok(outcome), attempt));
                                 return;
@@ -733,16 +815,20 @@ impl Campaign {
                                     cancel.is_some_and(|c| c.is_canceled());
                                 if retryable && attempt < policy.max_attempts && !canceled {
                                     if let Some(j) = journal {
-                                        let _ = j.append(&JournalRecord::Finished {
-                                            index,
-                                            spec_hash: hash,
-                                            attempt,
-                                            elapsed_s,
-                                            outcome: RecordedOutcome::Err {
-                                                error: err.to_string(),
-                                                quarantined: false,
+                                        let _ = j.append_for_point(
+                                            Some(index),
+                                            fail_at,
+                                            &JournalRecord::Finished {
+                                                index,
+                                                spec_hash: hash,
+                                                attempt,
+                                                elapsed_s,
+                                                outcome: RecordedOutcome::Err {
+                                                    error: err.to_string(),
+                                                    quarantined: false,
+                                                },
                                             },
-                                        });
+                                        );
                                     }
                                     attempt += 1;
                                     if let Some(delay) = backoff.next_delay() {
@@ -772,19 +858,27 @@ impl Campaign {
                                     err
                                 };
                                 if let Some(j) = journal {
-                                    let _ = j.append(&JournalRecord::Finished {
-                                        index,
-                                        spec_hash: hash,
-                                        attempt,
-                                        elapsed_s,
-                                        outcome: RecordedOutcome::Err {
-                                            error: final_err.to_string(),
-                                            quarantined: matches!(
-                                                final_err,
-                                                CoreError::Quarantined { .. }
-                                            ),
+                                    let _ = j.append_for_point(
+                                        Some(index),
+                                        fail_at,
+                                        &JournalRecord::Finished {
+                                            index,
+                                            spec_hash: hash,
+                                            attempt,
+                                            elapsed_s,
+                                            outcome: RecordedOutcome::Err {
+                                                error: final_err.to_string(),
+                                                quarantined: matches!(
+                                                    final_err,
+                                                    CoreError::Quarantined { .. }
+                                                ),
+                                            },
                                         },
-                                    });
+                                    );
+                                    eth_obs::count(
+                                        "journal_quota_used",
+                                        j.quota_used() as f64,
+                                    );
                                 }
                                 *slot = Some((Err(final_err), attempt));
                                 return;
@@ -809,6 +903,12 @@ impl Campaign {
         (results, attempts, quarantined, recorder.take())
     }
 }
+
+/// Longest a single admission will stall at the backpressure gate. The
+/// staging stores self-enforce their budgets, so admitting past a gauge
+/// that refuses to drain (e.g. a long-lived cache pinning residency) is
+/// safe — the gate trades a bounded delay for pacing, never correctness.
+const BACKPRESSURE_STALL_CAP: Duration = Duration::from_secs(2);
 
 /// The spec an attempt actually runs: attempt 1 is the input spec
 /// bit-for-bit (so single-shot and campaign runs agree), while later
@@ -1349,6 +1449,110 @@ mod tests {
             assert_eq!(a.as_ref().unwrap().images, b.as_ref().unwrap().images);
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resource_errors_classify_and_standard_policy_covers_them() {
+        let df = CoreError::DiskFull {
+            what: "result write".into(),
+            needed: 4096,
+            used: 100,
+            quota: 1000,
+        };
+        assert_eq!(RetryPolicy::classify(&df), Some(RetryOn::Resource));
+        let oom = CoreError::OutOfMemory("staging block 3".into());
+        assert_eq!(RetryPolicy::classify(&oom), Some(RetryOn::Resource));
+        assert!(RetryPolicy::standard(3).covers(&df));
+        assert!(RetryPolicy::standard(3).covers(&oom));
+        assert!(!RetryPolicy::none().covers(&df));
+    }
+
+    #[test]
+    fn injected_disk_full_retries_to_recovery_and_resumes_byte_identical() {
+        let dir = std::env::temp_dir().join(format!(
+            "eth-sweep-diskfull-{:x}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut spec = small_point();
+        // Ordinal 1 for this point is attempt 1's result write (0 was its
+        // Started append): the save tears, the point classifies as a
+        // resource fault, and attempt 2's writes — past the ordinal — land.
+        spec.fault_plan = Some(
+            eth_transport::fault::FaultPlan::default().with_disk_full_at_append(1),
+        );
+        let campaign = Campaign::with_capacity(2).with_retry_policy(RetryPolicy::standard(3));
+        let out = campaign
+            .run_journaled(&[spec.clone()], &RunCaches::new(), &dir)
+            .unwrap();
+        assert!(out.results[0].is_ok(), "{:?}", out.results[0].as_ref().err());
+        assert_eq!(out.attempts, vec![2], "expected exactly one torn attempt");
+        assert!(out.quarantined.is_empty());
+
+        // The persisted result restores byte-identically on resume.
+        let resumed = campaign
+            .run_journaled(&[spec], &RunCaches::new(), &dir)
+            .unwrap();
+        assert_eq!(resumed.restored, vec![0]);
+        assert_eq!(
+            out.results[0].as_ref().unwrap().images,
+            resumed.results[0].as_ref().unwrap().images,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_quota_exhaustion_quarantines_instead_of_panicking() {
+        let dir = std::env::temp_dir().join(format!(
+            "eth-sweep-quota-{:x}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A quota far below one result file: the WAL squeaks through but
+        // every result write hits DiskFull, burns its retries, and the
+        // point quarantines — the campaign never panics mid-append.
+        let campaign = Campaign::with_capacity(2)
+            .with_retry_policy(RetryPolicy::standard(2))
+            .with_resources(ResourcePolicy::with_disk_quota(700));
+        let out = campaign
+            .run_journaled(&[small_point()], &RunCaches::new(), &dir)
+            .unwrap();
+        match &out.results[0] {
+            Err(CoreError::Quarantined { last_error, .. }) => {
+                assert!(
+                    matches!(**last_error, CoreError::DiskFull { .. }),
+                    "expected DiskFull, got {last_error}"
+                );
+            }
+            other => panic!("expected quarantine, got {:?}", other.is_ok()),
+        }
+        assert_eq!(out.quarantined, vec![0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backpressure_gate_stalls_above_high_watermark_and_is_bounded() {
+        // Pin process-wide residency above the watermark with an external
+        // unbounded store, as a long-lived staging cache would.
+        let store = eth_data::staging::BlockStore::unbounded();
+        let block = small_point().application.generate(0, 1).unwrap();
+        store.insert(0, block).unwrap();
+        let resident = eth_data::staging::process_resident_bytes();
+        assert!(resident > 0);
+        let campaign = Campaign::with_capacity(2)
+            .with_resources(ResourcePolicy::with_memory_budget(resident));
+        let t = Instant::now();
+        let out = campaign.run(&[small_point()]);
+        assert!(out.results[0].is_ok());
+        // The gate held admission for the (bounded) stall cap, then let
+        // the point through rather than deadlocking on a gauge that will
+        // never drain.
+        assert!(
+            t.elapsed() >= BACKPRESSURE_STALL_CAP,
+            "gate did not stall: {:?}",
+            t.elapsed()
+        );
+        drop(store);
     }
 
     #[test]

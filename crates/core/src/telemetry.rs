@@ -216,7 +216,11 @@ impl CampaignTelemetry {
     pub fn deterministic_view(&self) -> Vec<(String, u64)> {
         let mut out = Vec::new();
         for (name, value) in self.counters.iter() {
-            if is_timing_metric(name) || is_render_progress_metric(name) || is_flow_metric(name) {
+            if is_timing_metric(name)
+                || is_render_progress_metric(name)
+                || is_flow_metric(name)
+                || is_pressure_metric(name)
+            {
                 continue;
             }
             out.push((name.to_string(), value.round() as u64));
@@ -240,6 +244,17 @@ fn is_timing_metric(name: &str) -> bool {
 /// contract. Critical-path shares are ratios of timing values.
 fn is_flow_metric(name: &str) -> bool {
     name.starts_with("flow_") || name.starts_with("critical_path_")
+}
+
+/// Resource-pressure gauges depend on the concurrent schedule, not the
+/// spec: how many admissions stalled at the backpressure gate, and what
+/// the journal's quota accountant read when each point finished, both
+/// vary with which points were in flight together. The per-spec staging
+/// accountants (`staging_resident_bytes`, `spilled_bytes_total`, wire
+/// byte counters) are pure functions of the spec and stay in the
+/// deterministic view.
+fn is_pressure_metric(name: &str) -> bool {
+    matches!(name, "backpressure_stalls" | "journal_quota_used")
 }
 
 /// Render work-volume metrics measure how far *into* an attempt the
@@ -437,6 +452,31 @@ mod tests {
         let prom = t.to_prometheus();
         assert!(prom.contains("eth_campaign_critical_path_share_sim 0.61"));
         assert!(prom.contains("# TYPE eth_campaign_step_critical_path_s histogram"));
+    }
+
+    #[test]
+    fn pressure_gauges_export_but_stay_out_of_deterministic_view() {
+        let mut t = sample_telemetry();
+        t.counters.add("backpressure_stalls", 3.0);
+        t.counters.set("journal_quota_used", 8192.0);
+        // Per-spec byte accountants are deterministic and must stay in.
+        t.counters.set("staging_resident_bytes", 4096.0);
+        t.counters.set("spilled_bytes_total", 12288.0);
+        t.counters.set("wire_raw_bytes", 9000.0);
+        t.counters.set("wire_compressed_bytes", 3000.0);
+        let view = t.deterministic_view();
+        let names: Vec<&str> = view.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(!names.contains(&"backpressure_stalls"));
+        assert!(!names.contains(&"journal_quota_used"));
+        assert!(names.contains(&"staging_resident_bytes"));
+        assert!(names.contains(&"spilled_bytes_total"));
+        assert!(names.contains(&"wire_raw_bytes"));
+        assert!(names.contains(&"wire_compressed_bytes"));
+        // ...while both still reach the Prometheus and JSONL exports.
+        let prom = t.to_prometheus();
+        assert!(prom.contains("eth_campaign_backpressure_stalls 3"));
+        assert!(prom.contains("eth_campaign_journal_quota_used 8192"));
+        assert!(t.to_jsonl().contains("backpressure_stalls"));
     }
 
     #[test]

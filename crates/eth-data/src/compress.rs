@@ -23,8 +23,54 @@ use crate::grid::UniformGrid;
 use crate::points::PointCloud;
 use crate::vec3::Vec3;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
 
 const MAGIC: &[u8; 4] = b"EBC1";
+
+/// A named block codec: the unit of choice for the wire format and the
+/// spill format. `Quantize` is the bounded-error scheme this module
+/// implements (`EBC1`); `Lossless` is the CRC-trailed binary format
+/// ([`crate::io::binary`], `EBD2`) — bigger on the wire, but blocks
+/// round-trip byte-identically, which is what staging spill requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Codec {
+    /// 16-bit positions / 8-bit attributes (lossy, ~2-4x smaller).
+    Quantize,
+    /// Full-precision binary encoding with a CRC-32 trailer.
+    Lossless,
+}
+
+impl Codec {
+    /// Encode one block with this codec. Both encodings are
+    /// self-describing (distinct magics, `EBC1` vs `EBD2`).
+    pub fn encode(&self, obj: &DataObject) -> Bytes {
+        match self {
+            Codec::Quantize => compress(obj),
+            Codec::Lossless => crate::io::binary::encode(obj),
+        }
+    }
+
+    /// Decode a payload produced by [`Codec::encode`] with the same codec.
+    pub fn decode(&self, buf: Bytes) -> Result<DataObject> {
+        match self {
+            Codec::Quantize => decompress(buf),
+            Codec::Lossless => crate::io::binary::decode(buf),
+        }
+    }
+
+    /// Whether a block survives an encode/decode round trip bit-exactly.
+    pub fn is_lossless(&self) -> bool {
+        matches!(self, Codec::Lossless)
+    }
+
+    /// Stable name for metrics and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Codec::Quantize => "quantize",
+            Codec::Lossless => "lossless",
+        }
+    }
+}
 
 const KIND_POINTS: u8 = 1;
 const KIND_GRID: u8 = 2;
@@ -386,6 +432,33 @@ mod tests {
         let b = back.as_points().unwrap();
         assert!(b.scalar("k").unwrap().iter().all(|&v| v == 5.0));
         assert!(b.positions().iter().all(|&p| (p - Vec3::ONE).length() < 1e-6));
+    }
+
+    #[test]
+    fn lossless_codec_roundtrips_bit_exactly() {
+        let obj = DataObject::Points(cloud(300));
+        let back = Codec::Lossless.decode(Codec::Lossless.encode(&obj)).unwrap();
+        let (a, b) = (obj.as_points().unwrap(), back.as_points().unwrap());
+        assert_eq!(a.positions(), b.positions());
+        assert_eq!(a.scalar("density").unwrap(), b.scalar("density").unwrap());
+        assert!(Codec::Lossless.is_lossless());
+        assert!(!Codec::Quantize.is_lossless());
+        // quantize path through the enum matches the free functions
+        let q = Codec::Quantize.encode(&obj);
+        assert_eq!(q, compress(&obj));
+        assert_eq!(
+            Codec::Quantize.decode(q).unwrap().num_elements(),
+            obj.num_elements()
+        );
+    }
+
+    #[test]
+    fn codec_roundtrips_through_serde() {
+        for c in [Codec::Quantize, Codec::Lossless] {
+            let json = serde_json::to_string(&c).unwrap();
+            let back: Codec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, c);
+        }
     }
 
     #[test]

@@ -76,6 +76,40 @@ where
     }
 }
 
+/// Source wrapper that memoizes blocks through a byte-budgeted
+/// [`eth_data::staging::BlockStore`]: the first read of a step goes to
+/// the inner source, every later read (recovery replays, adoption
+/// tails, repeated `step` calls) is served from the staging store —
+/// resident when it fits the budget, streamed back from a compressed
+/// spill chunk when it does not. Residency never exceeds the budget.
+struct StagedSource {
+    inner: Box<dyn SimulationSource + Send>,
+    store: eth_data::staging::BlockStore,
+}
+
+impl SimulationSource for StagedSource {
+    fn num_timesteps(&self) -> usize {
+        self.inner.num_timesteps()
+    }
+
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.inner.num_ranks()
+    }
+
+    fn timestep(&mut self, step: usize) -> Result<DataObject> {
+        if self.store.contains(step) {
+            return self.store.get(step);
+        }
+        let block = self.inner.timestep(step)?;
+        self.store.insert(step, block.clone())?;
+        Ok(block)
+    }
+}
+
 impl SimulationProxy {
     /// Proxy replaying a recorded series from `root` as `rank`.
     pub fn from_disk(root: &Path, rank: usize) -> Result<SimulationProxy> {
@@ -117,6 +151,26 @@ impl SimulationProxy {
     /// Proxy over any custom source.
     pub fn from_source(source: Box<dyn SimulationSource + Send>) -> SimulationProxy {
         SimulationProxy { source, cursor: 0 }
+    }
+
+    /// Interpose a byte-budgeted staging store between this proxy and its
+    /// source: blocks are memoized on first read and re-reads are served
+    /// from the store, with least-recently-used blocks spilled to
+    /// compressed on-disk chunks (in `spill_dir`, or a private temp
+    /// directory) whenever residency would exceed `memory_budget_bytes`.
+    /// `None` keeps everything resident — a pure memoization layer.
+    pub fn with_staging_budget(
+        self,
+        memory_budget_bytes: Option<u64>,
+        spill_dir: Option<std::path::PathBuf>,
+    ) -> SimulationProxy {
+        SimulationProxy {
+            source: Box::new(StagedSource {
+                inner: self.source,
+                store: eth_data::staging::BlockStore::new(memory_budget_bytes, spill_dir),
+            }),
+            cursor: self.cursor,
+        }
     }
 
     pub fn rank(&self) -> usize {
@@ -400,6 +454,44 @@ mod tests {
         let stats = proxy.run_from(cursor, &mut sink).unwrap();
         assert_eq!(stats.steps, 2);
         assert_eq!(proxy.cursor(), 5);
+    }
+
+    #[test]
+    fn staging_budget_replays_byte_identically_and_counts_the_source_once() {
+        let cfg = HaccConfig::with_particles(600);
+        let reads = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let make = |budget: Option<u64>| {
+            let cfg = cfg.clone();
+            let reads = reads.clone();
+            SimulationProxy::from_generator(0, 1, 4, move |step, _rank| {
+                reads.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Ok(DataObject::Points(cfg.generate(step)?))
+            })
+            .with_staging_budget(budget, None)
+        };
+        // A budget far below four blocks forces spills; replayed steps
+        // must still come back byte-identical and never hit the source.
+        let mut budgeted = make(Some(8_000));
+        let mut plain = make(None);
+        reads.store(0, std::sync::atomic::Ordering::SeqCst);
+        for step in 0..4 {
+            let a = budgeted.step(step).unwrap();
+            let b = plain.step(step).unwrap();
+            assert_eq!(a, b, "step {step} diverged under the budget");
+        }
+        assert_eq!(reads.load(std::sync::atomic::Ordering::SeqCst), 8);
+        // Recovery-style replay of the full range: all served from the
+        // stores (spill chunks included), zero extra source reads.
+        for step in 0..4 {
+            let a = budgeted.step(step).unwrap();
+            let b = plain.step(step).unwrap();
+            assert_eq!(a, b, "replayed step {step} diverged");
+        }
+        assert_eq!(
+            reads.load(std::sync::atomic::Ordering::SeqCst),
+            8,
+            "replay must not re-run the simulation source"
+        );
     }
 
     #[test]

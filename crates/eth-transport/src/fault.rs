@@ -141,6 +141,16 @@ pub struct FaultPlan {
     /// 0 = unsupervised.
     #[serde(default)]
     pub rank_timeout_ms: u64,
+    /// Fail the Nth (0-based) journal append with a disk-full error —
+    /// resource exhaustion as a seeded, deterministic fault. Counted per
+    /// journal, so the same plan tears the same append on every run.
+    #[serde(default)]
+    pub disk_full_at_append: Option<u64>,
+    /// Fail the Nth (0-based) staged-block allocation with an
+    /// out-of-memory error, exercising the retry/quarantine path the
+    /// same way a real allocation failure would.
+    #[serde(default)]
+    pub alloc_fail_at_stage: Option<u64>,
 }
 
 fn default_min_tag() -> u32 {
@@ -165,6 +175,8 @@ impl Default for FaultPlan {
             max_tag: default_max_tag(),
             recv_deadline_ms: 0,
             rank_timeout_ms: 0,
+            disk_full_at_append: None,
+            alloc_fail_at_stage: None,
         }
     }
 }
@@ -208,6 +220,16 @@ impl FaultPlan {
 
     pub fn with_kill_rank_at_step(mut self, rank: usize, step: usize) -> Self {
         self.kill_rank_at_step = Some(KillSpec { rank, step });
+        self
+    }
+
+    pub fn with_disk_full_at_append(mut self, append: u64) -> Self {
+        self.disk_full_at_append = Some(append);
+        self
+    }
+
+    pub fn with_alloc_fail_at_stage(mut self, stage: u64) -> Self {
+        self.alloc_fail_at_stage = Some(stage);
         self
     }
 
@@ -557,6 +579,26 @@ mod tests {
         let empty: FaultPlan = serde_json::from_str("{}").unwrap();
         assert_eq!(empty, FaultPlan::default());
         assert!(!empty.is_active());
+    }
+
+    #[test]
+    fn resource_faults_roundtrip_and_stay_off_the_message_path() {
+        let plan = FaultPlan::seeded(5)
+            .with_disk_full_at_append(3)
+            .with_alloc_fail_at_stage(1);
+        let text = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&text).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(back.disk_full_at_append, Some(3));
+        assert_eq!(back.alloc_fail_at_stage, Some(1));
+        // resource exhaustion is not a message fault: the chaos wrapper
+        // on the data path stays inert
+        assert!(!plan.is_active());
+        assert!(plan.validate().is_ok());
+        // legacy plans (no resource fields) still parse, defaulting off
+        let legacy: FaultPlan = serde_json::from_str(r#"{"seed":9,"drop_prob":0.0}"#).unwrap();
+        assert_eq!(legacy.disk_full_at_append, None);
+        assert_eq!(legacy.alloc_fail_at_stage, None);
     }
 
     #[test]
